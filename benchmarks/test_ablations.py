@@ -1,0 +1,188 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. Sample reuse (DENSE) vs per-layer resampling — accuracy parity at equal
+   fanouts (Section 7.2's "training with DENSE reaches comparable accuracy").
+2. Two-level partitioning — randomized logical grouping vs BETA's
+   single-level greedy, isolated from the deferred-X mechanism.
+3. Deferred random bucket assignment vs immediate greedy assignment —
+   workload balance across partition sets.
+4. ComplEx decoder (Marius's other decoder-only model) as an extension.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import (EdgeBuckets, Graph, PartitionScheme, load_fb15k237,
+                         load_papers100m_mini)
+from repro.policies import BetaPolicy, CometPolicy, edge_permutation_bias
+from repro.policies.base import EpochPlan, EpochStep
+from repro.train import (LinkPredictionConfig, LinkPredictionTrainer,
+                         NodeClassificationConfig, NodeClassificationTrainer)
+
+
+def test_ablation_dense_accuracy_parity(report, benchmark):
+    """DENSE's reduced within-batch randomness must not cost accuracy: train
+    the same NC model with DENSE sampling and compare against the layerwise
+    sampler run through the shared layer modules."""
+    from repro.baselines import LayerwiseEncoder, LayerwiseSampler
+    from repro.core import GNNEncoder
+    from repro.nn import Adam, ClassificationHead, Tensor, softmax_cross_entropy
+
+    data = load_papers100m_mini(num_nodes=3000, num_edges=25000, feat_dim=24,
+                                num_classes=6, seed=0)
+    graph = data.graph
+    cfg = NodeClassificationConfig(hidden_dim=24, num_layers=2, fanouts=(8, 4),
+                                   batch_size=128, num_epochs=8, seed=0)
+
+    dense_result = NodeClassificationTrainer(data, cfg).train()
+
+    # Layerwise twin: identical architecture/optimizer, baseline sampler.
+    rng = np.random.default_rng(0)
+    enc = GNNEncoder("graphsage", [24, 24, 24], final_activation="relu",
+                     rng=np.random.default_rng(0))
+    lw_enc = LayerwiseEncoder(list(enc.layers))
+    head = ClassificationHead(24, data.num_classes, rng=np.random.default_rng(1))
+    params = lw_enc.parameters() + head.parameters()
+    optimizer = Adam(params, lr=cfg.lr)
+    sampler = LayerwiseSampler(graph, [8, 4], rng=np.random.default_rng(2))
+
+    def train_layerwise():
+        for _ in range(cfg.num_epochs):
+            order = rng.permutation(data.train_nodes)
+            for start in range(0, len(order), cfg.batch_size):
+                nodes = np.unique(order[start:start + cfg.batch_size])
+                batch = sampler.sample(nodes)
+                h0 = Tensor(graph.node_features[batch.input_nodes])
+                logits = head(lw_enc(h0, batch))
+                loss = softmax_cross_entropy(logits, graph.node_labels[nodes])
+                lw_enc.zero_grad()
+                head.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    benchmark.pedantic(train_layerwise, rounds=1, iterations=1)
+
+    # Evaluate the layerwise twin on the test nodes.
+    correct = 0
+    test_nodes = data.test_nodes
+    for start in range(0, len(test_nodes), 256):
+        nodes = np.unique(test_nodes[start:start + 256])
+        batch = sampler.sample(nodes)
+        h0 = Tensor(graph.node_features[batch.input_nodes])
+        preds = head(lw_enc(h0, batch)).data.argmax(axis=1)
+        correct += int((preds == graph.node_labels[nodes]).sum())
+    lw_acc = correct / len(test_nodes)
+
+    report.header("Ablation 1: DENSE vs layerwise sampling, same model")
+    report.row("sampler", "test accuracy", widths=[10, 14])
+    report.row("DENSE", f"{dense_result.final_accuracy:.4f}", widths=[10, 14])
+    report.row("layerwise", f"{lw_acc:.4f}", widths=[10, 14])
+    report.line("paper: DENSE within ~0.5 points of baselines (Section 7.2)")
+    assert dense_result.final_accuracy > lw_acc - 0.08
+
+
+def _immediate_assignment_plan(policy: CometPolicy, epoch: int,
+                               rng: np.random.Generator) -> EpochPlan:
+    """COMET's schedule S with BETA-style immediate X (ablating mechanism 2)."""
+    plan = policy.plan_epoch(epoch, rng)
+    done = set()
+    steps = []
+    for step in plan.steps:
+        buckets = []
+        for i in step.partitions:
+            for j in step.partitions:
+                if (i, j) not in done:
+                    buckets.append((i, j))
+                    done.add((i, j))
+        steps.append(EpochStep(partitions=step.partitions, buckets=buckets,
+                               admitted=step.admitted))
+    return EpochPlan(steps=steps, num_partitions=plan.num_partitions,
+                     buffer_capacity=plan.buffer_capacity,
+                     policy="comet-immediate")
+
+
+def test_ablation_deferred_assignment_balances_workload(report, benchmark):
+    """Mechanism 2 isolated: same two-level schedule, deferred vs immediate
+    bucket assignment. Deferred must balance |X_i| and lower bias."""
+    from repro.policies import workload_balance
+    g = load_fb15k237(scale=0.2, seed=1).graph
+    p, l, c = 16, 8, 4
+    scheme = PartitionScheme.uniform(g.num_nodes, p)
+    buckets = EdgeBuckets(g, scheme)
+    policy = CometPolicy(p, l, c)
+
+    def measure():
+        cv_def, cv_imm, b_def, b_imm = [], [], [], []
+        for e in range(4):
+            deferred = policy.plan_epoch(e, np.random.default_rng(e))
+            immediate = _immediate_assignment_plan(policy, e,
+                                                   np.random.default_rng(e))
+            immediate.validate()
+            cv_def.append(workload_balance(deferred, buckets)[0])
+            cv_imm.append(workload_balance(immediate, buckets)[0])
+            b_def.append(edge_permutation_bias(deferred, buckets))
+            b_imm.append(edge_permutation_bias(immediate, buckets))
+        return (np.mean(cv_def), np.mean(cv_imm), np.mean(b_def), np.mean(b_imm))
+
+    cv_def, cv_imm, b_def, b_imm = benchmark.pedantic(measure, rounds=1,
+                                                      iterations=1)
+    report.header("Ablation 2: deferred vs immediate bucket assignment")
+    report.row("assignment", "workload CV", "bias B", widths=[11, 12, 8])
+    report.row("deferred", f"{cv_def:.2f}", f"{b_def:.3f}", widths=[11, 12, 8])
+    report.row("immediate", f"{cv_imm:.2f}", f"{b_imm:.3f}", widths=[11, 12, 8])
+    report.line("deferral's balance benefit shows in the CV; its accuracy "
+                "benefit acts through within-step shuffling, which the "
+                "partition-granular B cannot resolve")
+    assert cv_def < cv_imm
+
+
+def test_ablation_two_level_vs_single_level(report, benchmark):
+    """Mechanism 1 isolated: COMET's logically-grouped schedule vs BETA's
+    single-level greedy, both with deferred-style bias measurement."""
+    g = load_fb15k237(scale=0.2, seed=1).graph
+    p, c = 32, 8
+    scheme = PartitionScheme.uniform(g.num_nodes, p)
+    buckets = EdgeBuckets(g, scheme)
+
+    def measure():
+        beta = np.mean([edge_permutation_bias(
+            BetaPolicy(p, c).plan_epoch(e, np.random.default_rng(e)), buckets)
+            for e in range(4)])
+        comet = np.mean([edge_permutation_bias(
+            CometPolicy(p, 8, c).plan_epoch(e, np.random.default_rng(e)),
+            buckets) for e in range(4)])
+        beta_steps = BetaPolicy(p, c).plan_epoch(0, np.random.default_rng(0)).num_steps
+        comet_steps = CometPolicy(p, 8, c).plan_epoch(0, np.random.default_rng(0)).num_steps
+        return beta, comet, beta_steps, comet_steps
+
+    beta_b, comet_b, beta_steps, comet_steps = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    report.header("Ablation 3: two-level (COMET) vs single-level (BETA)")
+    report.row("policy", "bias B", "|S| steps", widths=[8, 8, 10])
+    report.row("BETA", f"{beta_b:.3f}", beta_steps, widths=[8, 8, 10])
+    report.row("COMET", f"{comet_b:.3f}", comet_steps, widths=[8, 8, 10])
+    report.line("two-level grouping cuts both the bias and the number of "
+                "partition sets per epoch (Section 5.1)")
+    assert comet_b < beta_b
+    assert comet_steps < beta_steps
+
+
+def test_ablation_complex_decoder(report, benchmark):
+    """Extension: ComplEx decoder-only training (Marius's other KGE model)
+    must learn on the FB15k-237 scale model."""
+    data = load_fb15k237(scale=0.08, seed=0)
+    cfg = LinkPredictionConfig(embedding_dim=32, encoder="none",
+                               decoder="complex", batch_size=512,
+                               num_negatives=64, num_epochs=3,
+                               eval_negatives=100, eval_max_edges=400, seed=0)
+    trainer = LinkPredictionTrainer(data, cfg)
+    before = trainer.evaluate().mrr
+    result = benchmark.pedantic(trainer.train, rounds=1, iterations=1)
+    report.header("Ablation 4: ComplEx decoder-only training")
+    report.row("stage", "MRR", widths=[9, 8])
+    report.row("initial", f"{before:.4f}", widths=[9, 8])
+    report.row("trained", f"{result.final_mrr:.4f}", widths=[9, 8])
+    assert result.final_mrr > before

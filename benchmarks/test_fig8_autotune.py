@@ -1,0 +1,97 @@
+"""Figure 8 — COMET auto-tuning rules vs grid search.
+
+Runs disk-based GraphSage training over a grid of (p, l, c) configurations on
+an FB15k-237 scale model, measuring per-epoch time and final MRR for each,
+then checks that the configuration chosen by the Section 6 rules is
+near-Pareto-optimal: no grid point is simultaneously meaningfully faster AND
+meaningfully more accurate.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import load_fb15k237
+from repro.policies import autotune, GraphSpec, HardwareSpec
+from repro.train import (DiskConfig, DiskLinkPredictionTrainer,
+                         LinkPredictionConfig)
+
+GRID = [
+    # (p, l, c)
+    (8, 4, 4),
+    (16, 8, 4),
+    (16, 4, 8),
+    (32, 16, 4),
+    (32, 8, 8),
+]
+
+
+def _run(data, p, l, c, seed=0):
+    cfg = LinkPredictionConfig(embedding_dim=32, num_layers=1, fanouts=(10,),
+                               batch_size=512, num_negatives=64, num_epochs=3,
+                               eval_negatives=100, eval_max_edges=500, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        disk = DiskConfig(workdir=Path(tmp), num_partitions=p, num_logical=l,
+                          buffer_capacity=c, policy="comet")
+        result = DiskLinkPredictionTrainer(data, cfg, disk).train()
+    return result.final_mrr, result.mean_epoch_seconds
+
+
+def test_fig8_autotuning_near_optimal(report, benchmark):
+    data = load_fb15k237(scale=0.2, seed=1)
+    graph = data.graph
+
+    # Autotune against a synthetic machine scaled to the toy graph: a 4KB
+    # block device (so alpha4 lands in the grid's p range) and a CPU budget
+    # that holds roughly half the node table — mirroring the paper's
+    # partial-residency constraint at 1/5000 the data size.
+    spec = GraphSpec(graph.num_nodes, graph.num_edges, 32)
+    p_expected = 16
+    po = spec.node_overhead / p_expected
+    ebo = spec.edge_overhead / p_expected**2
+    budget = int(8 * po + 2 * 64 * ebo + (64 << 10))
+    hardware = HardwareSpec(cpu_memory_bytes=budget + (1 << 20),
+                            disk_block_bytes=4096, fudge_bytes=1 << 20)
+    tuned = autotune(spec, hardware, max_physical=p_expected)
+    tuned_cfg = (tuned.num_physical, tuned.num_logical, tuned.buffer_capacity)
+
+    def run_grid():
+        rows = []
+        for (p, l, c) in GRID:
+            mrr, secs = _run(data, p, l, c)
+            rows.append(((p, l, c), mrr, secs))
+        if tuned_cfg not in [g[0] for g in rows]:
+            mrr, secs = _run(data, *tuned_cfg)
+            rows.append((tuned_cfg, mrr, secs))
+        return rows
+
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    report.header("Figure 8: grid search vs auto-tuned configuration")
+    report.row("(p, l, c)", "MRR", "epoch s", "tag", widths=[13, 8, 8, 10])
+    tuned_row = None
+    for cfg, mrr, secs in rows:
+        tag = "AUTOTUNED" if cfg == tuned_cfg else ""
+        if tag:
+            tuned_row = (mrr, secs)
+        report.row(str(cfg), f"{mrr:.4f}", f"{secs:.2f}", tag,
+                   widths=[13, 8, 8, 10])
+    assert tuned_row is not None
+    t_mrr, t_secs = tuned_row
+
+    best_mrr = max(m for _, m, _ in rows)
+    best_secs = min(s for _, _, s in rows)
+    report.line()
+    report.line(f"auto-tuned: MRR {t_mrr:.4f} (best {best_mrr:.4f}), "
+                f"epoch {t_secs:.2f}s (best {best_secs:.2f}s)")
+    report.line("paper: auto-tuning lands on the near-optimal corner of the "
+                "(runtime, MRR) scan")
+
+    # Near-Pareto: no config dominates the tuned one by >15% on both axes.
+    for cfg, mrr, secs in rows:
+        dominates = mrr > t_mrr * 1.15 and secs < t_secs / 1.15
+        assert not dominates, f"{cfg} dominates the auto-tuned configuration"
+    # And the tuned config is not far from the best on accuracy.
+    assert t_mrr > best_mrr * 0.8

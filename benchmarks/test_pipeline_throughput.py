@@ -1,0 +1,51 @@
+"""Pipelined execution (paper Figure 2): threaded pipeline vs synchronous.
+
+MariusGNN's throughput rests on overlapping CPU sampling with device compute.
+This bench runs the same training workload through the synchronous trainer
+and the threaded pipelined trainer, reporting epoch time, pipeline starvation
+(time the compute thread waited for batches), and model quality parity.
+
+Note: CPython's GIL limits the overlap NumPy can realize for small kernels,
+so the speedup here is modest; the *structure* (bounded queue, sampler
+workers, async write-back, staleness tolerance) is what is being exercised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import load_fb15k237
+from repro.train import (LinkPredictionConfig, LinkPredictionTrainer,
+                         PipelinedLinkPredictionTrainer)
+
+
+def test_pipeline_vs_sync(report, benchmark):
+    data = load_fb15k237(scale=0.15, seed=0)
+    cfg = LinkPredictionConfig(embedding_dim=32, num_layers=2, fanouts=(10, 5),
+                               batch_size=512, num_negatives=64, num_epochs=2,
+                               eval_negatives=100, eval_max_edges=500, seed=0)
+
+    sync = LinkPredictionTrainer(data, cfg).train()
+    piped_trainer = PipelinedLinkPredictionTrainer(data, cfg,
+                                                   num_sample_workers=2,
+                                                   pipeline_depth=4)
+    piped = benchmark.pedantic(piped_trainer.train, rounds=1, iterations=1)
+
+    stats = piped_trainer.pipeline_stats[-1]
+    starved_frac = stats.sample_wait_seconds / max(piped.epochs[-1].seconds, 1e-9)
+
+    report.header("Pipelined vs synchronous training (2-layer GraphSage LP)")
+    report.row("mode", "epoch s", "MRR", widths=[12, 9, 8])
+    report.row("synchronous", f"{sync.mean_epoch_seconds:.2f}",
+               f"{sync.final_mrr:.4f}", widths=[12, 9, 8])
+    report.row("pipelined", f"{piped.mean_epoch_seconds:.2f}",
+               f"{piped.final_mrr:.4f}", widths=[12, 9, 8])
+    report.line(f"compute-thread starvation: {starved_frac:.0%} of epoch; "
+                f"max write-back backlog: {stats.update_backlog_max} batches")
+
+    # Quality near-parity despite bounded staleness (a few percent of MRR at
+    # this small scale, where each node's embedding is updated so frequently
+    # that 4-batch-stale gathers are comparatively more common than on the
+    # paper's graphs).
+    assert piped.final_mrr > sync.final_mrr * 0.7
+    # The pipeline must not be pathologically slower than synchronous.
+    assert piped.mean_epoch_seconds < sync.mean_epoch_seconds * 2.0

@@ -1,0 +1,90 @@
+"""Table 4 — link prediction: epoch time, MRR, cost per epoch.
+
+Analytical rows at Freebase86M / WikiKG90Mv2 scale plus a live scale-model
+run comparing in-memory vs disk-based (COMET) MRR.
+
+Paper numbers (min/epoch | MRR | $/epoch):
+  FB:   M-GNN_Mem 17.5|.7285|3.57  M-GNN_Disk 34.2|.7216|1.74
+        DGL 152|.7091|31.0         PyG 108|.7267|22.0
+  Wiki: M-GNN_Mem 46.6|.4655|9.38  M-GNN_Disk 69.9|.4156|3.56
+        DGL 844|OOT|172            PyG 312|.4683|63.6
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import load_fb15k237
+from repro.sim import table4_rows
+from repro.train import (DiskConfig, DiskLinkPredictionTrainer,
+                         LinkPredictionConfig, LinkPredictionTrainer)
+
+PAPER = {
+    ("M-GNN_Mem", "freebase86m"): (17.5, 3.57),
+    ("M-GNN_Disk", "freebase86m"): (34.2, 1.74),
+    ("DGL", "freebase86m"): (152.0, 31.0),
+    ("PyG", "freebase86m"): (108.0, 22.0),
+    ("M-GNN_Mem", "wikikg90mv2"): (46.6, 9.38),
+    ("M-GNN_Disk", "wikikg90mv2"): (69.9, 3.56),
+    ("DGL", "wikikg90mv2"): (844.0, 172.0),
+    ("PyG", "wikikg90mv2"): (312.0, 63.6),
+}
+
+
+def test_table4_analytical_model(report, benchmark):
+    rows = benchmark.pedantic(table4_rows, rounds=1, iterations=1)
+    report.header("Table 4 (analytical, full scale): epoch minutes and $/epoch")
+    report.row("system", "dataset", "model min", "paper min", "model $", "paper $",
+               widths=[12, 13, 10, 10, 9, 9])
+    for r in rows:
+        paper_min, paper_cost = PAPER.get((r.system, r.dataset), ("-", "-"))
+        report.row(r.system, r.dataset, f"{r.epoch_minutes:.1f}", paper_min,
+                   f"{r.cost_per_epoch:.2f}", paper_cost,
+                   widths=[12, 13, 10, 10, 9, 9])
+    by_key = {(r.system, r.dataset): r for r in rows}
+    for ds in ("freebase86m", "wikikg90mv2"):
+        mem = by_key[("M-GNN_Mem", ds)]
+        disk = by_key[("M-GNN_Disk", ds)]
+        dgl = by_key[("DGL", ds)]
+        pyg = by_key[("PyG", ds)]
+        # Shape: M-GNN mem fastest; baselines several-x slower; disk is the
+        # cheapest option (paper: 13-18x cheaper than baselines).
+        assert mem.epoch_minutes < dgl.epoch_minutes / 4
+        assert mem.epoch_minutes < pyg.epoch_minutes / 4
+        assert disk.cost_per_epoch < dgl.cost_per_epoch / 8
+        assert disk.epoch_minutes >= mem.epoch_minutes * 0.9
+    report.line()
+    mem, dgl = by_key[("M-GNN_Mem", "freebase86m")], by_key[("DGL", "freebase86m")]
+    report.line(f"claim C2 (6x faster, 13-18x cheaper): FB speed "
+                f"{dgl.epoch_minutes / mem.epoch_minutes:.1f}x, cost "
+                f"{dgl.cost_per_epoch / by_key[('M-GNN_Disk', 'freebase86m')].cost_per_epoch:.0f}x")
+
+
+def test_table4_live_mem_vs_disk_mrr(report, benchmark):
+    """Live: disk-based COMET training reaches near-in-memory MRR."""
+    data = load_fb15k237(scale=0.15, seed=0)
+    cfg = LinkPredictionConfig(embedding_dim=32, num_layers=1, fanouts=(10,),
+                               batch_size=512, num_negatives=64, num_epochs=4,
+                               eval_negatives=100, eval_max_edges=800, seed=0)
+
+    mem = LinkPredictionTrainer(data, cfg).train()
+    with tempfile.TemporaryDirectory() as tmp:
+        disk = DiskConfig(workdir=Path(tmp), num_partitions=16, num_logical=8,
+                          buffer_capacity=4, policy="comet")
+        trainer = DiskLinkPredictionTrainer(data, cfg, disk)
+        disk_result = benchmark.pedantic(trainer.train, rounds=1, iterations=1)
+
+    report.header("Table 4 (live, scale model): MRR mem vs disk (COMET)")
+    report.row("mode", "MRR", "epoch s", "io MiB/epoch", widths=[8, 8, 9, 13])
+    report.row("memory", f"{mem.final_mrr:.4f}",
+               f"{mem.mean_epoch_seconds:.2f}", "-", widths=[8, 8, 9, 13])
+    report.row("disk", f"{disk_result.final_mrr:.4f}",
+               f"{disk_result.mean_epoch_seconds:.2f}",
+               f"{disk_result.epochs[0].io_bytes >> 20}", widths=[8, 8, 9, 13])
+    report.line("paper FB: .7285 mem vs .7216 disk (1% gap); Wiki keeps a "
+                "larger gap (.4655 vs .4156) — open problem per Section 7.2")
+
+    assert mem.final_mrr > 0.2
+    assert disk_result.final_mrr > mem.final_mrr * 0.75

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Capacity planning with the auto-tuner and the cost model (Sections 6, 7).
+
+Given a graph's statistics and a machine, answer the questions a practitioner
+asks before training: does it fit in memory? If not, what (p, l, c) should
+COMET use? What will an epoch cost on each AWS P3 instance, in memory or from
+disk? Reproduces the decision procedure behind the paper's Tables 3-4.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.graph import PAPER_DATASETS, paper_stats
+from repro.policies import autotune_from_dataset
+from repro.sim import (MARIUSGNN, P3_2XLARGE, estimate_epoch,
+                       link_prediction_disk_io, smallest_instance_fitting)
+from repro.sim.tables import _comet_loads, _dense_workload
+from repro.sim.workload import gnn_flops
+
+
+def main() -> None:
+    print(f"{'dataset':<16} {'total GB':>8} {'fits 61GB?':>10} "
+          f"{'mem instance':>13} {'p':>5} {'l':>4} {'c':>5}")
+    for name in ("fb15k-237", "freebase86m", "wikikg90mv2", "papers100m",
+                 "hyperlink2012"):
+        stats = paper_stats(name)
+        fits = stats.total_gb < P3_2XLARGE.cpu_memory_gb
+        try:
+            instance = smallest_instance_fitting(stats.total_gb).name
+        except ValueError:
+            instance = "(none)"
+        dim = stats.feat_dim or 50
+        tune = autotune_from_dataset(stats.num_nodes, stats.num_edges, dim,
+                                     P3_2XLARGE.cpu_memory_gb,
+                                     max_physical=8192)
+        print(f"{name:<16} {stats.total_gb:>8.0f} {str(fits):>10} "
+              f"{instance:>13} {tune.num_physical:>5} {tune.num_logical:>4} "
+              f"{tune.buffer_capacity:>5}")
+
+    # Detailed cost plan for Freebase86M link prediction.
+    print("\nFreebase86M, 1-layer GraphSage + DistMult, 500 negatives:")
+    stats = paper_stats("freebase86m")
+    dim = 100
+    wl = _dense_workload("freebase86m", (20,), 1500)
+    flops = gnn_flops(wl, dim, dim, 1) + 2.0 * 1000 * 500 * dim
+
+    mem_instance = smallest_instance_fitting(stats.total_gb)
+    mem = estimate_epoch(MARIUSGNN, stats, wl, flops, mem_instance,
+                         stats.num_edges, dim, is_link_prediction=True)
+    print(f"  in-memory on {mem.instance}: {mem.epoch_minutes:.1f} min/epoch, "
+          f"${mem.cost_per_epoch:.2f}/epoch")
+
+    tune = autotune_from_dataset(stats.num_nodes, stats.num_edges, dim,
+                                 P3_2XLARGE.cpu_memory_gb, max_physical=256)
+    loads = _comet_loads(tune.num_logical, tune.logical_capacity,
+                         tune.num_physical)
+    disk = estimate_epoch(MARIUSGNN, stats, wl, flops, P3_2XLARGE,
+                          stats.num_edges, dim,
+                          io_read_bytes=link_prediction_disk_io(
+                              stats, dim, loads, tune.num_physical),
+                          is_link_prediction=True)
+    print(f"  disk-based on {disk.instance} (p={tune.num_physical}, "
+          f"l={tune.num_logical}, c={tune.buffer_capacity}): "
+          f"{disk.epoch_minutes:.1f} min/epoch, ${disk.cost_per_epoch:.2f}/epoch")
+    ratio = mem.cost_per_epoch / disk.cost_per_epoch
+    print(f"  -> disk mode is {ratio:.1f}x cheaper per epoch "
+          "(the paper's Table 4 economics)")
+
+
+if __name__ == "__main__":
+    main()

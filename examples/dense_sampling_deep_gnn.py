@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The DENSE data structure under the microscope (paper Section 4).
+
+Builds multi-hop samples with DENSE and with the DGL/PyG-style layerwise
+algorithm at increasing GNN depth, showing:
+
+* sample reuse — one-hop sampling runs once per node under DENSE,
+* the shrinking mini batches (fewer unique nodes / sampled edges),
+* the trimmed forward pass (Algorithm 2) keeping every layer's layout equal,
+* and the resulting deep-GNN scaling gap.
+
+Run:  python examples/dense_sampling_deep_gnn.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import LayerwiseSampler
+from repro.core import DenseSampler, GNNEncoder
+from repro.graph import load_papers100m_mini
+from repro.nn import Tensor
+
+
+def main() -> None:
+    graph = load_papers100m_mini(num_nodes=40_000, num_edges=500_000,
+                                 feat_dim=32, seed=0).graph
+    print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges")
+    targets = np.random.default_rng(0).choice(graph.num_nodes, 512,
+                                              replace=False)
+
+    print(f"\n{'depth':>5} | {'DENSE nodes':>11} {'edges':>9} {'ms':>7} | "
+          f"{'layerwise nodes':>15} {'edges':>9} {'ms':>7}")
+    for depth in (1, 2, 3, 4):
+        fanouts = [10] * depth
+        dense = DenseSampler(graph, fanouts, rng=np.random.default_rng(1))
+        layer = LayerwiseSampler(graph, fanouts, rng=np.random.default_rng(1))
+
+        t0 = time.perf_counter()
+        d_batch = dense.sample(targets)
+        d_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        l_batch = layer.sample(targets)
+        l_ms = (time.perf_counter() - t0) * 1e3
+
+        print(f"{depth:>5} | {d_batch.stats.num_unique_nodes:>11,} "
+              f"{d_batch.stats.num_sampled_edges:>9,} {d_ms:>7.1f} | "
+              f"{l_batch.stats.num_unique_nodes:>15,} "
+              f"{l_batch.stats.num_sampled_edges:>9,} {l_ms:>7.1f}")
+
+    # Anatomy of one DENSE batch: the delta encoding.
+    sampler = DenseSampler(graph, [10, 10, 10], rng=np.random.default_rng(2))
+    batch = sampler.sample(targets)
+    batch.validate()
+    print("\nDENSE anatomy (3-hop sample):")
+    for d in range(batch.num_deltas):
+        role = {0: "innermost (base reps only)",
+                batch.num_deltas - 1: "targets"}.get(d, "intermediate")
+        print(f"  delta {d}: {len(batch.delta(d)):>7,} nodes  [{role}]")
+    print(f"  one-hop sampling calls: {batch.stats.one_hop_calls:,} "
+          "(== nodes with neighbor runs; each node sampled exactly once)")
+
+    # Forward pass: the same layer implementation at every depth, thanks to
+    # Algorithm 2's trimming.
+    enc = GNNEncoder("graphsage", [32, 32, 32, 32], rng=np.random.default_rng(3))
+    h0 = Tensor(graph.node_features[batch.node_ids], requires_grad=True)
+    t0 = time.perf_counter()
+    out = enc(h0, batch)
+    loss = (out * out).sum()
+    loss.backward()
+    print(f"\nforward+backward over DENSE: out={out.shape}, "
+          f"{(time.perf_counter() - t0) * 1e3:.1f} ms; "
+          f"gradients reach all {h0.shape[0]:,} base representations: "
+          f"{h0.grad is not None}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Node classification with training-node caching (paper Section 5.2).
+
+Trains a 3-layer GraphSage classifier on a Papers100M-style citation graph
+(1% labeled nodes, class-correlated features and edges), twice:
+
+* fully in memory, and
+* disk-based, with node features in a memmap store and the Section 5.2
+  policy — training nodes relabeled into the first partitions, pinned in the
+  buffer all epoch, zero intra-epoch partition swaps.
+
+Run:  python examples/node_classification_papers.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.graph import load_papers100m_mini
+from repro.train import (DiskNodeClassificationConfig,
+                         DiskNodeClassificationTrainer,
+                         NodeClassificationConfig, NodeClassificationTrainer)
+
+
+def main() -> None:
+    data = load_papers100m_mini(num_nodes=8000, num_edges=80000, feat_dim=32,
+                                num_classes=16, seed=0)
+    graph = data.graph
+    print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges, "
+          f"{data.num_classes} classes")
+    print(f"labeled: {len(data.train_nodes):,} training nodes "
+          f"({len(data.train_nodes) / graph.num_nodes:.1%} of the graph — "
+          "the sparsity the caching policy exploits)\n")
+
+    config = NodeClassificationConfig(
+        hidden_dim=64,
+        num_layers=3,
+        fanouts=(15, 10, 5),   # ordered away from the target nodes
+        batch_size=256,
+        num_epochs=10,
+        eval_every=2,
+        seed=0,
+    )
+
+    print("=== in-memory training ===")
+    mem = NodeClassificationTrainer(data, config).train(verbose=True)
+    print(f"test accuracy: {mem.final_accuracy:.4f} "
+          f"({mem.mean_epoch_seconds:.2f}s/epoch)\n")
+
+    print("=== disk-based training (features on disk, training nodes cached) ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        disk = DiskNodeClassificationConfig(workdir=Path(tmp),
+                                            num_partitions=16,
+                                            buffer_capacity=8)
+        trainer = DiskNodeClassificationTrainer(data, config, disk)
+        result = trainer.train(verbose=True)
+    print(f"test accuracy: {result.final_accuracy:.4f} "
+          f"({result.mean_epoch_seconds:.2f}s/epoch)")
+    print(f"IO per epoch: {result.epochs[-1].io_bytes >> 20} MiB in "
+          f"{result.epochs[-1].partition_loads} partition loads "
+          "(one buffer fill — zero swaps mid-epoch)")
+    gap = mem.final_accuracy - result.final_accuracy
+    print(f"\ndisk-vs-memory accuracy gap: {gap:+.4f} "
+          "(paper Table 3: within ~0.6 points)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `python setup.py develop` on environments
+without the `wheel` package (offline editable install fallback)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — a pure-Python reproduction of MariusGNN (EuroSys 2023).
+
+Resource-efficient out-of-core training of Graph Neural Networks: the DENSE
+multi-hop sampling structure (Section 4), the COMET partition replacement
+policy (Section 5), auto-tuning rules (Section 6), and a full training stack
+(autograd engine, GNN layers, disk-backed partitioned storage) to run them.
+
+Quickstart::
+
+    from repro.graph import load_fb15k237
+    from repro.train import LinkPredictionTrainer, LinkPredictionConfig
+
+    data = load_fb15k237(scale=0.1)
+    trainer = LinkPredictionTrainer(data, LinkPredictionConfig(num_epochs=3))
+    result = trainer.train()
+    print(result.final_mrr)
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, graph, nn
+
+__all__ = ["nn", "graph", "core", "baselines", "__version__"]

@@ -1,0 +1,5 @@
+"""Baseline algorithms the paper compares against (DGL/PyG-style sampling)."""
+
+from .layerwise import LayerwiseBatch, LayerwiseEncoder, LayerwiseSampler, MFGBlock
+
+__all__ = ["LayerwiseSampler", "LayerwiseBatch", "LayerwiseEncoder", "MFGBlock"]

@@ -1,0 +1,195 @@
+"""Command-line interface: config-driven training runs, Marius-style.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro info                      # dataset registry
+    python -m repro autotune --dataset freebase86m --memory-gb 61
+    python -m repro train-lp --dataset fb15k237 --scale 0.1 --epochs 3
+    python -m repro train-lp --dataset fb15k237 --disk --policy comet
+    python -m repro train-nc --epochs 5
+    python -m repro train-lp --config run.json   # JSON overrides CLI defaults
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from .graph import (PAPER_DATASETS, load_fb15k237, load_freebase86m_mini,
+                    load_papers100m_mini, load_wikikg90m_mini, paper_stats)
+from .policies import autotune_from_dataset
+from .train import (DiskConfig, DiskLinkPredictionTrainer,
+                    DiskNodeClassificationConfig,
+                    DiskNodeClassificationTrainer, LinkPredictionConfig,
+                    LinkPredictionTrainer, NodeClassificationConfig,
+                    NodeClassificationTrainer)
+
+LP_DATASETS = {
+    "fb15k237": lambda scale: load_fb15k237(scale=scale),
+    "freebase86m-mini": lambda scale: load_freebase86m_mini(
+        num_nodes=max(500, int(20000 * scale * 5))),
+    "wikikg90m-mini": lambda scale: load_wikikg90m_mini(
+        num_nodes=max(500, int(24000 * scale * 5))),
+}
+
+
+def _apply_config_file(args: argparse.Namespace) -> argparse.Namespace:
+    if getattr(args, "config", None):
+        overrides = json.loads(Path(args.config).read_text())
+        for key, value in overrides.items():
+            if not hasattr(args, key):
+                raise SystemExit(f"unknown config key: {key}")
+            setattr(args, key, value)
+    return args
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(f"{'dataset':<16} {'nodes':>14} {'edges':>16} {'feat':>5} "
+          f"{'total GB':>9} {'task':>5}")
+    for name, stats in sorted(PAPER_DATASETS.items()):
+        print(f"{name:<16} {stats.num_nodes:>14,} {stats.num_edges:>16,} "
+              f"{stats.feat_dim:>5} {stats.total_gb:>9.1f} {stats.task:>5}")
+    return 0
+
+
+def cmd_autotune(args: argparse.Namespace) -> int:
+    stats = paper_stats(args.dataset)
+    result = autotune_from_dataset(stats.num_nodes, stats.num_edges,
+                                   args.dim or (stats.feat_dim or 50),
+                                   args.memory_gb,
+                                   max_physical=args.max_physical)
+    print(f"dataset {stats.name}: {stats.num_nodes:,} nodes, "
+          f"{stats.num_edges:,} edges, {args.memory_gb} GB CPU memory")
+    print(f"  physical partitions p = {result.num_physical}")
+    print(f"  logical partitions  l = {result.num_logical}")
+    print(f"  buffer capacity     c = {result.buffer_capacity} "
+          f"({result.buffer_fraction:.0%} resident)")
+    print(f"  partition size        = {result.partition_bytes / (1 << 20):.0f} MiB")
+    return 0
+
+
+def cmd_train_lp(args: argparse.Namespace) -> int:
+    args = _apply_config_file(args)
+    if args.dataset not in LP_DATASETS:
+        raise SystemExit(f"unknown LP dataset {args.dataset!r}; "
+                         f"choose from {sorted(LP_DATASETS)}")
+    data = LP_DATASETS[args.dataset](args.scale)
+    fanouts = tuple(args.fanouts) if args.encoder != "none" else ()
+    config = LinkPredictionConfig(
+        embedding_dim=args.dim, encoder=args.encoder,
+        num_layers=len(fanouts), fanouts=fanouts, decoder=args.decoder,
+        batch_size=args.batch_size, num_negatives=args.negatives,
+        num_epochs=args.epochs, eval_every=1, seed=args.seed)
+    if args.disk:
+        workdir = Path(args.workdir) if args.workdir else Path(
+            tempfile.mkdtemp(prefix="repro-disk-"))
+        disk = DiskConfig(workdir=workdir, num_partitions=args.partitions,
+                          num_logical=args.logical, buffer_capacity=args.buffer,
+                          policy=args.policy)
+        trainer = DiskLinkPredictionTrainer(data, config, disk)
+    else:
+        trainer = LinkPredictionTrainer(data, config)
+    result = trainer.train(verbose=True)
+    print(f"\nfinal MRR {result.final_mrr:.4f} "
+          f"(hits@10 {result.final_metrics.hits_at_10:.4f}) "
+          f"mean epoch {result.mean_epoch_seconds:.2f}s")
+    if args.save:
+        from .train.checkpoint import save_checkpoint
+        embeddings = getattr(trainer, "embeddings", None)
+        save_checkpoint(Path(args.save), trainer.model, config,
+                        embeddings=embeddings.table if embeddings else None,
+                        optimizer_state=embeddings.state if embeddings else None)
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def cmd_train_nc(args: argparse.Namespace) -> int:
+    args = _apply_config_file(args)
+    data = load_papers100m_mini(num_nodes=args.nodes, num_edges=args.nodes * 9,
+                                feat_dim=args.dim, seed=args.seed)
+    fanouts = tuple(args.fanouts)
+    config = NodeClassificationConfig(
+        hidden_dim=args.dim, num_layers=len(fanouts), fanouts=fanouts,
+        batch_size=args.batch_size, num_epochs=args.epochs, eval_every=1,
+        seed=args.seed)
+    if args.disk:
+        workdir = Path(args.workdir) if args.workdir else Path(
+            tempfile.mkdtemp(prefix="repro-nc-"))
+        disk = DiskNodeClassificationConfig(workdir=workdir,
+                                            num_partitions=args.partitions,
+                                            buffer_capacity=args.buffer)
+        trainer = DiskNodeClassificationTrainer(data, config, disk)
+    else:
+        trainer = NodeClassificationTrainer(data, config)
+    result = trainer.train(verbose=True)
+    print(f"\nfinal accuracy {result.final_accuracy:.4f} "
+          f"mean epoch {result.mean_epoch_seconds:.2f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MariusGNN reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list the paper dataset registry")
+
+    p = sub.add_parser("autotune", help="apply the Section 6 tuning rules")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--memory-gb", type=float, default=61.0)
+    p.add_argument("--dim", type=int, default=None)
+    p.add_argument("--max-physical", type=int, default=4096)
+
+    p = sub.add_parser("train-lp", help="train link prediction")
+    p.add_argument("--config", help="JSON file overriding these options")
+    p.add_argument("--dataset", default="fb15k237")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--encoder", default="graphsage",
+                   choices=["none", "graphsage", "gcn", "gat"])
+    p.add_argument("--decoder", default="distmult",
+                   choices=["distmult", "complex", "transe", "dot"])
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--fanouts", type=int, nargs="*", default=[10])
+    p.add_argument("--batch-size", type=int, default=512)
+    p.add_argument("--negatives", type=int, default=64)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--disk", action="store_true")
+    p.add_argument("--policy", default="comet", choices=["comet", "beta"])
+    p.add_argument("--partitions", type=int, default=16)
+    p.add_argument("--logical", type=int, default=8)
+    p.add_argument("--buffer", type=int, default=4)
+    p.add_argument("--workdir", default=None)
+    p.add_argument("--save", default=None, help="checkpoint directory")
+
+    p = sub.add_parser("train-nc", help="train node classification")
+    p.add_argument("--config", help="JSON file overriding these options")
+    p.add_argument("--nodes", type=int, default=4000)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--fanouts", type=int, nargs="*", default=[10, 5])
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--disk", action="store_true")
+    p.add_argument("--partitions", type=int, default=16)
+    p.add_argument("--buffer", type=int, default=8)
+    p.add_argument("--workdir", default=None)
+
+    return parser
+
+
+COMMANDS = {"info": cmd_info, "autotune": cmd_autotune,
+            "train-lp": cmd_train_lp, "train-nc": cmd_train_nc}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""The DENSE data structure: Delta Encoding of Neighborhood SamplEs.
+
+Implements the paper's Section 4 verbatim:
+
+* :func:`build_dense` — Algorithm 1 (multi-hop neighborhood sampling). Nodes
+  are one-hop sampled **only on their first appearance**; later layers reuse
+  the sample. DENSE is four arrays (``node_id_offsets``, ``node_ids``,
+  ``nbr_offsets``, ``nbrs``) plus ``repr_map`` added "on the GPU".
+* :meth:`DenseBatch.advance` — Algorithm 2 (on-GPU DENSE update after layer
+  ``i``): drops the innermost delta and the consumed neighbor block so every
+  GNN layer sees the same array layout.
+
+Layout invariants (checked by :meth:`DenseBatch.validate`):
+
+* ``node_ids = [Δ_0 | Δ_1 | ... | Δ_k]`` with ``node_id_offsets`` marking the
+  start of each delta; all IDs unique.
+* ``nbrs = [Δ_1-nbrs | Δ_2-nbrs | ... | Δ_k-nbrs]`` — neighbor runs for every
+  node in ``node_ids[node_id_offsets[1]:]``, in node order, delimited by
+  ``nbr_offsets``.
+* every ID in ``nbrs`` appears in ``node_ids``; ``repr_map[j]`` is the row of
+  ``nbrs[j]`` within ``node_ids``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import AdjacencyIndex
+from ..nn.layers import DenseLayerView
+
+
+@dataclass
+class SamplingStats:
+    """Work counters for one multi-hop sample (feeds Table 6 and the perf model)."""
+
+    num_target_nodes: int = 0
+    num_unique_nodes: int = 0       # len(node_ids)
+    num_sampled_edges: int = 0      # len(nbrs)
+    one_hop_calls: int = 0          # nodes passed to oneHopSample, summed
+    dedup_candidates: int = 0       # nodes examined by computeNextDelta
+
+
+@dataclass
+class DenseBatch:
+    """The DENSE structure for one mini batch (paper Figure 3)."""
+
+    node_id_offsets: np.ndarray
+    node_ids: np.ndarray
+    nbr_offsets: np.ndarray
+    nbrs: np.ndarray
+    repr_map: Optional[np.ndarray] = None
+    num_layers: int = 1
+    stats: SamplingStats = field(default_factory=SamplingStats)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_deltas(self) -> int:
+        return len(self.node_id_offsets)
+
+    def delta(self, idx: int) -> np.ndarray:
+        """Return Δ_idx (idx counts from the innermost delta, 0-based)."""
+        start = self.node_id_offsets[idx]
+        stop = (self.node_id_offsets[idx + 1]
+                if idx + 1 < len(self.node_id_offsets) else len(self.node_ids))
+        return self.node_ids[start:stop]
+
+    def target_nodes(self) -> np.ndarray:
+        """The outermost delta Δ_k — the mini batch's target nodes."""
+        return self.delta(self.num_deltas - 1)
+
+    # ------------------------------------------------------------------
+    def compute_repr_map(self) -> None:
+        """Add the fifth array (Section 4.2): index into node_ids per nbr entry.
+
+        In MariusGNN this happens on the GPU right after transfer; here it is
+        a sorted-search since ``node_ids`` entries are unique by construction.
+        """
+        order = np.argsort(self.node_ids, kind="stable")
+        pos = np.searchsorted(self.node_ids[order], self.nbrs)
+        self.repr_map = order[pos].astype(np.int64)
+
+    def layer_view(self) -> DenseLayerView:
+        """The view a GNN layer consumes (same layout at every layer)."""
+        if self.repr_map is None:
+            self.compute_repr_map()
+        self_start = int(self.node_id_offsets[1]) if len(self.node_id_offsets) > 1 else 0
+        return DenseLayerView(
+            repr_map=self.repr_map,
+            nbr_offsets=self.nbr_offsets,
+            self_start=self_start,
+            num_outputs=len(self.node_ids) - self_start,
+        )
+
+    # ------------------------------------------------------------------
+    def advance(self) -> "DenseBatch":
+        """Algorithm 2: trim DENSE after computing one GNN layer.
+
+        Removes Δ_{i-1} (no longer needed as input) and the neighbor block of
+        Δ_i (already consumed), returning a new :class:`DenseBatch` whose
+        node_ids exactly match the rows of the layer output H^i.
+        """
+        if len(self.node_id_offsets) < 2:
+            raise ValueError("cannot advance a DENSE with a single delta")
+        len_prev_delta = int(self.node_id_offsets[1])          # |Δ_{i-1}|
+        if len(self.node_id_offsets) > 2:
+            len_cur_delta = int(self.node_id_offsets[2] - self.node_id_offsets[1])
+        else:
+            len_cur_delta = len(self.node_ids) - len_prev_delta
+        # Start of the neighbor run after Δ_i's block.
+        if len_cur_delta < len(self.nbr_offsets):
+            nbr_drop = int(self.nbr_offsets[len_cur_delta])
+        else:
+            nbr_drop = len(self.nbrs)
+
+        new = DenseBatch(
+            node_id_offsets=self.node_id_offsets[1:] - len_prev_delta,
+            node_ids=self.node_ids[len_prev_delta:],
+            nbr_offsets=self.nbr_offsets[len_cur_delta:] - nbr_drop,
+            nbrs=self.nbrs[nbr_drop:],
+            repr_map=(self.repr_map[nbr_drop:] - len_prev_delta
+                      if self.repr_map is not None else None),
+            num_layers=self.num_layers - 1,
+            stats=self.stats,
+        )
+        return new
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the DENSE layout invariants; raises ``AssertionError``."""
+        offsets = self.node_id_offsets
+        assert len(offsets) >= 1 and offsets[0] == 0, "node_id_offsets must start at 0"
+        assert np.all(np.diff(offsets) >= 0), "node_id_offsets must be nondecreasing"
+        assert offsets[-1] <= len(self.node_ids), "offset exceeds node_ids"
+        assert len(np.unique(self.node_ids)) == len(self.node_ids), \
+            "node_ids must be unique (delta encoding)"
+        n_with_nbrs = len(self.node_ids) - (int(offsets[1]) if len(offsets) > 1 else 0)
+        assert len(self.nbr_offsets) == n_with_nbrs, \
+            f"nbr_offsets length {len(self.nbr_offsets)} != nodes with neighbors {n_with_nbrs}"
+        if len(self.nbr_offsets):
+            assert self.nbr_offsets[0] == 0, "nbr_offsets must start at 0"
+            assert np.all(np.diff(self.nbr_offsets) >= 0)
+            assert self.nbr_offsets[-1] <= len(self.nbrs)
+        if len(self.nbrs):
+            assert np.isin(self.nbrs, self.node_ids).all(), \
+                "every sampled neighbor must appear in node_ids"
+        if self.repr_map is not None:
+            assert len(self.repr_map) == len(self.nbrs)
+            assert np.array_equal(self.node_ids[self.repr_map], self.nbrs), \
+                "repr_map must map nbrs to their node_ids rows"
+
+
+def compute_next_delta(nbrs: np.ndarray, node_ids: np.ndarray) -> np.ndarray:
+    """Algorithm 1 line 7: unique sampled neighbors not yet in node_ids."""
+    candidates = np.unique(nbrs)
+    return candidates[~np.isin(candidates, node_ids)]
+
+
+def build_dense(
+    target_nodes: np.ndarray,
+    fanouts: Sequence[int],
+    index: AdjacencyIndex,
+    rng: Optional[np.random.Generator] = None,
+) -> DenseBatch:
+    """Algorithm 1: multi-hop neighborhood sampling with delta encoding.
+
+    Parameters
+    ----------
+    target_nodes:
+        Unique node IDs forming Δ_k (the mini batch's training nodes).
+    fanouts:
+        Per-layer max neighbors, **ordered away from the target nodes** —
+        ``fanouts[0]`` applies to the first hop from the targets (the paper's
+        convention, e.g. ``[30, 20, 10]`` for a 3-layer GraphSage).
+    index:
+        The in-memory adjacency over which sampling is legal (only in-buffer
+        edges for disk-based training, Section 3).
+    """
+    rng = rng or np.random.default_rng()
+    target_nodes = np.asarray(target_nodes, dtype=np.int64)
+    if len(np.unique(target_nodes)) != len(target_nodes):
+        target_nodes = np.unique(target_nodes)
+    k = len(fanouts)
+    if k == 0:
+        batch = DenseBatch(
+            node_id_offsets=np.zeros(1, dtype=np.int64),
+            node_ids=target_nodes.copy(),
+            nbr_offsets=np.empty(0, dtype=np.int64),
+            nbrs=np.empty(0, dtype=np.int64),
+            num_layers=0,
+        )
+        batch.stats.num_target_nodes = len(target_nodes)
+        batch.stats.num_unique_nodes = len(target_nodes)
+        return batch
+
+    stats = SamplingStats(num_target_nodes=len(target_nodes))
+
+    # Line 1-2 of Algorithm 1.
+    node_id_offsets = np.zeros(1, dtype=np.int64)
+    node_ids = target_nodes.copy()
+    nbr_offsets = np.empty(0, dtype=np.int64)
+    nbrs = np.empty(0, dtype=np.int64)
+    delta = target_nodes
+
+    # Line 3: k rounds, hop t uses fanouts[t] (paper's i runs k..1).
+    for t in range(k):
+        delta_nbrs, delta_offsets = index.sample_one_hop(delta, int(fanouts[t]), rng=rng)
+        stats.one_hop_calls += len(delta)
+        # Lines 5-6: stack the new one-hop sample *before* the existing arrays.
+        nbr_offsets = np.concatenate([delta_offsets, nbr_offsets + len(delta_nbrs)])
+        nbrs = np.concatenate([delta_nbrs, nbrs])
+        # Line 7: nodes needing a sample at the next hop.
+        next_delta = compute_next_delta(delta_nbrs, node_ids)
+        stats.dedup_candidates += len(np.unique(delta_nbrs))
+        # Lines 8-9: prepend the new delta.
+        node_id_offsets = np.concatenate([np.zeros(1, dtype=np.int64),
+                                          node_id_offsets + len(next_delta)])
+        node_ids = np.concatenate([next_delta, node_ids])
+        delta = next_delta
+
+    stats.num_unique_nodes = len(node_ids)
+    stats.num_sampled_edges = len(nbrs)
+    batch = DenseBatch(
+        node_id_offsets=node_id_offsets,
+        node_ids=node_ids,
+        nbr_offsets=nbr_offsets,
+        nbrs=nbrs,
+        num_layers=k,
+        stats=stats,
+    )
+    return batch

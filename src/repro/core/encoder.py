@@ -1,0 +1,96 @@
+"""GNN encoder: the forward pass over DENSE (paper Section 4.2).
+
+:class:`GNNEncoder` iterates layers ``i in [1..k]``, each time computing the
+output H^i for all nodes after ``node_id_offsets[1]`` (Algorithm 3) and then
+trimming DENSE (Algorithm 2) so the next layer sees the identical layout —
+the property that lets MariusGNN share one layer implementation across
+depths. The final output rows align with the batch's target nodes Δ_k.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import make_layer
+from ..nn.module import Module, ModuleList
+from ..nn.tensor import Tensor
+from .dense import DenseBatch
+
+
+class GNNEncoder(Module):
+    """A stack of GNN layers evaluated over a DENSE batch.
+
+    Parameters
+    ----------
+    layer_kind:
+        ``"graphsage"``, ``"gcn"``, or ``"gat"``.
+    dims:
+        Layer dimensions ``[in, hidden..., out]`` — ``len(dims) - 1`` layers.
+    """
+
+    def __init__(self, layer_kind: str, dims: Sequence[int],
+                 final_activation: Optional[str] = None,
+                 dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None,
+                 **layer_kwargs) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("dims must contain at least [in, out]")
+        self.layer_kind = layer_kind
+        self.dims = list(dims)
+        layers = []
+        for i in range(len(dims) - 1):
+            activation = "relu" if i < len(dims) - 2 else final_activation
+            layers.append(make_layer(layer_kind, dims[i], dims[i + 1],
+                                     activation=activation, dropout=dropout,
+                                     rng=rng, **layer_kwargs))
+        self.layers = ModuleList(layers)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def forward(self, h0: Tensor, batch: DenseBatch) -> Tensor:
+        """Compute target-node representations h^k.
+
+        ``h0`` must hold the base representations of ``batch.node_ids`` in
+        order. Returns a tensor aligned with ``batch.target_nodes()``.
+        """
+        if batch.num_layers != self.num_layers:
+            raise ValueError(
+                f"batch was sampled for {batch.num_layers} layers, "
+                f"encoder has {self.num_layers}"
+            )
+        if h0.data.shape[0] != batch.num_nodes:
+            raise ValueError(
+                f"h0 has {h0.data.shape[0]} rows but DENSE holds {batch.num_nodes} nodes"
+            )
+        h = h0
+        current = batch
+        for i, layer in enumerate(self.layers):
+            view = current.layer_view()
+            h = layer(h, view)  # Step 1 (Algorithm 3)
+            if i < self.num_layers - 1:
+                current = current.advance()  # Step 2 (Algorithm 2)
+        return h
+
+    def flops_per_batch(self, batch: DenseBatch) -> int:
+        """Dense-kernel FLOP estimate for this batch (feeds the perf model)."""
+        total = 0
+        current = batch
+        num_nodes = current.num_nodes
+        num_nbrs = len(current.nbrs)
+        dims = self.dims
+        for i in range(self.num_layers):
+            in_dim, out_dim = dims[i], dims[i + 1]
+            outputs = num_nodes - int(current.node_id_offsets[1]) if current.num_deltas > 1 else num_nodes
+            # gather + segment reduce over neighbor entries, two matmuls per output
+            total += 2 * num_nbrs * in_dim          # aggregate
+            total += 4 * outputs * in_dim * out_dim  # self + neighbor matmul
+            if i < self.num_layers - 1:
+                current = current.advance()
+                num_nodes = current.num_nodes
+                num_nbrs = len(current.nbrs)
+        return int(total)

@@ -1,0 +1,63 @@
+"""Mini-batch samplers: the DENSE sampler and its construction utilities.
+
+:class:`DenseSampler` is MariusGNN's sampler — it owns the dual-sorted
+adjacency index over the in-memory (sub)graph and produces
+:class:`~repro.core.dense.DenseBatch` objects via Algorithm 1. The index is
+rebuilt whenever the in-memory edge set changes (a partition-buffer swap);
+the rebuild cost is what the paper counts as "preparing each S_i for
+training" (Section 6, Quantity 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import AdjacencyIndex
+from ..graph.edge_list import Graph
+from .dense import DenseBatch, build_dense
+
+
+class DenseSampler:
+    """Multi-hop neighborhood sampler producing DENSE batches.
+
+    Parameters
+    ----------
+    graph:
+        The graph (or in-buffer subgraph) over which sampling is legal.
+    fanouts:
+        Per-layer fanouts ordered away from the target nodes.
+    directions:
+        Neighbor directions to draw from (``"out"``/``"in"``/``"both"``).
+    """
+
+    def __init__(self, graph: Graph, fanouts: Sequence[int],
+                 directions: str = "both",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if any(not isinstance(f, (int, np.integer)) for f in fanouts):
+            raise TypeError("fanouts must be integers")
+        self.fanouts = list(int(f) for f in fanouts)
+        self.directions = directions
+        self._rng = rng or np.random.default_rng()
+        self.index = AdjacencyIndex(graph, directions=directions)
+        self.index_builds = 1
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.fanouts)
+
+    def set_graph(self, graph: Graph) -> None:
+        """Rebuild the adjacency index after a partition swap (Steps A-D)."""
+        self.index = AdjacencyIndex(graph, directions=self.directions)
+        self.index_builds += 1
+
+    def sample(self, target_nodes: np.ndarray) -> DenseBatch:
+        """Build the DENSE structure for a batch of target nodes."""
+        batch = build_dense(target_nodes, self.fanouts, self.index, rng=self._rng)
+        batch.compute_repr_map()
+        return batch
+
+    def sample_no_neighbors(self, target_nodes: np.ndarray) -> DenseBatch:
+        """Zero-layer batch (decoder-only models, e.g. DistMult in Table 8)."""
+        return build_dense(target_nodes, [], self.index, rng=self._rng)

@@ -1,0 +1,27 @@
+"""Graph substrate: edge lists, adjacency indexes, partitioning, datasets."""
+
+from .csr import AdjacencyIndex
+from .datasets import (DatasetStats, LinkPredictionDataset,
+                       NodeClassificationDataset, PAPER_DATASETS,
+                       load_fb15k237, load_freebase86m_mini,
+                       load_livejournal_mini, load_mag240m_mini,
+                       load_papers100m_mini, load_wikikg90m_mini, paper_stats)
+from .edge_list import EdgeSplit, Graph, split_edges
+from .generators import (chain_graph, citation_graph, erdos_renyi_graph,
+                         power_law_graph, star_graph)
+from .partition import EdgeBuckets, LogicalGrouping, PartitionScheme
+from .preprocess import (deduplicate_edges, degree_order, densify_ids,
+                         export_tsv, import_tsv, shuffle_node_ids)
+
+__all__ = [
+    "Graph", "EdgeSplit", "split_edges", "AdjacencyIndex",
+    "PartitionScheme", "EdgeBuckets", "LogicalGrouping",
+    "power_law_graph", "citation_graph", "erdos_renyi_graph",
+    "chain_graph", "star_graph",
+    "DatasetStats", "PAPER_DATASETS", "paper_stats",
+    "LinkPredictionDataset", "NodeClassificationDataset",
+    "load_fb15k237", "load_freebase86m_mini", "load_wikikg90m_mini",
+    "load_papers100m_mini", "load_mag240m_mini", "load_livejournal_mini",
+    "densify_ids", "shuffle_node_ids", "deduplicate_edges", "degree_order",
+    "export_tsv", "import_tsv",
+]

@@ -1,0 +1,176 @@
+"""Dual-sorted adjacency index for one-hop neighbor sampling.
+
+Section 4.1 of the paper: MariusGNN stores *two sorted versions of the
+in-memory edge list* — one sorted by source node ID (for outgoing neighbors)
+and one sorted by destination node ID (for incoming neighbors) — plus a
+per-node offset array into each. :class:`AdjacencyIndex` is that structure.
+
+Sampling ``f`` neighbors for a batch of nodes is fully vectorized, standing in
+for the paper's multi-threaded CPU sampler: nodes whose degree is at most
+``f`` copy their whole neighbor run; higher-degree nodes draw ``f`` random
+positions. By default draws are with replacement (like DGL's
+``replace=True`` mode — duplicates within a node's sample are legal and act as
+sampling weights); exact without-replacement sampling is available via
+``replace=False`` at the cost of a per-node loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .edge_list import Graph
+
+
+@dataclass
+class _SortedEdges:
+    """One sorted view of the edge list with per-node offsets."""
+
+    offsets: np.ndarray      # (num_nodes + 1,) start of each node's run
+    neighbors: np.ndarray    # other endpoint of each edge in sorted order
+
+
+def _build_sorted(keys: np.ndarray, values: np.ndarray, num_nodes: int) -> _SortedEdges:
+    order = np.argsort(keys, kind="stable")
+    counts = np.bincount(keys, minlength=num_nodes)
+    offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return _SortedEdges(offsets=offsets, neighbors=values[order])
+
+
+def _run_gather_index(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices covering runs ``[starts[i], starts[i]+counts[i])``, concatenated."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    run_bases = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - run_bases, counts)
+
+
+class AdjacencyIndex:
+    """Dual-sorted edge list supporting vectorized one-hop sampling.
+
+    Parameters
+    ----------
+    graph:
+        The (sub)graph currently in memory.
+    directions:
+        ``"out"``, ``"in"``, or ``"both"`` — which neighbor direction(s) a
+        one-hop sample draws from. The paper samples incoming and outgoing
+        edges for GraphSage and incoming only for GAT (Section 7.1).
+    """
+
+    def __init__(self, graph: Graph, directions: str = "both") -> None:
+        if directions not in ("out", "in", "both"):
+            raise ValueError(f"directions must be out/in/both, got {directions!r}")
+        self.graph = graph
+        self.directions = directions
+        self.num_nodes = graph.num_nodes
+        self._views = []
+        if directions in ("out", "both"):
+            self._views.append(_build_sorted(graph.src, graph.dst, graph.num_nodes))
+        if directions in ("in", "both"):
+            self._views.append(_build_sorted(graph.dst, graph.src, graph.num_nodes))
+        # Virtual concatenated neighbor array: per node, out-run then in-run.
+        self._deg_per_view = [v.offsets[1:] - v.offsets[:-1] for v in self._views]
+        self._total_deg = sum(self._deg_per_view)
+
+    # ------------------------------------------------------------------
+    def degrees(self, nodes: np.ndarray) -> np.ndarray:
+        """Total sampleable degree of ``nodes`` under the configured directions."""
+        return self._total_deg[np.asarray(nodes, dtype=np.int64)]
+
+    def memory_bytes(self) -> int:
+        """Bytes used by the sorted edge copies (the 2x edge factor in Section 6)."""
+        return int(sum(v.offsets.nbytes + v.neighbors.nbytes for v in self._views))
+
+    def neighbors_of(self, node: int) -> np.ndarray:
+        """All neighbors of one node (out-run then in-run)."""
+        parts = [v.neighbors[v.offsets[node] : v.offsets[node + 1]] for v in self._views]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def sample_one_hop(
+        self,
+        nodes: np.ndarray,
+        fanout: int,
+        rng: Optional[np.random.Generator] = None,
+        replace: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample up to ``fanout`` neighbors for each node in ``nodes``.
+
+        Returns ``(nbrs, offsets)``: the flat neighbor array and per-node start
+        offsets — the paper's ``oneHopSample`` (Algorithm 1 line 4). A node
+        with more than ``fanout`` neighbors gets exactly ``fanout`` draws; a
+        node with fewer gets all of them. ``fanout <= 0`` means "all
+        neighbors".
+        """
+        rng = rng or np.random.default_rng()
+        nodes = np.asarray(nodes, dtype=np.int64)
+        n = len(nodes)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+        deg = self._total_deg[nodes]
+        take = deg if fanout <= 0 else np.minimum(deg, fanout)
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(take[:-1], out=offsets[1:])
+        nbrs = np.empty(int(take.sum()), dtype=np.int64)
+
+        full = take == deg  # nodes contributing their whole neighbor run
+        if full.any():
+            self._copy_full(nodes[full], offsets[full], nbrs)
+        partial = ~full
+        if partial.any():
+            self._sample_partial(nodes[partial], offsets[partial], int(fanout),
+                                 nbrs, rng, replace)
+        return nbrs, offsets
+
+    # ------------------------------------------------------------------
+    def _copy_full(self, nodes: np.ndarray, out_pos: np.ndarray, out: np.ndarray) -> None:
+        """Copy every neighbor of ``nodes`` into ``out`` at ``out_pos`` (run-major)."""
+        cursor = out_pos.astype(np.int64).copy()
+        for view, view_deg in zip(self._views, self._deg_per_view):
+            starts = view.offsets[nodes]
+            counts = view_deg[nodes]
+            src_index = _run_gather_index(starts, counts)
+            dst_index = _run_gather_index(cursor, counts)
+            out[dst_index] = view.neighbors[src_index]
+            cursor += counts
+
+    def _sample_partial(self, nodes: np.ndarray, out_pos: np.ndarray, fanout: int,
+                        out: np.ndarray, rng: np.random.Generator, replace: bool) -> None:
+        """Sample exactly ``fanout`` positions for nodes with degree > fanout."""
+        deg = self._total_deg[nodes]
+        if replace:
+            draws = np.floor(rng.random((len(nodes), fanout)) * deg[:, None]).astype(np.int64)
+            np.minimum(draws, deg[:, None] - 1, out=draws)
+        else:
+            draws = np.empty((len(nodes), fanout), dtype=np.int64)
+            for i, d in enumerate(deg):
+                draws[i] = rng.choice(int(d), size=fanout, replace=False)
+        values = self._positions_to_neighbors(nodes, draws)
+        dest = out_pos[:, None] + np.arange(fanout, dtype=np.int64)[None, :]
+        out[dest.ravel()] = values.ravel()
+
+    def _positions_to_neighbors(self, nodes: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Map virtual neighbor positions (out-run then in-run) to node IDs."""
+        values = np.empty_like(positions)
+        base = np.zeros(len(nodes), dtype=np.int64)
+        remaining = np.ones(positions.shape, dtype=bool)
+        for view, view_deg in zip(self._views, self._deg_per_view):
+            counts = view_deg[nodes]
+            local = positions - base[:, None]
+            in_view = remaining & (local < counts[:, None]) & (local >= 0)
+            if in_view.any():
+                rows, cols = np.nonzero(in_view)
+                values[rows, cols] = view.neighbors[
+                    view.offsets[nodes[rows]] + positions[rows, cols] - base[rows]
+                ]
+            remaining &= ~in_view
+            base += counts
+        if remaining.any():
+            raise IndexError("neighbor position out of range")
+        return values

@@ -1,0 +1,149 @@
+"""Graph container: an edge list with optional relation types and features.
+
+MariusGNN represents a graph as an edge list (Section 3). :class:`Graph` is
+the in-memory form used by samplers and trainers; the disk-backed partitioned
+form lives in :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Graph:
+    """A directed (multi-)graph stored as an edge list.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes; node IDs are dense integers ``[0, num_nodes)``.
+    src, dst:
+        Parallel int64 arrays of edge endpoints.
+    rel:
+        Optional parallel int64 array of relation/edge types (knowledge
+        graphs); ``None`` for homogeneous graphs.
+    num_relations:
+        Count of distinct relation types (1 when ``rel is None``).
+    node_features:
+        Optional fixed base representations, shape ``(num_nodes, feat_dim)``.
+    node_labels:
+        Optional integer class labels for node classification; ``-1`` marks
+        unlabeled nodes.
+    """
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    rel: Optional[np.ndarray] = None
+    num_relations: int = 1
+    node_features: Optional[np.ndarray] = None
+    node_labels: Optional[np.ndarray] = None
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        if self.rel is not None:
+            self.rel = np.asarray(self.rel, dtype=np.int64)
+            if self.rel.shape != self.src.shape:
+                raise ValueError("rel must align with src/dst")
+            if len(self.rel) and self.num_relations <= int(self.rel.max()):
+                self.num_relations = int(self.rel.max()) + 1
+        if len(self.src):
+            if int(self.src.max()) >= self.num_nodes or int(self.dst.max()) >= self.num_nodes:
+                raise ValueError("edge endpoint exceeds num_nodes")
+            if int(self.src.min()) < 0 or int(self.dst.min()) < 0:
+                raise ValueError("negative node id in edge list")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def edges(self) -> np.ndarray:
+        """Return edges as an ``(E, 2)`` or ``(E, 3)`` array (src[, rel], dst)."""
+        if self.rel is None:
+            return np.stack([self.src, self.dst], axis=1)
+        return np.stack([self.src, self.rel, self.dst], axis=1)
+
+    def subgraph_edges(self, node_mask: np.ndarray) -> "Graph":
+        """Edges whose *both* endpoints satisfy ``node_mask`` (IDs unchanged).
+
+        This is how the storage layer exposes the in-buffer subgraph: node IDs
+        stay global, only the edge set shrinks (Section 3: sampling is
+        performed only over graph nodes and edges in main memory).
+        """
+        keep = node_mask[self.src] & node_mask[self.dst]
+        return Graph(
+            num_nodes=self.num_nodes,
+            src=self.src[keep],
+            dst=self.dst[keep],
+            rel=self.rel[keep] if self.rel is not None else None,
+            num_relations=self.num_relations,
+            node_features=self.node_features,
+            node_labels=self.node_labels,
+            name=f"{self.name}-sub",
+        )
+
+    def degree_out(self) -> np.ndarray:
+        return np.bincount(self.src, minlength=self.num_nodes)
+
+    def degree_in(self) -> np.ndarray:
+        return np.bincount(self.dst, minlength=self.num_nodes)
+
+    def memory_bytes(self, feat_dim: Optional[int] = None) -> dict:
+        """Storage accounting in bytes, mirroring the paper's Table 1 columns."""
+        if feat_dim is None:
+            feat_dim = self.node_features.shape[1] if self.node_features is not None else 0
+        bytes_per_edge = 8 * (3 if self.rel is not None else 2)
+        edges = self.num_edges * bytes_per_edge
+        feats = self.num_nodes * feat_dim * 4
+        return {"edges": edges, "features": feats, "total": edges + feats}
+
+    def with_reversed_edges(self) -> "Graph":
+        """Union of the graph with its reverse (for undirected treatment)."""
+        rel = None
+        if self.rel is not None:
+            rel = np.concatenate([self.rel, self.rel])
+        return Graph(
+            num_nodes=self.num_nodes,
+            src=np.concatenate([self.src, self.dst]),
+            dst=np.concatenate([self.dst, self.src]),
+            rel=rel,
+            num_relations=self.num_relations,
+            node_features=self.node_features,
+            node_labels=self.node_labels,
+            name=f"{self.name}-sym",
+        )
+
+
+@dataclass
+class EdgeSplit:
+    """Train/valid/test edge split for link prediction."""
+
+    train: np.ndarray  # (E, 2) or (E, 3) arrays, columns (src[, rel], dst)
+    valid: np.ndarray
+    test: np.ndarray
+
+    @property
+    def has_relations(self) -> bool:
+        return self.train.shape[1] == 3
+
+
+def split_edges(graph: Graph, valid_fraction: float = 0.05, test_fraction: float = 0.05,
+                rng: Optional[np.random.Generator] = None) -> EdgeSplit:
+    """Randomly split a graph's edges into train/valid/test sets."""
+    rng = rng or np.random.default_rng(0)
+    edges = graph.edges()
+    perm = rng.permutation(len(edges))
+    n_valid = int(len(edges) * valid_fraction)
+    n_test = int(len(edges) * test_fraction)
+    valid_idx = perm[:n_valid]
+    test_idx = perm[n_valid : n_valid + n_test]
+    train_idx = perm[n_valid + n_test :]
+    return EdgeSplit(train=edges[train_idx], valid=edges[valid_idx], test=edges[test_idx])

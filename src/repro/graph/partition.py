@@ -1,0 +1,196 @@
+"""Node partitioning and edge buckets (paper Section 3).
+
+The node ID space is split into ``p`` *physical partitions* of (near-)equal
+size; edge bucket ``(i, j)`` holds every edge with source in partition ``i``
+and destination in partition ``j``. Base representations are stored
+sequentially per partition so a partition is one contiguous disk read, and
+each edge bucket is stored sequentially so it is also one contiguous read.
+
+COMET adds a second level: physical partitions are randomly grouped into
+``l`` *logical partitions* at the start of every epoch, without moving any
+data — only an in-memory mapping is kept (:class:`LogicalGrouping`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .edge_list import Graph
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """Assignment of node IDs to ``p`` physical partitions.
+
+    ``boundaries[i]`` is the first node ID of partition ``i``;
+    partition ``i`` covers ``[boundaries[i], boundaries[i+1])``. Nodes are
+    assigned by contiguous ID range — datasets shuffle node IDs at
+    construction when random partitioning is wanted, and the node
+    classification policy instead places training nodes in the first
+    partitions (Section 5.2).
+    """
+
+    num_nodes: int
+    num_partitions: int
+    boundaries: np.ndarray  # (p + 1,)
+
+    @staticmethod
+    def uniform(num_nodes: int, num_partitions: int) -> "PartitionScheme":
+        """Equal-size contiguous partitions (last may be smaller)."""
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if num_partitions > num_nodes:
+            raise ValueError(
+                f"more partitions ({num_partitions}) than nodes ({num_nodes})"
+            )
+        bounds = np.linspace(0, num_nodes, num_partitions + 1).round().astype(np.int64)
+        return PartitionScheme(num_nodes, num_partitions, bounds)
+
+    def partition_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Physical partition ID of each node."""
+        return np.searchsorted(self.boundaries, np.asarray(nodes), side="right") - 1
+
+    def partition_size(self, part: int) -> int:
+        return int(self.boundaries[part + 1] - self.boundaries[part])
+
+    def partition_nodes(self, part: int) -> np.ndarray:
+        return np.arange(self.boundaries[part], self.boundaries[part + 1], dtype=np.int64)
+
+    def sizes(self) -> np.ndarray:
+        return np.diff(self.boundaries)
+
+
+class EdgeBuckets:
+    """Edges grouped by (source partition, destination partition).
+
+    Edges within each bucket are stored contiguously (sorted bucket-major), as
+    on disk in MariusGNN; :meth:`bucket_edges` is a contiguous slice.
+    """
+
+    def __init__(self, graph: Graph, scheme: PartitionScheme) -> None:
+        self.scheme = scheme
+        self.num_relations = graph.num_relations
+        p = scheme.num_partitions
+        src_part = scheme.partition_of(graph.src)
+        dst_part = scheme.partition_of(graph.dst)
+        bucket_id = src_part * p + dst_part
+        order = np.argsort(bucket_id, kind="stable")
+        self.src = graph.src[order]
+        self.dst = graph.dst[order]
+        self.rel = graph.rel[order] if graph.rel is not None else None
+        counts = np.bincount(bucket_id, minlength=p * p)
+        self.bucket_offsets = np.zeros(p * p + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.bucket_offsets[1:])
+
+    @property
+    def num_partitions(self) -> int:
+        return self.scheme.num_partitions
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def bucket_slice(self, i: int, j: int) -> slice:
+        p = self.num_partitions
+        b = i * p + j
+        return slice(int(self.bucket_offsets[b]), int(self.bucket_offsets[b + 1]))
+
+    def bucket_size(self, i: int, j: int) -> int:
+        s = self.bucket_slice(i, j)
+        return s.stop - s.start
+
+    def bucket_edges(self, i: int, j: int) -> np.ndarray:
+        """Edges of bucket (i, j) as an (n, 2) or (n, 3) array."""
+        s = self.bucket_slice(i, j)
+        if self.rel is None:
+            return np.stack([self.src[s], self.dst[s]], axis=1)
+        return np.stack([self.src[s], self.rel[s], self.dst[s]], axis=1)
+
+    def buckets_edges(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Concatenate the edges of several buckets."""
+        parts = [self.bucket_edges(i, j) for i, j in pairs]
+        width = 2 if self.rel is None else 3
+        if not parts:
+            return np.empty((0, width), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
+
+    def subgraph_for_partitions(self, partitions: Sequence[int]) -> Graph:
+        """In-memory subgraph induced by all pairwise buckets of ``partitions``.
+
+        This is the graph visible to the sampler when those partitions are in
+        the buffer (the c^2 in-memory edge buckets of Section 3).
+        """
+        pairs = [(i, j) for i in partitions for j in partitions]
+        edges = self.buckets_edges(pairs)
+        return Graph(
+            num_nodes=self.scheme.num_nodes,
+            src=edges[:, 0],
+            dst=edges[:, -1],
+            rel=edges[:, 1] if edges.shape[1] == 3 else None,
+            num_relations=self.num_relations,
+        )
+
+    def bucket_bytes(self, i: int, j: int) -> int:
+        width = 2 if self.rel is None else 3
+        return self.bucket_size(i, j) * width * 8
+
+
+@dataclass
+class LogicalGrouping:
+    """Random grouping of physical partitions into logical partitions.
+
+    Built once per epoch (paper Section 3): ``members[g]`` lists the physical
+    partitions of logical partition ``g``. Grouping moves no data.
+    """
+
+    members: List[np.ndarray]
+
+    @staticmethod
+    def random(num_physical: int, num_logical: int,
+               rng: Optional[np.random.Generator] = None) -> "LogicalGrouping":
+        if num_logical <= 0 or num_logical > num_physical:
+            raise ValueError(
+                f"need 1 <= l <= p, got l={num_logical}, p={num_physical}"
+            )
+        if num_physical % num_logical != 0:
+            raise ValueError(
+                f"p must be divisible by l for equal logical partitions "
+                f"(p={num_physical}, l={num_logical})"
+            )
+        rng = rng or np.random.default_rng()
+        perm = rng.permutation(num_physical)
+        group_size = num_physical // num_logical
+        members = [np.sort(perm[g * group_size : (g + 1) * group_size])
+                   for g in range(num_logical)]
+        return LogicalGrouping(members=members)
+
+    @staticmethod
+    def identity(num_physical: int) -> "LogicalGrouping":
+        """One physical partition per logical partition (BETA's view)."""
+        return LogicalGrouping(members=[np.array([i], dtype=np.int64)
+                                        for i in range(num_physical)])
+
+    @property
+    def num_logical(self) -> int:
+        return len(self.members)
+
+    @property
+    def group_size(self) -> int:
+        return len(self.members[0])
+
+    def physical_of(self, logical_ids: Sequence[int]) -> List[int]:
+        """Flatten logical partition IDs to their physical members."""
+        out: List[int] = []
+        for g in logical_ids:
+            out.extend(int(x) for x in self.members[g])
+        return out
+
+    def logical_of_physical(self) -> Dict[int, int]:
+        mapping: Dict[int, int] = {}
+        for g, phys in enumerate(self.members):
+            for p in phys:
+                mapping[int(p)] = g
+        return mapping

@@ -1,0 +1,128 @@
+"""Graph preprocessing utilities: the dataset-ingestion path of MariusGNN.
+
+The original system's preprocessing converts raw edge files into its on-disk
+layout: dense node/relation IDs, shuffled node order (so contiguous
+partitions act as random partitions), deduplicated edges. These helpers
+provide the same pipeline for external data plus TSV import/export.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .edge_list import Graph
+
+
+def densify_ids(src: np.ndarray, dst: np.ndarray,
+                rel: Optional[np.ndarray] = None
+                ) -> Tuple[Graph, np.ndarray, Optional[np.ndarray]]:
+    """Map arbitrary integer IDs to dense ``[0, n)`` IDs.
+
+    Returns ``(graph, node_id_map, rel_id_map)`` where ``node_id_map[i]`` is
+    the original ID of dense node ``i`` (and likewise for relations).
+    """
+    nodes = np.unique(np.concatenate([src, dst]))
+    lookup = {int(v): i for i, v in enumerate(nodes)}
+    new_src = np.fromiter((lookup[int(v)] for v in src), dtype=np.int64,
+                          count=len(src))
+    new_dst = np.fromiter((lookup[int(v)] for v in dst), dtype=np.int64,
+                          count=len(dst))
+    rel_map = None
+    new_rel = None
+    if rel is not None:
+        rel_map = np.unique(rel)
+        rel_lookup = {int(v): i for i, v in enumerate(rel_map)}
+        new_rel = np.fromiter((rel_lookup[int(v)] for v in rel), dtype=np.int64,
+                              count=len(rel))
+    graph = Graph(num_nodes=len(nodes), src=new_src, dst=new_dst, rel=new_rel)
+    return graph, nodes, rel_map
+
+
+def shuffle_node_ids(graph: Graph, seed: int = 0) -> Tuple[Graph, np.ndarray]:
+    """Randomly permute node IDs (contiguous partitions become random ones).
+
+    Returns ``(new_graph, old_to_new)``. Features/labels are permuted along.
+    """
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(graph.num_nodes)      # old id -> new id
+    new_graph = Graph(
+        num_nodes=graph.num_nodes,
+        src=perm[graph.src],
+        dst=perm[graph.dst],
+        rel=graph.rel,
+        num_relations=graph.num_relations,
+        node_features=(None if graph.node_features is None
+                       else graph.node_features[np.argsort(perm)]),
+        node_labels=(None if graph.node_labels is None
+                     else graph.node_labels[np.argsort(perm)]),
+        name=f"{graph.name}-shuffled",
+    )
+    return new_graph, perm
+
+
+def deduplicate_edges(graph: Graph) -> Graph:
+    """Drop duplicate (src[, rel], dst) edges, keeping the first occurrence."""
+    edges = graph.edges()
+    _, keep = np.unique(edges, axis=0, return_index=True)
+    keep = np.sort(keep)
+    return Graph(
+        num_nodes=graph.num_nodes,
+        src=graph.src[keep],
+        dst=graph.dst[keep],
+        rel=graph.rel[keep] if graph.rel is not None else None,
+        num_relations=graph.num_relations,
+        node_features=graph.node_features,
+        node_labels=graph.node_labels,
+        name=f"{graph.name}-dedup",
+    )
+
+
+def degree_order(graph: Graph, descending: bool = True) -> Tuple[Graph, np.ndarray]:
+    """Renumber nodes by total degree (hot nodes first).
+
+    Useful with the node-cache idea: high-degree nodes land in the first
+    partitions, so pinning those partitions keeps the hottest base
+    representations resident. Returns ``(new_graph, old_to_new)``.
+    """
+    degree = graph.degree_in() + graph.degree_out()
+    order = np.argsort(-degree if descending else degree, kind="stable")
+    old_to_new = np.empty(graph.num_nodes, dtype=np.int64)
+    old_to_new[order] = np.arange(graph.num_nodes)
+    new_graph = Graph(
+        num_nodes=graph.num_nodes,
+        src=old_to_new[graph.src],
+        dst=old_to_new[graph.dst],
+        rel=graph.rel,
+        num_relations=graph.num_relations,
+        node_features=(None if graph.node_features is None
+                       else graph.node_features[order]),
+        node_labels=(None if graph.node_labels is None
+                     else graph.node_labels[order]),
+        name=f"{graph.name}-degsorted",
+    )
+    return new_graph, old_to_new
+
+
+def export_tsv(graph: Graph, path: Path) -> Path:
+    """Write the edge list as TSV: ``src[\\trel]\\tdst`` per line."""
+    path = Path(path)
+    edges = graph.edges()
+    np.savetxt(path, edges, fmt="%d", delimiter="\t")
+    return path
+
+
+def import_tsv(path: Path, has_relations: Optional[bool] = None) -> Graph:
+    """Read an edge-list TSV (2 or 3 integer columns) into a dense Graph."""
+    raw = np.loadtxt(Path(path), dtype=np.int64, delimiter="\t", ndmin=2)
+    if raw.shape[1] not in (2, 3):
+        raise ValueError(f"expected 2 or 3 columns, got {raw.shape[1]}")
+    if has_relations is None:
+        has_relations = raw.shape[1] == 3
+    if has_relations and raw.shape[1] != 3:
+        raise ValueError("has_relations=True needs a 3-column file")
+    rel = raw[:, 1] if has_relations else None
+    graph, _, _ = densify_ids(raw[:, 0], raw[:, -1], rel)
+    return graph

@@ -1,0 +1,29 @@
+"""NumPy neural-network substrate: autograd tensors, GNN layers, optimizers.
+
+This package replaces the PyTorch dependency of the original MariusGNN with a
+self-contained reverse-mode autodiff engine exposing the dense kernel set
+(Algorithm 3 of the paper): gather (``index_select``), ``segment_sum`` /
+``segment_softmax``, and matmul.
+"""
+
+from . import functional
+from .decoders import (ClassificationHead, ComplExDecoder, DistMult,
+                       DotProduct, TransE, make_decoder)
+from .init import glorot_uniform, kaiming_uniform, uniform_embedding, zeros_init
+from .layers import (DenseLayerView, GATLayer, GCNLayer, GINLayer,
+                     GraphSageLayer, Linear, PoolGraphSageLayer, make_layer)
+from .loss import bce_with_logits, link_prediction_loss, softmax_cross_entropy
+from .module import Module, ModuleList
+from .optim import SGD, Adagrad, Adam, Optimizer, RowAdagrad, make_optimizer
+from .tensor import Tensor, concat, no_grad, ones, tensor, zeros
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "concat", "no_grad",
+    "Module", "ModuleList", "functional",
+    "Linear", "GraphSageLayer", "PoolGraphSageLayer", "GCNLayer", "GATLayer",
+    "GINLayer", "DenseLayerView", "make_layer",
+    "DistMult", "DotProduct", "ComplExDecoder", "TransE", "ClassificationHead", "make_decoder",
+    "softmax_cross_entropy", "link_prediction_loss", "bce_with_logits",
+    "SGD", "Adagrad", "Adam", "RowAdagrad", "Optimizer", "make_optimizer",
+    "glorot_uniform", "kaiming_uniform", "uniform_embedding", "zeros_init",
+]

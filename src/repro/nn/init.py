@@ -1,0 +1,38 @@
+"""Parameter initializers (Glorot/Kaiming/uniform) used across the GNN stack."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Glorot/Xavier uniform initialization, the default for GNN weight matrices."""
+    rng = rng or np.random.default_rng()
+    fan_in = shape[0] if len(shape) > 1 else shape[0]
+    fan_out = shape[1] if len(shape) > 1 else shape[0]
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return Tensor(rng.uniform(-limit, limit, size=shape).astype(np.float32))
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> Tensor:
+    rng = rng or np.random.default_rng()
+    fan_in = shape[0]
+    limit = float(np.sqrt(3.0 / fan_in))
+    return Tensor(rng.uniform(-limit, limit, size=shape).astype(np.float32))
+
+
+def uniform_embedding(shape: Tuple[int, ...], scale: Optional[float] = None,
+                      rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Uniform init for embedding tables; default scale matches Marius (1/dim)."""
+    rng = rng or np.random.default_rng()
+    if scale is None:
+        scale = 1.0 / shape[-1]
+    return Tensor(rng.uniform(-scale, scale, size=shape).astype(np.float32))
+
+
+def zeros_init(shape: Tuple[int, ...]) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32))

@@ -1,0 +1,59 @@
+"""Loss functions for node classification and link prediction training.
+
+Link prediction follows the Marius/DGL-KE formulation: every positive edge is
+scored against a pool of negative destination (and optionally source) nodes,
+and the loss is softmax cross entropy with the positive in class 0 — i.e. a
+ranking loss over ``1 + num_negatives`` candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, concat
+
+__all__ = ["softmax_cross_entropy", "link_prediction_loss", "bce_with_logits"]
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross entropy over integer class targets."""
+    return F.cross_entropy(logits, targets)
+
+
+def link_prediction_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Ranking loss: positive edge vs. its negative candidates.
+
+    Parameters
+    ----------
+    pos_scores:
+        Shape ``(batch,)`` — score of each true edge.
+    neg_scores:
+        Shape ``(batch, num_negatives)`` — scores against negative candidates.
+    """
+    batch = pos_scores.data.shape[0]
+    logits = concat([pos_scores.reshape(batch, 1), neg_scores], axis=1)
+    targets = np.zeros(batch, dtype=np.int64)
+    return F.cross_entropy(logits, targets)
+
+
+def _softplus(x: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))`` with exact gradient (sigmoid)."""
+    out_data = np.logaddexp(0.0, x.data).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 / (1.0 + np.exp(-x.data))))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def bce_with_logits(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Numerically stable binary cross entropy on raw scores.
+
+    Uses the identity ``BCE(x, y) = softplus(x) - x * y`` (mean reduction).
+    """
+    labels_t = Tensor(np.asarray(labels, dtype=np.float32))
+    return (_softplus(logits) - logits * labels_t).mean()

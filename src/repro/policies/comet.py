@@ -1,0 +1,108 @@
+"""COMET — COrrelation Minimizing Edge Traversal (paper Section 5.1).
+
+COMET keeps the near-minimal IO of one-swap greedy orderings but breaks the
+training-example correlation that hurts GNN accuracy, via two mechanisms:
+
+1. **Two-level partitioning** — physical partitions on disk are randomly
+   grouped into logical partitions at the start of every epoch (no data
+   movement); the greedy one-swap schedule runs over *logical* partitions, so
+   small physical partitions (less node co-location across epochs) coexist
+   with large transfer units (high turnover per swap).
+2. **Randomized deferred processing** — each edge bucket (i, j) is assigned
+   to one partition set chosen *uniformly at random* among all sets where
+   both partitions are resident, instead of the first one. This shuffles the
+   example order and balances ``|X_i|`` across steps (in expectation equal),
+   which keeps the prefetch pipeline busy end-to-end (Section 7.5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.partition import LogicalGrouping
+from .base import EpochPlan, EpochStep, PartitionPolicy, greedy_one_swap_cover
+
+
+class CometPolicy(PartitionPolicy):
+    """Two-level randomized replacement policy for link prediction.
+
+    Parameters
+    ----------
+    num_physical:
+        Physical partition count ``p``.
+    num_logical:
+        Logical partition count ``l`` (must divide ``p``).
+    buffer_capacity:
+        Buffer capacity ``c`` in *physical* partitions. COMET requires
+        ``p / c == l / c_l`` with ``c_l = c * l / p >= 2`` logical partitions
+        in the buffer (Section 6).
+    """
+
+    name = "comet"
+
+    def __init__(self, num_physical: int, num_logical: int, buffer_capacity: int) -> None:
+        if num_physical % num_logical != 0:
+            raise ValueError(f"l must divide p (p={num_physical}, l={num_logical})")
+        group_size = num_physical // num_logical
+        if buffer_capacity % group_size != 0:
+            raise ValueError(
+                f"buffer capacity {buffer_capacity} must be a multiple of the "
+                f"logical group size {group_size}"
+            )
+        logical_capacity = buffer_capacity // group_size
+        if logical_capacity < 2:
+            raise ValueError(
+                f"COMET requires at least 2 logical partitions in the buffer, "
+                f"got c_l={logical_capacity} (c={buffer_capacity}, p/l={group_size})"
+            )
+        self.num_physical = num_physical
+        self.num_logical = num_logical
+        self.buffer_capacity = buffer_capacity
+        self.logical_capacity = logical_capacity
+        self.group_size = group_size
+        self.last_grouping: Optional[LogicalGrouping] = None
+
+    # ------------------------------------------------------------------
+    def plan_epoch(self, epoch: int,
+                   rng: Optional[np.random.Generator] = None) -> EpochPlan:
+        rng = rng or np.random.default_rng(epoch)
+        # Mechanism 1: fresh random logical grouping, greedy schedule over it.
+        grouping = LogicalGrouping.random(self.num_physical, self.num_logical, rng=rng)
+        self.last_grouping = grouping
+        logical_sets = greedy_one_swap_cover(self.num_logical, self.logical_capacity,
+                                             rng=rng, randomize_start=True)
+
+        # Which steps hold each physical pair (for deferred assignment).
+        phys_sets: List[List[int]] = [sorted(grouping.physical_of(s)) for s in logical_sets]
+        pair_steps: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for step_idx, parts in enumerate(phys_sets):
+            for i in parts:
+                for j in parts:
+                    pair_steps[(i, j)].append(step_idx)
+
+        # Mechanism 2: each ordered bucket goes to one uniformly random
+        # eligible step (deferred processing).
+        step_buckets: List[List[Tuple[int, int]]] = [[] for _ in phys_sets]
+        for i in range(self.num_physical):
+            for j in range(self.num_physical):
+                eligible = pair_steps[(i, j)]
+                if not eligible:
+                    raise AssertionError(
+                        f"bucket {(i, j)} never co-resident; schedule is incomplete"
+                    )
+                chosen = eligible[int(rng.integers(len(eligible)))]
+                step_buckets[chosen].append((i, j))
+
+        steps: List[EpochStep] = []
+        prev: set = set()
+        for parts, buckets in zip(phys_sets, step_buckets):
+            resident = set(parts)
+            admitted = sorted(resident - prev)
+            rng.shuffle(buckets)
+            steps.append(EpochStep(partitions=parts, buckets=buckets, admitted=admitted))
+            prev = resident
+        return EpochPlan(steps=steps, num_partitions=self.num_physical,
+                         buffer_capacity=self.buffer_capacity, policy=self.name)

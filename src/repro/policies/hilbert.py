@@ -1,0 +1,112 @@
+"""Hilbert-curve edge-bucket ordering — the PyTorch-BigGraph-style baseline.
+
+Before BETA, disk-based graph embedding systems (PBG; compared against in the
+Marius paper) iterated edge buckets along a space-filling curve over the
+(source-partition, destination-partition) grid: consecutive buckets share
+partitions, so swaps are cheap, but the traversal is *deterministic* and even
+more correlated than BETA's greedy order. Included as a third policy baseline
+for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .base import EpochPlan, EpochStep, PartitionPolicy
+
+
+def hilbert_d2xy(order: int, d: int) -> Tuple[int, int]:
+    """Map a distance ``d`` along a Hilbert curve of size ``2^order`` to (x, y)."""
+    rx = ry = 0
+    x = y = 0
+    t = d
+    s = 1
+    n = 1 << order
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # Rotate quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_bucket_order(num_partitions: int) -> List[Tuple[int, int]]:
+    """All ordered buckets of a p x p grid in Hilbert-curve order.
+
+    ``p`` is rounded up to a power of two internally; out-of-range cells are
+    skipped, so any ``p`` works.
+    """
+    order = max(1, int(np.ceil(np.log2(max(num_partitions, 2)))))
+    side = 1 << order
+    out: List[Tuple[int, int]] = []
+    for d in range(side * side):
+        x, y = hilbert_d2xy(order, d)
+        if x < num_partitions and y < num_partitions:
+            out.append((x, y))
+    return out
+
+
+class HilbertOrderingPolicy(PartitionPolicy):
+    """PBG-style epoch plan: buckets in Hilbert order, lazy partition swaps.
+
+    Walks the Hilbert bucket sequence; whenever the next bucket's partitions
+    are not resident, evicts the least-recently-needed partitions to make
+    room (a new step). Covers every ordered bucket exactly once.
+    """
+
+    name = "hilbert"
+
+    def __init__(self, num_partitions: int, buffer_capacity: int) -> None:
+        if buffer_capacity < 2:
+            raise ValueError("need a buffer of at least 2 partitions")
+        self.num_partitions = num_partitions
+        self.buffer_capacity = buffer_capacity
+
+    def plan_epoch(self, epoch: int,
+                   rng: Optional[np.random.Generator] = None) -> EpochPlan:
+        order = hilbert_bucket_order(self.num_partitions)
+        steps: List[EpochStep] = []
+        resident: List[int] = []
+        last_used = {}
+        current_buckets: List[Tuple[int, int]] = []
+        tick = 0
+
+        def flush(newly: List[int]) -> None:
+            nonlocal current_buckets
+            if current_buckets:
+                steps.append(EpochStep(partitions=sorted(resident),
+                                       buckets=current_buckets,
+                                       admitted=sorted(newly)))
+                current_buckets = []
+
+        pending_admits: List[int] = []
+        for (i, j) in order:
+            tick += 1
+            needed = {i, j}
+            missing = [q for q in needed if q not in resident]
+            if missing:
+                # Close the current step, swap, and start a new one.
+                flush(pending_admits)
+                pending_admits = []
+                for q in missing:
+                    if len(resident) >= self.buffer_capacity:
+                        evict = min(resident, key=lambda r: last_used.get(r, -1))
+                        resident.remove(evict)
+                    resident.append(q)
+                    pending_admits.append(q)
+            last_used[i] = tick
+            last_used[j] = tick
+            current_buckets.append((i, j))
+        flush(pending_admits)
+        return EpochPlan(steps=steps, num_partitions=self.num_partitions,
+                         buffer_capacity=self.buffer_capacity, policy=self.name)

@@ -1,0 +1,136 @@
+"""Disk-based node classification policy (paper Section 5.2).
+
+Training nodes are only 1-10% of large graphs, so MariusGNN assigns them
+sequentially to the first ``k`` physical partitions, pins those partitions in
+CPU memory for the whole epoch, and fills the remaining buffer slots with
+random partitions re-drawn at the start of every epoch. Zero partition swaps
+occur *within* an epoch; IO happens only between epochs.
+
+When the training nodes do not fit (``k >= c``), the fallback replaces a
+random resident partition with a random unseen one until all partitions have
+appeared (the paper's fallback; exercised in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.partition import PartitionScheme
+from .base import EpochPlan, EpochStep, PartitionPolicy
+
+
+@dataclass
+class NodeClassificationStep:
+    """One partition set plus the training nodes to process while resident."""
+
+    partitions: List[int]
+    train_nodes: np.ndarray
+    admitted: List[int]
+
+
+@dataclass
+class NodeClassificationPlan:
+    """Epoch plan for disk-based node classification."""
+
+    steps: List[NodeClassificationStep]
+    num_partitions: int
+    buffer_capacity: int
+    policy: str
+
+    @property
+    def total_partition_loads(self) -> int:
+        return sum(len(s.admitted) for s in self.steps)
+
+
+class TrainingNodeCachePolicy(PartitionPolicy):
+    """Static caching of training-node partitions (Section 5.2).
+
+    Parameters
+    ----------
+    num_partitions, buffer_capacity:
+        Physical partition count ``p`` and buffer capacity ``c``.
+    train_partitions:
+        The first ``k`` partitions that hold every training node (dataset
+        preprocessing places them there).
+    train_nodes:
+        Global IDs of the labeled training nodes.
+    scheme:
+        The partition scheme (needed by the fallback to locate each training
+        node's partition).
+    """
+
+    name = "node-cache"
+
+    def __init__(self, num_partitions: int, buffer_capacity: int,
+                 train_partitions: List[int], train_nodes: np.ndarray,
+                 scheme: Optional[PartitionScheme] = None) -> None:
+        self.num_partitions = num_partitions
+        self.buffer_capacity = buffer_capacity
+        self.train_partitions = sorted(train_partitions)
+        self.train_nodes = np.asarray(train_nodes, dtype=np.int64)
+        self.scheme = scheme
+        self.fits = len(self.train_partitions) < buffer_capacity
+
+    def plan_epoch(self, epoch: int,
+                   rng: Optional[np.random.Generator] = None) -> NodeClassificationPlan:
+        rng = rng or np.random.default_rng(epoch)
+        if self.fits:
+            return self._cached_plan(rng)
+        return self._fallback_plan(rng)
+
+    # ------------------------------------------------------------------
+    def _cached_plan(self, rng: np.random.Generator) -> NodeClassificationPlan:
+        """S = {S_0}: training partitions + c-k random others; zero intra-epoch IO."""
+        k = len(self.train_partitions)
+        others = [q for q in range(self.num_partitions) if q not in self.train_partitions]
+        fill = list(rng.permutation(others)[: self.buffer_capacity - k])
+        parts = sorted(self.train_partitions + [int(x) for x in fill])
+        step = NodeClassificationStep(partitions=parts,
+                                      train_nodes=self.train_nodes.copy(),
+                                      admitted=parts)
+        return NodeClassificationPlan(steps=[step], num_partitions=self.num_partitions,
+                                      buffer_capacity=self.buffer_capacity,
+                                      policy=self.name)
+
+    def _fallback_plan(self, rng: np.random.Generator) -> NodeClassificationPlan:
+        """k >= c fallback: random replacement until every partition has appeared.
+
+        Training nodes are processed at the first step where their partition
+        is resident.
+        """
+        if self.scheme is None:
+            raise ValueError("fallback plan requires the partition scheme")
+        train_parts = self.scheme.partition_of(self.train_nodes)
+        parts = list(int(x) for x in rng.permutation(self.num_partitions))
+        current = sorted(parts[: self.buffer_capacity])
+        pending = parts[self.buffer_capacity:]
+        steps: List[NodeClassificationStep] = []
+        processed: set = set()
+
+        def nodes_for(resident: List[int]) -> np.ndarray:
+            ready = [q for q in resident
+                     if q in self.train_partitions and q not in processed]
+            processed.update(ready)
+            if not ready:
+                return np.empty(0, dtype=np.int64)
+            return self.train_nodes[np.isin(train_parts, ready)]
+
+        steps.append(NodeClassificationStep(partitions=list(current),
+                                            train_nodes=nodes_for(current),
+                                            admitted=list(current)))
+        while pending:
+            evict = current[int(rng.integers(len(current)))]
+            admit = pending.pop()
+            current[current.index(evict)] = admit
+            resident = sorted(current)
+            steps.append(NodeClassificationStep(
+                partitions=resident,
+                train_nodes=nodes_for(resident),
+                admitted=[admit],
+            ))
+        return NodeClassificationPlan(steps=steps, num_partitions=self.num_partitions,
+                                      buffer_capacity=self.buffer_capacity,
+                                      policy=f"{self.name}-fallback")

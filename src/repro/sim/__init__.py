@@ -1,0 +1,26 @@
+"""Analytical performance/cost model (device profiles, workloads, tables)."""
+
+from .perf_model import (EpochEstimate, HyperlinkEstimate, estimate_epoch,
+                         hyperlink_stress_estimate, link_prediction_disk_io,
+                         mariusgnn_gpu_sampling_seconds,
+                         nextdoor_gpu_sampling_seconds,
+                         node_classification_disk_io)
+from .profiles import (DGL, INSTANCES, MARIUSGNN, P3_16XLARGE, P3_2XLARGE,
+                       P3_8XLARGE, PYG, InstanceSpec, SystemProfile,
+                       smallest_instance_fitting)
+from .tables import TableRow, table3_rows, table4_rows, table5_rows
+from .workload import (BatchWorkload, gat_flops, gnn_flops,
+                       measure_dense_workload, measure_layerwise_workload)
+
+__all__ = [
+    "InstanceSpec", "SystemProfile", "INSTANCES",
+    "P3_2XLARGE", "P3_8XLARGE", "P3_16XLARGE",
+    "MARIUSGNN", "DGL", "PYG", "smallest_instance_fitting",
+    "BatchWorkload", "measure_dense_workload", "measure_layerwise_workload",
+    "gnn_flops", "gat_flops",
+    "EpochEstimate", "estimate_epoch", "link_prediction_disk_io",
+    "node_classification_disk_io", "nextdoor_gpu_sampling_seconds",
+    "mariusgnn_gpu_sampling_seconds", "HyperlinkEstimate",
+    "hyperlink_stress_estimate",
+    "TableRow", "table3_rows", "table4_rows", "table5_rows",
+]

@@ -1,0 +1,217 @@
+"""Analytical epoch-time and cost model for the paper's wall-clock tables.
+
+Combines (a) operation counts measured from this repository's real samplers
+(:mod:`repro.sim.workload`), (b) system throughput constants calibrated from
+the paper's microbenchmarks (:mod:`repro.sim.profiles`), and (c) the paper's
+AWS instances, to predict per-epoch runtime and monetary cost for each
+(system, dataset, task) cell of Tables 3-5 and the stress test of §7.3.
+
+The pipeline structure mirrors Figure 2: per-batch time is the *bottleneck*
+of {CPU sampling, CPU<->GPU transfer, GPU compute} because MariusGNN (and the
+baselines' data loaders) overlap these stages; disk IO overlaps training via
+prefetching with the residual exposed when IO outweighs compute.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..graph.datasets import DatasetStats
+from .profiles import (InstanceSpec, SystemProfile, MARIUS_GPU_SAMPLE_EDGE_NS,
+                       MARIUS_GPU_SAMPLE_LAUNCH_S, NEXTDOOR_GPU_EDGE_NS,
+                       NEXTDOOR_LAUNCH_S)
+from .workload import BatchWorkload
+
+
+@dataclass
+class EpochEstimate:
+    """Predicted epoch breakdown for one system/dataset/instance cell."""
+
+    system: str
+    dataset: str
+    instance: str
+    num_gpus: int
+    num_batches: int
+    sample_seconds: float
+    transfer_seconds: float
+    compute_seconds: float
+    io_seconds: float
+    epoch_seconds: float
+    cost_per_epoch: float
+
+    @property
+    def epoch_minutes(self) -> float:
+        return self.epoch_seconds / 60.0
+
+    def row(self) -> str:
+        return (f"{self.system:<12} {self.dataset:<14} {self.instance:<12} "
+                f"{self.num_gpus}xGPU  epoch={self.epoch_minutes:8.2f} min  "
+                f"cost=${self.cost_per_epoch:7.2f}")
+
+
+def estimate_epoch(
+    system: SystemProfile,
+    stats: DatasetStats,
+    workload: BatchWorkload,
+    flops_per_batch: float,
+    instance: InstanceSpec,
+    num_examples: int,
+    embedding_dim: int,
+    num_gpus: int = 1,
+    learnable_embeddings: bool = True,
+    io_read_bytes: float = 0.0,
+    io_write_bytes: float = 0.0,
+    io_balanced: bool = True,
+    dataset_label: Optional[str] = None,
+    is_link_prediction: bool = False,
+) -> EpochEstimate:
+    """Predict one training epoch.
+
+    ``io_*_bytes`` are per-epoch disk traffic (zero for in-memory systems);
+    ``io_balanced`` says whether the policy spreads IO across the epoch
+    (COMET) or front-loads examples leaving tail IO exposed (BETA-like).
+    """
+    num_batches = max(1, math.ceil(num_examples / workload.batch_size))
+
+    sample_b = system.sampling_seconds(workload.edges_per_batch,
+                                       workload.dedup_nodes_per_batch,
+                                       instance.num_cpus)
+    if is_link_prediction:
+        # Link prediction batches pay the loader/negative-construction cost
+        # (baselines build per-edge subgraphs; Fig 7's per-batch latencies).
+        sample_b += system.lp_loader_overhead_s
+    bytes_up = workload.nodes_per_batch * embedding_dim * 4 + workload.edges_per_batch * 8
+    bytes_down = (workload.nodes_per_batch * embedding_dim * 4
+                  if learnable_embeddings else 0.0)
+    transfer_b = system.transfer_seconds(bytes_up + bytes_down)
+    compute_b = system.gpu_seconds(workload.edges_per_batch, flops_per_batch)
+
+    sample_total = sample_b * num_batches
+    transfer_total = transfer_b * num_batches
+    compute_total = compute_b * num_batches
+
+    # Multi-GPU data parallelism: the paper *measures* end-to-end sub-linear
+    # speedups (DGL 4-GPU = 1.4x, 8-GPU = 2.2x; PyG 4-GPU = 1.1x) and we apply
+    # them as such — the shared CPU sampler is why they are so far below linear.
+    speedup = system.speedup(num_gpus)
+    train_total = max(sample_total, transfer_total, compute_total) / speedup
+
+    io_time = (io_read_bytes + io_write_bytes) / (instance.disk_gbps * 1e9)
+    if io_time > 0:
+        if io_balanced:
+            epoch_s = max(train_total, io_time) + min(train_total, io_time) * 0.02
+        else:
+            # Front-loaded schedules expose IO once compute runs dry.
+            overlap = min(train_total * 0.5, io_time)
+            epoch_s = train_total + io_time - overlap
+    else:
+        epoch_s = train_total
+
+    return EpochEstimate(
+        system=system.name,
+        dataset=dataset_label or stats.name,
+        instance=instance.name,
+        num_gpus=num_gpus,
+        num_batches=num_batches,
+        sample_seconds=sample_total,
+        transfer_seconds=transfer_total,
+        compute_seconds=compute_total / speedup,
+        io_seconds=io_time,
+        epoch_seconds=epoch_s,
+        cost_per_epoch=epoch_s * instance.price_per_second,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Disk IO volume models (feed io_read/write_bytes above)
+# ---------------------------------------------------------------------------
+
+def link_prediction_disk_io(stats: DatasetStats, embedding_dim: int,
+                            partition_loads: int, num_partitions: int,
+                            state_factor: float = 2.0) -> float:
+    """Per-epoch disk reads for COMET/BETA link prediction.
+
+    Each partition load reads embeddings (+ optimizer state); every edge
+    bucket is read once; evicted dirty partitions are written back
+    (symmetric to reads, folded into the same total).
+    """
+    node_bytes = stats.num_nodes * embedding_dim * 4 * state_factor
+    partition_bytes = node_bytes / num_partitions
+    edge_bytes = stats.num_edges * (24 if stats.num_relations > 1 else 16)
+    reads = partition_loads * partition_bytes + edge_bytes
+    writes = partition_loads * partition_bytes  # write-back of dirty partitions
+    return reads + writes
+
+
+def node_classification_disk_io(stats: DatasetStats, feat_dim: int,
+                                buffer_capacity: int, num_partitions: int) -> float:
+    """Per-epoch reads for the training-node cache policy: one buffer fill.
+
+    Features are read-only (no write-back, no optimizer state); edges of the
+    resident buckets are read once per epoch.
+    """
+    node_bytes = stats.num_nodes * feat_dim * 4
+    partition_bytes = node_bytes / num_partitions
+    edge_fraction = (buffer_capacity / num_partitions) ** 2
+    edge_bytes = stats.num_edges * 16 * edge_fraction
+    return buffer_capacity * partition_bytes + edge_bytes
+
+
+# ---------------------------------------------------------------------------
+# GPU sampling models (Table 7: MariusGNN vs NextDoor)
+# ---------------------------------------------------------------------------
+
+def nextdoor_gpu_sampling_seconds(edges_per_layer: Sequence[float]) -> float:
+    """NextDoor: optimized transit-parallel kernels, layerwise semantics.
+
+    Per-layer cost is a small launch overhead plus a fast per-edge term; the
+    edge counts grow multiplicatively with depth because every layer
+    re-samples its whole frontier.
+    """
+    return sum(NEXTDOOR_LAUNCH_S + e * NEXTDOOR_GPU_EDGE_NS * 1e-9
+               for e in edges_per_layer)
+
+
+def mariusgnn_gpu_sampling_seconds(edges_per_layer: Sequence[float]) -> float:
+    """MariusGNN GPU sampling: DENSE via default PyTorch ops (Section 7.4).
+
+    Higher per-hop overhead and per-edge cost than NextDoor's fused kernels,
+    but edge counts stay near-linear in depth thanks to one-hop reuse.
+    """
+    return sum(MARIUS_GPU_SAMPLE_LAUNCH_S + e * MARIUS_GPU_SAMPLE_EDGE_NS * 1e-9
+               for e in edges_per_layer)
+
+
+# ---------------------------------------------------------------------------
+# Extreme-scale stress test (Section 7.3)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class HyperlinkEstimate:
+    edges_per_second: float
+    epoch_seconds: float
+    epoch_days: float
+    cost_per_epoch: float
+
+
+def hyperlink_stress_estimate(system: SystemProfile, instance: InstanceSpec,
+                              stats: DatasetStats, workload: BatchWorkload,
+                              flops_per_batch: float, embedding_dim: int,
+                              partition_loads: int, num_partitions: int) -> HyperlinkEstimate:
+    """Throughput/cost for the 3.5B-node hyperlink graph on one P3.2xLarge."""
+    est = estimate_epoch(
+        system, stats, workload, flops_per_batch, instance,
+        num_examples=stats.num_edges, embedding_dim=embedding_dim,
+        io_read_bytes=link_prediction_disk_io(stats, embedding_dim,
+                                              partition_loads, num_partitions),
+        io_balanced=True,
+    )
+    eps = stats.num_edges / est.epoch_seconds
+    return HyperlinkEstimate(
+        edges_per_second=eps,
+        epoch_seconds=est.epoch_seconds,
+        epoch_days=est.epoch_seconds / 86400.0,
+        cost_per_epoch=est.cost_per_epoch,
+    )

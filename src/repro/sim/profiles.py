@@ -1,0 +1,168 @@
+"""Hardware and system profiles for the analytical performance model.
+
+Instances come from the paper's Table 2 (AWS P3 family). System throughput
+constants are *calibrated from the paper's own microbenchmarks* (Table 6:
+per-batch sampling and GPU times for MariusGNN, DGL, PyG on Papers100M, and
+Section 7.2's measured multi-GPU scaling), so the end-to-end tables are
+genuine predictions of the model — not copies of the paper's numbers — driven
+by operation counts measured from this repository's real samplers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """An AWS P3 GPU instance (paper Table 2) plus its EBS disk."""
+
+    name: str
+    price_per_hour: float
+    num_gpus: int
+    num_cpus: int
+    cpu_memory_gb: float
+    disk_gbps: float = 1.0          # EBS volume bandwidth (Section 7.1)
+    disk_iops: float = 10_000.0
+    pcie_gbps: float = 12.0         # effective host->V100 transfer
+
+    @property
+    def price_per_second(self) -> float:
+        return self.price_per_hour / 3600.0
+
+
+P3_2XLARGE = InstanceSpec("p3.2xlarge", 3.06, num_gpus=1, num_cpus=8,
+                          cpu_memory_gb=61.0)
+P3_8XLARGE = InstanceSpec("p3.8xlarge", 12.24, num_gpus=4, num_cpus=32,
+                          cpu_memory_gb=244.0)
+P3_16XLARGE = InstanceSpec("p3.16xlarge", 24.48, num_gpus=8, num_cpus=64,
+                           cpu_memory_gb=488.0)
+
+INSTANCES: Dict[str, InstanceSpec] = {
+    i.name: i for i in (P3_2XLARGE, P3_8XLARGE, P3_16XLARGE)
+}
+
+
+def smallest_instance_fitting(total_gb: float) -> InstanceSpec:
+    """Cheapest P3 instance whose CPU memory holds the graph (paper's rule
+    for choosing the baseline / M-GNN_Mem machine)."""
+    for inst in (P3_2XLARGE, P3_8XLARGE, P3_16XLARGE):
+        if inst.cpu_memory_gb >= total_gb:
+            return inst
+    raise ValueError(f"no P3 instance holds {total_gb:.0f} GB in CPU memory")
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Throughput constants of one training system.
+
+    ``sample_edges_per_sec`` is CPU neighborhood-sampling throughput on a
+    32-core machine (scaled linearly with available cores);
+    ``sample_batch_overhead_s`` is the fixed per-batch cost (queueing, python
+    dispatch). ``gpu_edge_ns``/``gpu_flop_rate`` model device time as a
+    per-aggregated-edge memory-bound term plus a dense-flop term.
+
+    Calibration sources (paper Table 6, 32-core P3.8xLarge, batch 1000):
+
+    * MariusGNN 3-layer: 103 ms for ~1M nodes / 2M edges  -> ~20M edges/s
+    * DGL 3-layer: 376 ms for ~2M nodes / 4M edges        -> ~10M edges/s
+    * PyG 3-layer: 1227 ms for ~2M nodes / 4M edges       -> ~3.3M edges/s
+    * GPU: M-GNN 21 ms vs DGL 215 ms at 3 layers — dense segment kernels vs
+      sparse scatter/gather kernels, an ~4x per-edge gap on top of the ~2x
+      batch-size gap.
+    """
+
+    name: str
+    sample_edges_per_sec: float        # at 32 cores, single in-flight batch
+    sample_batch_overhead_s: float
+    dedup_nodes_per_sec: float
+    gpu_edge_ns: float                 # per sampled edge aggregated on GPU
+    gpu_flop_rate: float               # effective dense FLOP/s on V100
+    transfer_gbps: float = 12.0
+    multi_gpu_speedup: Dict[int, float] = field(default_factory=lambda: {1: 1.0})
+    supports_multi_gpu_lp: bool = False
+    supports_disk: bool = False
+    pipeline_workers: int = 4          # concurrent sampling workers (tuned loaders)
+    lp_loader_overhead_s: float = 0.0  # amortized per-batch LP loader cost
+
+    def sampling_seconds(self, edges: float, dedup_nodes: float, cores: int) -> float:
+        """Amortized per-batch sampling time at epoch throughput.
+
+        All three systems keep several mini batches in flight (MariusGNN's
+        pipeline queue, the baselines' tuned num_workers), so epoch-level
+        sampling cost is the single-batch latency divided by the worker
+        count. Sampling is memory-bandwidth-bound, so throughput scales with
+        sqrt(cores) rather than linearly — consistent with the paper's disk
+        mode losing only ~2x sampling speed on a 4x smaller CPU.
+        """
+        import math
+        scale = math.sqrt(max(cores, 1) / 32.0)
+        latency = (self.sample_batch_overhead_s
+                   + edges / (self.sample_edges_per_sec * scale)
+                   + dedup_nodes / (self.dedup_nodes_per_sec * scale))
+        return latency / self.pipeline_workers
+
+    def gpu_seconds(self, edges: float, flops: float) -> float:
+        return edges * self.gpu_edge_ns * 1e-9 + flops / self.gpu_flop_rate
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        return nbytes / (self.transfer_gbps * 1e9)
+
+    def speedup(self, num_gpus: int) -> float:
+        if num_gpus in self.multi_gpu_speedup:
+            return self.multi_gpu_speedup[num_gpus]
+        known = sorted(self.multi_gpu_speedup)
+        best = max(k for k in known if k <= num_gpus)
+        return self.multi_gpu_speedup[best]
+
+
+#: MariusGNN: DENSE sampling (one-hop reuse, parallel CPU) + dense GPU kernels.
+MARIUSGNN = SystemProfile(
+    name="MariusGNN",
+    sample_edges_per_sec=20e6,
+    sample_batch_overhead_s=0.4e-3,
+    dedup_nodes_per_sec=80e6,
+    gpu_edge_ns=6.0,
+    gpu_flop_rate=5.0e12,   # dense GEMM/segment kernels reach ~1/3 of V100 peak
+    multi_gpu_speedup={1: 1.0},
+    supports_disk=True,
+    lp_loader_overhead_s=2.0e-3,   # pipelined negative construction
+)
+
+#: DGL 0.7: layerwise resampling, sparse-kernel forward pass.
+DGL = SystemProfile(
+    name="DGL",
+    sample_edges_per_sec=10e6,
+    sample_batch_overhead_s=3e-3,
+    dedup_nodes_per_sec=40e6,
+    gpu_edge_ns=25.0,
+    gpu_flop_rate=1.0e12,
+    multi_gpu_speedup={1: 1.0, 4: 1.4, 8: 2.2},  # paper Section 7.2
+    lp_loader_overhead_s=25e-3,    # per-edge subgraph loader (Fig 7: ~27ms/batch)
+)
+
+#: PyG 2.0.3: slowest CPU sampler, moderate sparse kernels.
+PYG = SystemProfile(
+    name="PyG",
+    sample_edges_per_sec=3.3e6,
+    sample_batch_overhead_s=1.5e-3,
+    dedup_nodes_per_sec=25e6,
+    gpu_edge_ns=20.0,
+    gpu_flop_rate=1.2e12,
+    multi_gpu_speedup={1: 1.0, 4: 1.1},          # paper Section 7.2
+    lp_loader_overhead_s=17e-3,    # custom negative sampler added per Section 7.1
+)
+
+#: NextDoor: optimized GPU sampling kernels (Table 7), layerwise semantics.
+#: Calibrated from the paper's Table 7 LiveJournal latencies: NextDoor's fused
+#: kernels have tiny launch overhead but pay per-edge cost on an edge count
+#: that compounds with depth (every layer resamples its whole frontier);
+#: MariusGNN's GPU DENSE build uses stock PyTorch ops (higher per-hop launch
+#: overhead) but its per-layer edge counts stay near-linear thanks to reuse.
+NEXTDOOR_GPU_EDGE_NS = 15.0      # per sampled edge (L4: ~6M edges -> ~135 ms)
+NEXTDOOR_LAUNCH_S = 0.08e-3      # fused-kernel launch overhead per hop
+MARIUS_GPU_SAMPLE_EDGE_NS = 3.0   # per edge via torch gather/unique kernels
+MARIUS_GPU_SAMPLE_LAUNCH_S = 0.9e-3  # several op launches per hop (L1: ~1 ms)
+
+SYSTEMS: Dict[str, SystemProfile] = {s.name.lower(): s for s in (MARIUSGNN, DGL, PYG)}

@@ -1,0 +1,297 @@
+"""End-to-end table builders: one function per paper table (3, 4, 5, §7.3).
+
+Each builder measures workloads with the real samplers on scale-model graphs,
+chooses instances by the paper's rules (cheapest instance whose RAM fits the
+graph; P3.2xLarge for disk mode), runs the analytical model, and returns rows
+directly comparable to the paper's tables. Benchmarks print these next to the
+published values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..graph.datasets import (DatasetStats, load_fb15k237, load_freebase86m_mini,
+                              load_livejournal_mini, load_mag240m_mini,
+                              load_papers100m_mini, load_wikikg90m_mini,
+                              paper_stats)
+from ..policies.autotune import autotune_from_dataset
+from .perf_model import (EpochEstimate, estimate_epoch, link_prediction_disk_io,
+                         node_classification_disk_io)
+from .profiles import (DGL, INSTANCES, MARIUSGNN, P3_2XLARGE, PYG,
+                       SystemProfile, smallest_instance_fitting)
+from .workload import (BatchWorkload, gat_flops, gnn_flops,
+                       measure_dense_workload, measure_layerwise_workload)
+
+
+@dataclass
+class TableRow:
+    """One system x dataset cell: predicted epoch minutes + cost, and the
+    measured-accuracy slot filled by the live training benches."""
+
+    system: str
+    dataset: str
+    epoch_minutes: float
+    cost_per_epoch: float
+    instance: str
+    num_gpus: int
+
+    def __str__(self) -> str:
+        return (f"{self.system:<12} {self.dataset:<12} {self.instance:<12} "
+                f"{self.num_gpus} GPU(s)  {self.epoch_minutes:8.2f} min/epoch  "
+                f"${self.cost_per_epoch:7.2f}/epoch")
+
+
+# Scale-model loaders per paper dataset (for workload measurement).
+_SCALE_MODELS = {
+    "papers100m": lambda: load_papers100m_mini(num_nodes=12000, num_edges=120000).graph,
+    "mag240m-cites": lambda: load_mag240m_mini(num_nodes=12000, num_edges=90000).graph,
+    "freebase86m": lambda: load_freebase86m_mini(num_nodes=12000, num_edges=70000).graph,
+    "wikikg90mv2": lambda: load_wikikg90m_mini(num_nodes=12000, num_edges=80000).graph,
+    "hyperlink2012": lambda: load_wikikg90m_mini(num_nodes=12000, num_edges=250000).graph,
+    "livejournal": lambda: load_livejournal_mini(num_nodes=12000, num_edges=180000).graph,
+}
+
+_workload_cache: Dict[tuple, object] = {}
+_graph_cache: Dict[str, object] = {}
+
+
+def _scale_graph(dataset: str):
+    if dataset not in _graph_cache:
+        _graph_cache[dataset] = _SCALE_MODELS[dataset]()
+    return _graph_cache[dataset]
+
+
+def _effective_fanouts(dataset: str, fanouts, directions: str,
+                       per_direction: bool) -> List[float]:
+    """Effective neighbors per node per hop, measured on the scale model.
+
+    ``per_direction=True`` models DGL/PyG semantics on ``"both"``: the fanout
+    applies to each direction independently (doubling the draw budget).
+    """
+    from .workload import measure_effective_fanout
+    graph = _scale_graph(dataset)
+    out: List[float] = []
+    for f in fanouts:
+        if per_direction and directions == "both":
+            key = ("eff2", dataset, f)
+            if key not in _workload_cache:
+                _workload_cache[key] = (
+                    measure_effective_fanout(graph, f, "out")
+                    + measure_effective_fanout(graph, f, "in"))
+        else:
+            key = ("eff", dataset, f, directions)
+            if key not in _workload_cache:
+                _workload_cache[key] = measure_effective_fanout(graph, f, directions)
+        out.append(float(_workload_cache[key]))
+    return out
+
+
+def _dense_workload(dataset: str, fanouts, batch_size: int,
+                    directions: str = "both") -> BatchWorkload:
+    """Full-scale DENSE counts: measured effective fanouts + analytic dedup."""
+    from .workload import analytic_dense_workload
+    key = ("dense", dataset, tuple(fanouts), batch_size, directions)
+    if key not in _workload_cache:
+        eff = _effective_fanouts(dataset, fanouts, directions, per_direction=False)
+        stats = paper_stats(dataset)
+        _workload_cache[key] = analytic_dense_workload(stats.num_nodes, fanouts,
+                                                       eff, batch_size)
+    return _workload_cache[key]
+
+
+def _layerwise_workload(dataset: str, fanouts, batch_size: int,
+                        directions: str = "both") -> BatchWorkload:
+    """Full-scale layerwise counts (per-direction fanouts, resampled layers)."""
+    from .workload import analytic_layerwise_workload
+    key = ("layerwise", dataset, tuple(fanouts), batch_size, directions)
+    if key not in _workload_cache:
+        eff = _effective_fanouts(dataset, fanouts, directions, per_direction=True)
+        stats = paper_stats(dataset)
+        _workload_cache[key] = analytic_layerwise_workload(stats.num_nodes, fanouts,
+                                                           eff, batch_size)
+    return _workload_cache[key]
+
+
+# ---------------------------------------------------------------------------
+# Table 3: node classification (Papers100M, Mag240M-Cites), 3-layer GraphSage
+# ---------------------------------------------------------------------------
+
+def table3_rows(batch_size: int = 1000, fanouts=(30, 20, 10),
+                hidden_dim: int = 256) -> List[TableRow]:
+    rows: List[TableRow] = []
+    for name in ("papers100m", "mag240m-cites"):
+        stats = paper_stats(name)
+        num_examples = int(stats.num_nodes * stats.train_fraction)
+        mem_instance = smallest_instance_fitting(stats.total_gb)
+
+        dense = _dense_workload(name, fanouts, batch_size)
+        layer = _layerwise_workload(name, fanouts, batch_size)
+        flops_d = gnn_flops(dense, stats.feat_dim, hidden_dim, len(fanouts))
+        flops_l = gnn_flops(layer, stats.feat_dim, hidden_dim, len(fanouts))
+
+        # M-GNN in memory: 1 GPU on the smallest fitting instance.
+        est = estimate_epoch(MARIUSGNN, stats, dense, flops_d, mem_instance,
+                             num_examples, stats.feat_dim, num_gpus=1,
+                             learnable_embeddings=False)
+        rows.append(_row(est, "M-GNN_Mem"))
+
+        # M-GNN disk: P3.2xLarge. The buffer holds as many feature partitions
+        # as fit in ~90% of RAM; sampling sees only the in-buffer subgraph, so
+        # neighborhoods (and batches) shrink by roughly the resident fraction
+        # of edges — the paper's "fewer returned neighbors and smaller mini
+        # batches" effect that lets disk NC beat in-memory (Table 3, Mag).
+        p = 64
+        partition_gb = stats.feat_gb / p
+        budget_gb = P3_2XLARGE.cpu_memory_gb - 6.0
+        c = max(2, min(p - 1, int(budget_gb / partition_gb)))
+        resident_fraction = c / p
+        disk_wl = dense.scale_nodes(max(0.35, min(1.0, resident_fraction ** 0.5)))
+        est = estimate_epoch(MARIUSGNN, stats, disk_wl,
+                             gnn_flops(disk_wl, stats.feat_dim, hidden_dim, len(fanouts)),
+                             P3_2XLARGE, num_examples, stats.feat_dim, num_gpus=1,
+                             learnable_embeddings=False,
+                             io_read_bytes=node_classification_disk_io(
+                                 stats, stats.feat_dim, c, p),
+                             io_balanced=True)
+        rows.append(_row(est, "M-GNN_Disk"))
+
+        # DGL / PyG: multi-GPU on the fitting instance (PyG on Mag240M falls
+        # back to 1 GPU — it runs out of CPU memory multi-GPU, Section 7.1).
+        est = estimate_epoch(DGL, stats, layer, flops_l, mem_instance,
+                             num_examples, stats.feat_dim,
+                             num_gpus=mem_instance.num_gpus,
+                             learnable_embeddings=False)
+        rows.append(_row(est, "DGL"))
+        pyg_gpus = 1 if name == "mag240m-cites" else mem_instance.num_gpus
+        pyg_batch = layer if name != "mag240m-cites" else _half_batch(layer)
+        est = estimate_epoch(PYG, stats, pyg_batch,
+                             gnn_flops(pyg_batch, stats.feat_dim, hidden_dim, len(fanouts)),
+                             mem_instance, num_examples, stats.feat_dim,
+                             num_gpus=pyg_gpus, learnable_embeddings=False)
+        rows.append(_row(est, "PyG"))
+    return rows
+
+
+def _half_batch(wl: BatchWorkload) -> BatchWorkload:
+    """PyG's halved batch size on Mag240M (Section 7.1): half the counts,
+    twice the batches."""
+    return BatchWorkload(wl.nodes_per_batch / 2, wl.edges_per_batch / 2,
+                         wl.dedup_nodes_per_batch / 2, max(1, wl.batch_size // 2))
+
+
+# ---------------------------------------------------------------------------
+# Table 4: link prediction (Freebase86M, WikiKG90Mv2), 1-layer GraphSage
+# ---------------------------------------------------------------------------
+
+def table4_rows(batch_size: int = 1000, fanouts=(20,), embedding_dim: int = 100,
+                num_negatives: int = 500) -> List[TableRow]:
+    rows: List[TableRow] = []
+    for name in ("freebase86m", "wikikg90mv2"):
+        stats = paper_stats(name)
+        num_examples = stats.num_edges
+        mem_instance = smallest_instance_fitting(stats.total_gb)
+
+        dense = _dense_workload(name, fanouts, batch_size + num_negatives)
+        layer = _layerwise_workload(name, fanouts, batch_size + num_negatives)
+        flops_d = gnn_flops(dense, embedding_dim, embedding_dim, 1) \
+            + 2.0 * batch_size * num_negatives * embedding_dim
+        flops_l = gnn_flops(layer, embedding_dim, embedding_dim, 1) \
+            + 2.0 * batch_size * num_negatives * embedding_dim
+
+        est = estimate_epoch(MARIUSGNN, stats, dense, flops_d, mem_instance,
+                             num_examples, embedding_dim, num_gpus=1,
+                             is_link_prediction=True)
+        rows.append(_row(est, "M-GNN_Mem"))
+
+        tune = autotune_from_dataset(stats.num_nodes, stats.num_edges,
+                                     embedding_dim, P3_2XLARGE.cpu_memory_gb,
+                                     max_physical=256)
+        loads = _comet_loads(tune.num_logical, tune.logical_capacity,
+                             tune.num_physical)
+        est = estimate_epoch(MARIUSGNN, stats, dense, flops_d, P3_2XLARGE,
+                             num_examples, embedding_dim, num_gpus=1,
+                             io_read_bytes=link_prediction_disk_io(
+                                 stats, embedding_dim, loads, tune.num_physical),
+                             io_balanced=True, is_link_prediction=True)
+        rows.append(_row(est, "M-GNN_Disk"))
+
+        # Baselines: single GPU (neither supports multi-GPU LP, Section 7.1);
+        # DGL uses 5x fewer negatives yet is sampler-bound anyway.
+        est = estimate_epoch(DGL, stats, layer, flops_l, mem_instance,
+                             num_examples, embedding_dim, num_gpus=1,
+                             is_link_prediction=True)
+        rows.append(_row(est, "DGL"))
+        est = estimate_epoch(PYG, stats, layer, flops_l, mem_instance,
+                             num_examples, embedding_dim, num_gpus=1,
+                             is_link_prediction=True)
+        rows.append(_row(est, "PyG"))
+    return rows
+
+
+def _comet_loads(num_logical: int, logical_capacity: int, num_physical: int) -> int:
+    """Physical partition loads per epoch under a one-swap logical schedule."""
+    pairs = num_logical * (num_logical - 1) // 2
+    init = logical_capacity
+    swaps = max(0, pairs - init * (init - 1) // 2)
+    group = num_physical // num_logical
+    return (init + swaps) * group
+
+
+# ---------------------------------------------------------------------------
+# Table 5: GraphSage vs GAT on Freebase86M
+# ---------------------------------------------------------------------------
+
+def table5_rows(batch_size: int = 1000, embedding_dim: int = 100,
+                num_negatives: int = 500) -> List[TableRow]:
+    from dataclasses import replace as dc_replace
+    stats = paper_stats("freebase86m")
+    num_examples = stats.num_edges
+    mem_instance = smallest_instance_fitting(stats.total_gb)
+    rows: List[TableRow] = []
+    for model, fanouts, directions in (("GS", (20,), "both"), ("GAT", (10,), "in")):
+        # GAT's per-edge attention runs ~20 elementwise kernel passes per
+        # head (scores, leaky-relu, segment softmax, weighted sum) x 8 heads,
+        # so MariusGNN becomes compute-bound for it (Table 5's M-GNN GAT
+        # epoch is ~3x its GS epoch); sampler-bound DGL/PyG do not change.
+        mgnn = (dc_replace(MARIUSGNN, gpu_edge_ns=MARIUSGNN.gpu_edge_ns * 160)
+                if model == "GAT" else MARIUSGNN)
+        dense = _dense_workload("freebase86m", fanouts, batch_size + num_negatives,
+                                directions=directions)
+        layer = _layerwise_workload("freebase86m", fanouts, batch_size + num_negatives,
+                                    directions=directions)
+        flops_fn = gat_flops if model == "GAT" else gnn_flops
+        neg_flops = 2.0 * batch_size * num_negatives * embedding_dim
+        flops_d = flops_fn(dense, embedding_dim, embedding_dim, 1) + neg_flops
+        flops_l = flops_fn(layer, embedding_dim, embedding_dim, 1) + neg_flops
+
+        est = estimate_epoch(mgnn, stats, dense, flops_d, mem_instance,
+                             num_examples, embedding_dim, num_gpus=1,
+                             is_link_prediction=True)
+        rows.append(_row(est, f"M-GNN_Mem/{model}"))
+        tune = autotune_from_dataset(stats.num_nodes, stats.num_edges,
+                                     embedding_dim, P3_2XLARGE.cpu_memory_gb,
+                                     max_physical=256)
+        loads = _comet_loads(tune.num_logical, tune.logical_capacity,
+                             tune.num_physical)
+        est = estimate_epoch(mgnn, stats, dense, flops_d, P3_2XLARGE,
+                             num_examples, embedding_dim, num_gpus=1,
+                             io_read_bytes=link_prediction_disk_io(
+                                 stats, embedding_dim, loads, tune.num_physical),
+                             io_balanced=True, is_link_prediction=True)
+        rows.append(_row(est, f"M-GNN_Disk/{model}"))
+        for system in (DGL, PYG):
+            est = estimate_epoch(system, stats, layer, flops_l, mem_instance,
+                                 num_examples, embedding_dim, num_gpus=1,
+                                 is_link_prediction=True)
+            rows.append(_row(est, f"{system.name}/{model}"))
+    return rows
+
+
+def _row(est: EpochEstimate, system_label: str) -> TableRow:
+    return TableRow(system=system_label, dataset=est.dataset,
+                    epoch_minutes=est.epoch_minutes,
+                    cost_per_epoch=est.cost_per_epoch,
+                    instance=est.instance, num_gpus=est.num_gpus)

@@ -1,0 +1,10 @@
+"""Storage layer: memmap-backed node/edge stores, partition buffer, IO stats."""
+
+from .buffer import PartitionBuffer
+from .edge_store import EdgeBucketStore
+from .io_stats import IOStats
+from .node_store import NodeStore
+from .prefetch import Prefetcher, PrefetchingBufferManager
+
+__all__ = ["IOStats", "NodeStore", "EdgeBucketStore", "PartitionBuffer",
+           "Prefetcher", "PrefetchingBufferManager"]

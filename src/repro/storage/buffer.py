@@ -1,0 +1,177 @@
+"""The partition buffer: in-CPU-memory cache of node partitions.
+
+MariusGNN "uses a buffer with capacity of c physical node partitions"
+(Section 3). :class:`PartitionBuffer` holds partitions read from the
+:class:`~repro.storage.node_store.NodeStore`, provides a global-id gather for
+mini-batch construction, applies row-sparse Adagrad updates in place (Step 6
+of the mini-batch lifecycle), and writes dirty partitions back on eviction.
+
+Swapping to the next partition set is a diff: only partitions leaving the
+buffer are written back and only arriving ones are read — one logical-
+partition swap per step under COMET (Steps A-D in Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.optim import RowAdagrad
+from .io_stats import IOStats
+from .node_store import NodeStore
+
+
+class PartitionBuffer:
+    """Holds up to ``capacity`` physical node partitions in memory."""
+
+    def __init__(self, store: NodeStore, capacity: int,
+                 optimizer: Optional[RowAdagrad] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        if capacity > store.num_partitions:
+            raise ValueError(
+                f"capacity {capacity} exceeds partition count {store.num_partitions}"
+            )
+        self.store = store
+        self.capacity = capacity
+        self.optimizer = optimizer
+        self.stats: IOStats = store.stats
+        self._data: Dict[int, np.ndarray] = {}
+        self._state: Dict[int, Optional[np.ndarray]] = {}
+        self._dirty: Dict[int, bool] = {}
+        # Global node id -> local row in its partition's buffer array; -1 if absent.
+        self._local_row = np.full(store.num_nodes, -1, dtype=np.int64)
+        self._partition_of_row = np.full(store.num_nodes, -1, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> List[int]:
+        return sorted(self._data)
+
+    def is_resident(self, part: int) -> bool:
+        return part in self._data
+
+    def node_mask(self) -> np.ndarray:
+        """Boolean mask over all nodes: resident in the buffer or not."""
+        return self._local_row >= 0
+
+    # ------------------------------------------------------------------
+    def admit(self, part: int) -> None:
+        """Read a partition from disk into the buffer (must have room)."""
+        if part in self._data:
+            return
+        if len(self._data) >= self.capacity:
+            raise RuntimeError(
+                f"buffer full ({self.capacity}); evict before admitting {part}"
+            )
+        data, state = self.store.read_partition(part)
+        self._data[part] = data
+        self._state[part] = state
+        self._dirty[part] = False
+        lo = int(self.store.scheme.boundaries[part])
+        hi = int(self.store.scheme.boundaries[part + 1])
+        self._local_row[lo:hi] = np.arange(hi - lo, dtype=np.int64)
+        self._partition_of_row[lo:hi] = part
+
+    def admit_preloaded(self, part: int, data: np.ndarray,
+                        state: Optional[np.ndarray]) -> None:
+        """Admit a partition whose bytes were already read (by a prefetcher).
+
+        The disk read was performed — and accounted — when the prefetcher
+        fetched it; this call only installs the arrays.
+        """
+        if part in self._data:
+            return
+        if len(self._data) >= self.capacity:
+            raise RuntimeError(
+                f"buffer full ({self.capacity}); evict before admitting {part}"
+            )
+        expected = (self.store.scheme.partition_size(part), self.store.dim)
+        if data.shape != expected:
+            raise ValueError(f"preloaded partition {part} has shape {data.shape},"
+                             f" expected {expected}")
+        self._data[part] = data
+        self._state[part] = state
+        self._dirty[part] = False
+        lo = int(self.store.scheme.boundaries[part])
+        hi = int(self.store.scheme.boundaries[part + 1])
+        self._local_row[lo:hi] = np.arange(hi - lo, dtype=np.int64)
+        self._partition_of_row[lo:hi] = part
+
+    def evict(self, part: int) -> None:
+        """Write a partition back (if dirty) and drop it from the buffer."""
+        if part not in self._data:
+            raise KeyError(f"partition {part} is not resident")
+        if self._dirty[part]:
+            self.store.write_partition(part, self._data[part], self._state[part])
+        del self._data[part]
+        del self._state[part]
+        del self._dirty[part]
+        lo = int(self.store.scheme.boundaries[part])
+        hi = int(self.store.scheme.boundaries[part + 1])
+        self._local_row[lo:hi] = -1
+        self._partition_of_row[lo:hi] = -1
+
+    def set_partitions(self, parts: Sequence[int]) -> int:
+        """Swap the buffer contents to exactly ``parts``; returns #partitions moved."""
+        wanted = set(int(x) for x in parts)
+        if len(wanted) > self.capacity:
+            raise ValueError(f"requested {len(wanted)} partitions, capacity {self.capacity}")
+        moved = 0
+        for part in [q for q in self._data if q not in wanted]:
+            self.evict(part)
+            moved += 1
+        for part in sorted(wanted):
+            if part not in self._data:
+                self.admit(part)
+                moved += 1
+        return moved
+
+    def flush(self) -> None:
+        """Write every dirty resident partition back without evicting."""
+        for part, dirty in list(self._dirty.items()):
+            if dirty:
+                self.store.write_partition(part, self._data[part], self._state[part])
+                self._dirty[part] = False
+
+    # ------------------------------------------------------------------
+    def gather(self, node_ids: np.ndarray) -> np.ndarray:
+        """Copy the rows of ``node_ids`` (global IDs; must all be resident)."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        local = self._local_row[node_ids]
+        if (local < 0).any():
+            missing = node_ids[local < 0][:5]
+            raise KeyError(f"nodes not resident in buffer (first few: {missing.tolist()})")
+        out = np.empty((len(node_ids), self.store.dim), dtype=np.float32)
+        parts = self._partition_of_row[node_ids]
+        for part in np.unique(parts):
+            mask = parts == part
+            out[mask] = self._data[int(part)][local[mask]]
+        return out
+
+    def apply_gradients(self, node_ids: np.ndarray, grads: np.ndarray) -> None:
+        """Row-sparse optimizer update for learnable representations (Step 6)."""
+        if self.optimizer is None:
+            raise RuntimeError("buffer was built without an embedding optimizer")
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        local = self._local_row[node_ids]
+        if (local < 0).any():
+            raise KeyError("gradient rows must be resident in the buffer")
+        parts = self._partition_of_row[node_ids]
+        for part in np.unique(parts):
+            mask = parts == part
+            part = int(part)
+            state = self._state[part]
+            if state is None:
+                raise RuntimeError(f"partition {part} has no optimizer state")
+            self.optimizer.update(self._data[part], state, local[mask], grads[mask])
+            self._dirty[part] = True
+
+    def resident_nodes(self) -> np.ndarray:
+        """All node IDs currently resident (for in-memory negative sampling)."""
+        parts = sorted(self._data)
+        ranges = [np.arange(self.store.scheme.boundaries[p],
+                            self.store.scheme.boundaries[p + 1], dtype=np.int64)
+                  for p in parts]
+        return np.concatenate(ranges) if ranges else np.empty(0, dtype=np.int64)

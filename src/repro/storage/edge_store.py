@@ -1,0 +1,105 @@
+"""Disk-backed edge bucket store.
+
+The edge list is "organized according to edge buckets ... stored sequentially
+on disk" (paper Section 3). :class:`EdgeBucketStore` materializes the
+bucket-major edge array in a memmap file and serves contiguous bucket reads
+with IO accounting, so the smallest-read analysis of Section 6 (edge bucket
+size shrinking quadratically in p) is measurable for real.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.edge_list import Graph
+from ..graph.partition import EdgeBuckets, PartitionScheme
+from .io_stats import IOStats
+
+
+class EdgeBucketStore:
+    """Edge buckets written bucket-major to a single on-disk file."""
+
+    def __init__(self, path: os.PathLike, graph: Graph, scheme: PartitionScheme,
+                 stats: Optional[IOStats] = None) -> None:
+        self.path = Path(path)
+        self.scheme = scheme
+        self.stats = stats if stats is not None else IOStats()
+        self.num_relations = graph.num_relations
+        self.has_relations = graph.rel is not None
+        buckets = EdgeBuckets(graph, scheme)
+        self.bucket_offsets = buckets.bucket_offsets
+        width = 3 if self.has_relations else 2
+        self.width = width
+        flat = np.empty((buckets.num_edges, width), dtype=np.int64)
+        flat[:, 0] = buckets.src
+        flat[:, -1] = buckets.dst
+        if self.has_relations:
+            flat[:, 1] = buckets.rel
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._edges = np.memmap(self.path, dtype=np.int64, mode="w+", shape=flat.shape)
+        self._edges[:] = flat
+        self._edges.flush()
+        self.num_edges = len(flat)
+
+    @property
+    def num_partitions(self) -> int:
+        return self.scheme.num_partitions
+
+    def bucket_size(self, i: int, j: int) -> int:
+        p = self.num_partitions
+        b = i * p + j
+        return int(self.bucket_offsets[b + 1] - self.bucket_offsets[b])
+
+    def bucket_bytes(self, i: int, j: int) -> int:
+        return self.bucket_size(i, j) * self.width * 8
+
+    def read_bucket(self, i: int, j: int) -> np.ndarray:
+        """One contiguous disk read returning bucket (i, j) edges."""
+        p = self.num_partitions
+        b = i * p + j
+        lo, hi = int(self.bucket_offsets[b]), int(self.bucket_offsets[b + 1])
+        data = np.array(self._edges[lo:hi])
+        self.stats.record_read(data.nbytes)
+        return data
+
+    def read_buckets(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        parts = [self.read_bucket(i, j) for i, j in pairs]
+        if not parts:
+            return np.empty((0, self.width), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
+
+    def subgraph_for_partitions(self, partitions: Sequence[int],
+                                record_io: bool = True) -> Graph:
+        """In-memory subgraph over all pairwise buckets of ``partitions``.
+
+        ``record_io=False`` rebuilds the subgraph from already-resident data
+        (e.g. after only the training-example set X_i changed), skipping the
+        disk accounting.
+        """
+        pairs = [(i, j) for i in partitions for j in partitions]
+        if record_io:
+            edges = self.read_buckets(pairs)
+        else:
+            chunks = []
+            p = self.num_partitions
+            for i, j in pairs:
+                b = i * p + j
+                lo, hi = int(self.bucket_offsets[b]), int(self.bucket_offsets[b + 1])
+                chunks.append(np.array(self._edges[lo:hi]))
+            edges = (np.concatenate(chunks, axis=0) if chunks
+                     else np.empty((0, self.width), dtype=np.int64))
+        return Graph(
+            num_nodes=self.scheme.num_nodes,
+            src=edges[:, 0],
+            dst=edges[:, -1],
+            rel=edges[:, 1] if self.has_relations else None,
+            num_relations=self.num_relations,
+        )
+
+    def close(self) -> None:
+        self._edges.flush()
+        del self._edges

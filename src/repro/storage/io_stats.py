@@ -1,0 +1,76 @@
+"""Disk IO accounting shared by the node store, edge store, and buffer.
+
+Section 6 of the paper reasons about three quantities that drive epoch time:
+total bytes transferred disk->CPU (``IO``), the number of partition sets per
+epoch (``|S|``), and the smallest disk read size (``R``) relative to the
+device block size. :class:`IOStats` measures all three from the real memmap
+traffic our storage layer performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class IOStats:
+    """Counters for disk traffic (bytes are payload bytes, reads are calls)."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    num_reads: int = 0
+    num_writes: int = 0
+    partition_loads: int = 0
+    partition_evictions: int = 0
+    read_sizes: List[int] = field(default_factory=list)
+
+    def record_read(self, nbytes: int) -> None:
+        self.bytes_read += int(nbytes)
+        self.num_reads += 1
+        self.read_sizes.append(int(nbytes))
+
+    def record_write(self, nbytes: int) -> None:
+        self.bytes_written += int(nbytes)
+        self.num_writes += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def smallest_read(self) -> int:
+        """The paper's quantity R: the smallest disk read size in bytes."""
+        return min(self.read_sizes) if self.read_sizes else 0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.num_reads = 0
+        self.num_writes = 0
+        self.partition_loads = 0
+        self.partition_evictions = 0
+        self.read_sizes.clear()
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            num_reads=self.num_reads,
+            num_writes=self.num_writes,
+            partition_loads=self.partition_loads,
+            partition_evictions=self.partition_evictions,
+            read_sizes=list(self.read_sizes),
+        )
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Traffic since an earlier snapshot."""
+        return IOStats(
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            num_reads=self.num_reads - earlier.num_reads,
+            num_writes=self.num_writes - earlier.num_writes,
+            partition_loads=self.partition_loads - earlier.partition_loads,
+            partition_evictions=self.partition_evictions - earlier.partition_evictions,
+            read_sizes=self.read_sizes[len(earlier.read_sizes):],
+        )

@@ -1,0 +1,144 @@
+"""Disk-backed partitioned node representation store.
+
+Base vector representations are "stored sequentially in a lookup table split
+into p physical partitions on disk" (paper Section 3). :class:`NodeStore`
+implements that table with a real ``numpy.memmap`` file: partition ``i`` is
+the contiguous row range given by the :class:`~repro.graph.partition.
+PartitionScheme`, so loading a partition is one sequential read — the
+property the auto-tuning rules in Section 6 rely on when comparing partition
+size to the disk block size.
+
+Learnable representations carry per-row Adagrad state in a second memmap that
+pages in and out with its partition (as in Marius).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph.partition import PartitionScheme
+from .io_stats import IOStats
+
+
+class NodeStore:
+    """Partitioned on-disk array of per-node vectors.
+
+    Parameters
+    ----------
+    path:
+        Backing file location (created/overwritten).
+    scheme:
+        Node-to-partition assignment; partitions are contiguous row ranges.
+    dim:
+        Vector dimension.
+    learnable:
+        If True, an Adagrad state file is kept alongside the table.
+    stats:
+        Shared :class:`IOStats` to account traffic against.
+    """
+
+    def __init__(self, path: os.PathLike, scheme: PartitionScheme, dim: int,
+                 learnable: bool = True, stats: Optional[IOStats] = None) -> None:
+        self.path = Path(path)
+        self.scheme = scheme
+        self.dim = int(dim)
+        self.learnable = learnable
+        self.stats = stats if stats is not None else IOStats()
+        shape = (scheme.num_nodes, self.dim)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._table = np.memmap(self.path, dtype=np.float32, mode="w+", shape=shape)
+        self._state: Optional[np.memmap] = None
+        if learnable:
+            state_path = self.path.with_suffix(self.path.suffix + ".state")
+            self._state = np.memmap(state_path, dtype=np.float32, mode="w+", shape=shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.scheme.num_nodes
+
+    @property
+    def num_partitions(self) -> int:
+        return self.scheme.num_partitions
+
+    def partition_bytes(self, part: int) -> int:
+        return self.scheme.partition_size(part) * self.dim * 4
+
+    # ------------------------------------------------------------------
+    def initialize(self, values: Optional[np.ndarray] = None,
+                   scale: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None) -> None:
+        """Fill the table: either copy ``values`` or uniform-random init."""
+        if values is not None:
+            if values.shape != self._table.shape:
+                raise ValueError(f"initializer shape {values.shape} != {self._table.shape}")
+            self._table[:] = values.astype(np.float32)
+        else:
+            rng = rng or np.random.default_rng()
+            if scale is None:
+                scale = 1.0 / self.dim
+            chunk = 1 << 16
+            for start in range(0, self.num_nodes, chunk):
+                stop = min(start + chunk, self.num_nodes)
+                self._table[start:stop] = rng.uniform(
+                    -scale, scale, size=(stop - start, self.dim)).astype(np.float32)
+        self._table.flush()
+
+    # ------------------------------------------------------------------
+    def read_partition(self, part: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Read one partition (and its optimizer state) into fresh RAM arrays."""
+        lo, hi = int(self.scheme.boundaries[part]), int(self.scheme.boundaries[part + 1])
+        data = np.array(self._table[lo:hi])
+        self.stats.record_read(data.nbytes)
+        self.stats.partition_loads += 1
+        state = None
+        if self._state is not None:
+            state = np.array(self._state[lo:hi])
+            self.stats.record_read(state.nbytes)
+        return data, state
+
+    def write_partition(self, part: int, data: np.ndarray,
+                        state: Optional[np.ndarray] = None) -> None:
+        """Write a partition (and optimizer state) back to disk."""
+        lo, hi = int(self.scheme.boundaries[part]), int(self.scheme.boundaries[part + 1])
+        if data.shape != (hi - lo, self.dim):
+            raise ValueError(f"partition {part} expects shape {(hi - lo, self.dim)}, got {data.shape}")
+        self._table[lo:hi] = data
+        self.stats.record_write(data.nbytes)
+        self.stats.partition_evictions += 1
+        if state is not None:
+            if self._state is None:
+                raise ValueError("store has no optimizer state file")
+            self._state[lo:hi] = state
+            self.stats.record_write(state.nbytes)
+
+    # ------------------------------------------------------------------
+    def read_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Direct (unbuffered) row gather — used only for evaluation."""
+        rows = np.asarray(rows, dtype=np.int64)
+        data = np.array(self._table[rows])
+        self.stats.record_read(data.nbytes)
+        return data
+
+    def read_all(self) -> np.ndarray:
+        """Load the entire table (in-memory training mode)."""
+        data = np.array(self._table)
+        self.stats.record_read(data.nbytes)
+        return data
+
+    def flush(self) -> None:
+        self._table.flush()
+        if self._state is not None:
+            self._state.flush()
+
+    def close(self) -> None:
+        self.flush()
+        # memmaps are released by dropping references
+        del self._table
+        if self._state is not None:
+            del self._state
+            self._state = None

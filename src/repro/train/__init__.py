@@ -1,0 +1,37 @@
+"""Training harness: trainers, negative sampling, evaluation, pipelining."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .evaluation import (EpochRecord, RankingMetrics, TripleFilter,
+                         filtered_ranks, multiclass_accuracy, ranking_metrics,
+                         ranks_from_scores)
+from .link_prediction import (DiskConfig, DiskLinkPredictionTrainer,
+                              LinkPredictionConfig, LinkPredictionModel,
+                              LinkPredictionTrainer, TrainResult,
+                              evaluate_model)
+from .negative_sampling import (DegreeWeightedNegativeSampler,
+                                NegativeSampleBatch, UniformNegativeSampler)
+from .node_classification import (DiskNodeClassificationConfig,
+                                  DiskNodeClassificationTrainer,
+                                  NodeClassificationConfig,
+                                  NodeClassificationResult,
+                                  NodeClassificationTrainer, NodeClassifier,
+                                  evaluate_classifier,
+                                  relabel_for_training_cache)
+from .pipeline import (StageTimes, overlap_efficiency,
+                       pipelined_disk_epoch_seconds, pipelined_epoch_seconds)
+from .pipelined_trainer import PipelinedLinkPredictionTrainer, PipelineStats
+
+__all__ = [
+    "LinkPredictionConfig", "LinkPredictionTrainer", "LinkPredictionModel",
+    "DiskConfig", "DiskLinkPredictionTrainer", "TrainResult", "evaluate_model",
+    "NodeClassificationConfig", "NodeClassificationTrainer", "NodeClassifier",
+    "DiskNodeClassificationConfig", "DiskNodeClassificationTrainer",
+    "NodeClassificationResult", "evaluate_classifier", "relabel_for_training_cache",
+    "UniformNegativeSampler", "DegreeWeightedNegativeSampler", "NegativeSampleBatch",
+    "RankingMetrics", "EpochRecord", "ranking_metrics", "ranks_from_scores",
+    "multiclass_accuracy",
+    "StageTimes", "pipelined_epoch_seconds", "pipelined_disk_epoch_seconds",
+    "overlap_efficiency",
+    "PipelinedLinkPredictionTrainer", "PipelineStats",
+    "TripleFilter", "filtered_ranks", "save_checkpoint", "load_checkpoint",
+]

@@ -1,0 +1,70 @@
+"""Checkpointing: persist and restore trained models and embeddings.
+
+A checkpoint directory holds:
+
+* ``model.npz``        — GNN/decoder parameters (the module state dict),
+* ``embeddings.npy``   — learnable base representations (if any),
+* ``optimizer.npy``    — per-row Adagrad state for the embeddings,
+* ``config.json``      — the :class:`LinkPredictionConfig` /
+  :class:`NodeClassificationConfig` used, so evaluation reproduces the exact
+  sampling setup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.module import Module
+
+
+def _config_to_dict(config: Any) -> Dict[str, Any]:
+    out = dataclasses.asdict(config)
+    for key, value in out.items():
+        if isinstance(value, tuple):
+            out[key] = list(value)
+        elif isinstance(value, Path):
+            out[key] = str(value)
+    return out
+
+
+def save_checkpoint(path: Path, model: Module, config: Any,
+                    embeddings: Optional[np.ndarray] = None,
+                    optimizer_state: Optional[np.ndarray] = None) -> Path:
+    """Write a checkpoint directory; returns its path."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    np.savez(path / "model.npz", **state)
+    if embeddings is not None:
+        np.save(path / "embeddings.npy", embeddings)
+    if optimizer_state is not None:
+        np.save(path / "optimizer.npy", optimizer_state)
+    (path / "config.json").write_text(
+        json.dumps({"class": type(config).__name__,
+                    "fields": _config_to_dict(config)}, indent=2))
+    return path
+
+
+def load_checkpoint(path: Path, model: Module
+                    ) -> Tuple[Dict[str, Any], Optional[np.ndarray], Optional[np.ndarray]]:
+    """Restore ``model`` in place; returns (config_fields, embeddings, opt_state).
+
+    The caller rebuilds its config dataclass from the returned fields (tuples
+    were serialized as lists — convert back as needed).
+    """
+    path = Path(path)
+    archive = np.load(path / "model.npz")
+    model.load_state_dict({name: archive[name] for name in archive.files})
+    embeddings = None
+    if (path / "embeddings.npy").exists():
+        embeddings = np.load(path / "embeddings.npy")
+    opt_state = None
+    if (path / "optimizer.npy").exists():
+        opt_state = np.load(path / "optimizer.npy")
+    meta = json.loads((path / "config.json").read_text())
+    return meta["fields"], embeddings, opt_state

@@ -1,0 +1,460 @@
+"""Link prediction training: in-memory and disk-based (COMET/BETA) modes.
+
+The mini-batch lifecycle follows Figure 2 of the paper:
+
+1. select training examples (edges) from X_i,
+2. sample their multi-hop neighborhood into DENSE (CPU),
+3. gather base representations and "transfer" to the compute device,
+4. forward pass + loss + gradients,
+5. update GNN parameters,
+6. write base-representation updates back (to the table / partition buffer).
+
+Both trainers share the same model and batch step; the disk trainer layers a
+:class:`~repro.storage.buffer.PartitionBuffer`, an epoch plan from the chosen
+replacement policy, and in-buffer negative/neighbor restrictions on top.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.dense import DenseBatch
+from ..core.encoder import GNNEncoder
+from ..core.sampler import DenseSampler
+from ..graph.datasets import LinkPredictionDataset
+from ..graph.edge_list import Graph
+from ..graph.partition import PartitionScheme
+from ..nn.decoders import make_decoder
+from ..nn.loss import link_prediction_loss
+from ..nn.module import Module
+from ..nn.optim import Adam, RowAdagrad
+from ..nn.tensor import Tensor, no_grad
+from ..policies.base import EpochPlan, PartitionPolicy
+from ..storage.buffer import PartitionBuffer
+from ..storage.edge_store import EdgeBucketStore
+from ..storage.io_stats import IOStats
+from ..storage.node_store import NodeStore
+from .evaluation import EpochRecord, RankingMetrics, ranking_metrics, ranks_from_scores
+from .negative_sampling import UniformNegativeSampler
+
+
+@dataclass
+class LinkPredictionConfig:
+    """Hyperparameters for link prediction training.
+
+    ``encoder="none"`` gives the decoder-only knowledge-graph-embedding mode
+    (Marius's DistMult rows in Table 8); otherwise a GNN encoder of
+    ``num_layers`` layers with the given ``fanouts`` runs on top of the
+    learnable base representations.
+    """
+
+    embedding_dim: int = 50
+    encoder: str = "graphsage"          # none | graphsage | gcn | gat
+    num_layers: int = 1
+    fanouts: Tuple[int, ...] = (20,)
+    directions: str = "both"
+    decoder: str = "distmult"
+    batch_size: int = 1000
+    num_negatives: int = 100
+    embedding_lr: float = 0.1
+    gnn_lr: float = 0.01
+    num_epochs: int = 5
+    eval_negatives: int = 200
+    eval_max_edges: int = 2000
+    eval_every: int = 0                 # 0 = only at the end
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.encoder != "none" and len(self.fanouts) != self.num_layers:
+            raise ValueError(
+                f"fanouts {self.fanouts} must have num_layers={self.num_layers} entries"
+            )
+        if self.encoder == "none":
+            self.num_layers = 0
+            self.fanouts = ()
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    epochs: List[EpochRecord]
+    final_metrics: RankingMetrics
+    model_name: str
+
+    @property
+    def final_mrr(self) -> float:
+        return self.final_metrics.mrr
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        if not self.epochs:
+            return 0.0
+        return float(np.mean([e.seconds for e in self.epochs]))
+
+
+class LinkPredictionModel(Module):
+    """Encoder (optional) + decoder over learnable base representations."""
+
+    def __init__(self, config: LinkPredictionConfig, num_relations: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.config = config
+        d = config.embedding_dim
+        self.encoder: Optional[GNNEncoder] = None
+        if config.encoder != "none":
+            dims = [d] * (config.num_layers + 1)
+            self.encoder = GNNEncoder(config.encoder, dims,
+                                      final_activation=None, rng=rng)
+        self.decoder = make_decoder(config.decoder, num_relations, d, rng=rng)
+
+    def encode(self, h0: Tensor, batch: DenseBatch) -> Tensor:
+        """Representations for ``batch.target_nodes()`` (h0 covers node_ids)."""
+        if self.encoder is None:
+            return h0
+        return self.encoder(h0, batch)
+
+
+class _EmbeddingTable:
+    """In-memory learnable base representations with row Adagrad."""
+
+    def __init__(self, num_nodes: int, dim: int, lr: float,
+                 rng: np.random.Generator) -> None:
+        scale = 1.0 / dim
+        self.table = rng.uniform(-scale, scale, size=(num_nodes, dim)).astype(np.float32)
+        self.state = np.zeros_like(self.table)
+        self.optimizer = RowAdagrad(lr=lr)
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        return self.table[rows]
+
+    def apply(self, rows: np.ndarray, grads: np.ndarray) -> None:
+        self.optimizer.update(self.table, self.state, rows, grads)
+
+
+class _BatchStep:
+    """The shared steps 1-6 of the mini-batch lifecycle."""
+
+    def __init__(self, model: LinkPredictionModel, config: LinkPredictionConfig,
+                 rng: np.random.Generator) -> None:
+        self.model = model
+        self.config = config
+        self.rng = rng
+        params = model.parameters()
+        self.gnn_optimizer = Adam(params, lr=config.gnn_lr) if params else None
+
+    def run(self, edges: np.ndarray, sampler: DenseSampler,
+            negatives: UniformNegativeSampler, gather_fn, apply_fn,
+            record: EpochRecord) -> float:
+        src = edges[:, 0]
+        dst = edges[:, -1]
+        rel = edges[:, 1] if edges.shape[1] == 3 else np.zeros(len(edges), dtype=np.int64)
+
+        t0 = time.perf_counter()
+        neg_nodes = negatives.sample().nodes
+        targets = np.unique(np.concatenate([src, dst, neg_nodes]))
+        if self.config.num_layers > 0:
+            batch = sampler.sample(targets)
+        else:
+            batch = sampler.sample_no_neighbors(targets)
+        t1 = time.perf_counter()
+
+        h0 = Tensor(gather_fn(batch.node_ids), requires_grad=True)
+        out = self.model.encode(h0, batch)
+        rows_src = np.searchsorted(targets, src)
+        rows_dst = np.searchsorted(targets, dst)
+        rows_neg = np.searchsorted(targets, neg_nodes)
+        src_repr = out.index_select(rows_src)
+        dst_repr = out.index_select(rows_dst)
+        neg_repr = out.index_select(rows_neg)
+        pos_scores = self.model.decoder.score_edges(src_repr, rel, dst_repr)
+        neg_scores = self.model.decoder.score_against(src_repr, rel, neg_repr)
+        loss = link_prediction_loss(pos_scores, neg_scores)
+
+        self.model.zero_grad()
+        loss.backward()
+        if self.gnn_optimizer is not None:
+            self.gnn_optimizer.step()
+        if h0.grad is not None:
+            apply_fn(batch.node_ids, h0.grad)
+        t2 = time.perf_counter()
+
+        record.sample_seconds += t1 - t0
+        record.compute_seconds += t2 - t1
+        record.num_batches += 1
+        return float(loss.data)
+
+
+class LinkPredictionTrainer:
+    """Single-machine, full-graph-in-memory trainer (M-GNN_Mem)."""
+
+    def __init__(self, dataset: LinkPredictionDataset,
+                 config: Optional[LinkPredictionConfig] = None) -> None:
+        self.dataset = dataset
+        self.config = config or LinkPredictionConfig()
+        cfg = self.config
+        self.rng = np.random.default_rng(cfg.seed)
+        graph = dataset.graph
+        self.model = LinkPredictionModel(cfg, graph.num_relations, rng=self.rng)
+        self.embeddings = _EmbeddingTable(graph.num_nodes, cfg.embedding_dim,
+                                          cfg.embedding_lr, self.rng)
+        self.sampler = DenseSampler(graph, list(cfg.fanouts),
+                                    directions=cfg.directions, rng=self.rng)
+        self.negatives = UniformNegativeSampler(graph.num_nodes, cfg.num_negatives,
+                                                rng=self.rng)
+        self.step = _BatchStep(self.model, cfg, self.rng)
+
+    # ------------------------------------------------------------------
+    def train(self, verbose: bool = False) -> TrainResult:
+        cfg = self.config
+        train_edges = self.dataset.split.train
+        records: List[EpochRecord] = []
+        for epoch in range(cfg.num_epochs):
+            t0 = time.perf_counter()
+            record = EpochRecord(epoch=epoch, loss=0.0, seconds=0.0, metric=0.0)
+            losses = []
+            order = self.rng.permutation(len(train_edges))
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                loss = self.step.run(train_edges[idx], self.sampler, self.negatives,
+                                     self.embeddings.gather, self.embeddings.apply,
+                                     record)
+                losses.append(loss)
+            record.seconds = time.perf_counter() - t0
+            record.loss = float(np.mean(losses)) if losses else 0.0
+            if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
+                record.metric = self.evaluate().mrr
+            records.append(record)
+            if verbose:
+                print(f"[epoch {epoch}] loss={record.loss:.4f} "
+                      f"time={record.seconds:.1f}s mrr={record.metric:.4f}")
+        metrics = self.evaluate()
+        return TrainResult(epochs=records, final_metrics=metrics,
+                           model_name=f"{cfg.encoder}-mem")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, edges: Optional[np.ndarray] = None,
+                 seed: int = 1234) -> RankingMetrics:
+        """Ranked MRR of test edges against sampled negative destinations."""
+        cfg = self.config
+        if edges is None:
+            edges = self.dataset.split.test
+        if len(edges) > cfg.eval_max_edges:
+            pick = np.random.default_rng(seed).choice(len(edges), cfg.eval_max_edges,
+                                                      replace=False)
+            edges = edges[pick]
+        return evaluate_model(self.model, self.embeddings.table, self.dataset.graph,
+                              edges, cfg, seed=seed)
+
+
+def evaluate_model(model: LinkPredictionModel, table: np.ndarray, graph: Graph,
+                   edges: np.ndarray, config: LinkPredictionConfig,
+                   seed: int = 1234, batch_size: int = 512,
+                   all_candidates: bool = False,
+                   triple_filter=None) -> RankingMetrics:
+    """Shared MRR evaluation with full-graph sampling.
+
+    By default each positive is ranked against ``config.eval_negatives``
+    sampled candidates (the OGB large-graph protocol). ``all_candidates=True``
+    ranks against *every* graph node — the FB15k-237 protocol the paper uses
+    in Table 8 ("all negatives for computing MRR"); practical only for small
+    graphs. ``triple_filter`` (a :class:`~repro.train.evaluation.TripleFilter`)
+    switches to filtered ranking.
+    """
+    rng = np.random.default_rng(seed)
+    sampler = DenseSampler(graph, list(config.fanouts),
+                           directions=config.directions, rng=rng)
+    model.eval()
+    all_ranks = []
+    with no_grad():
+        for start in range(0, len(edges), batch_size):
+            chunk = edges[start : start + batch_size]
+            src = chunk[:, 0]
+            dst = chunk[:, -1]
+            rel = (chunk[:, 1] if chunk.shape[1] == 3
+                   else np.zeros(len(chunk), dtype=np.int64))
+            if all_candidates:
+                negs = np.arange(graph.num_nodes, dtype=np.int64)
+            else:
+                negs = rng.integers(0, graph.num_nodes,
+                                    size=config.eval_negatives, dtype=np.int64)
+            targets = np.unique(np.concatenate([src, dst, negs]))
+            if config.num_layers > 0:
+                batch = sampler.sample(targets)
+            else:
+                batch = sampler.sample_no_neighbors(targets)
+            h0 = Tensor(table[batch.node_ids])
+            out = model.encode(h0, batch)
+            src_repr = out.index_select(np.searchsorted(targets, src))
+            dst_repr = out.index_select(np.searchsorted(targets, dst))
+            neg_repr = out.index_select(np.searchsorted(targets, negs))
+            pos = model.decoder.score_edges(src_repr, rel, dst_repr).data
+            neg = model.decoder.score_against(src_repr, rel, neg_repr).data
+            if all_candidates:
+                # The true destination is among the candidates; exclude it
+                # from its own comparison (it *is* the ranked positive).
+                neg[np.arange(len(src)), dst] = -np.inf
+            if triple_filter is not None:
+                from .evaluation import filtered_ranks
+                mask = triple_filter.mask(src, rel, negs)
+                all_ranks.append(filtered_ranks(pos, neg, mask))
+            else:
+                all_ranks.append(ranks_from_scores(pos, neg))
+    model.train()
+    return ranking_metrics(np.concatenate(all_ranks) if all_ranks else np.empty(0))
+
+
+# ---------------------------------------------------------------------------
+# Disk-based training
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DiskConfig:
+    """Disk-based training setup (storage layout + replacement policy)."""
+
+    workdir: Path
+    num_partitions: int = 16
+    num_logical: int = 8
+    buffer_capacity: int = 4
+    policy: str = "comet"               # comet | beta
+    prefetch: bool = True
+
+    def __post_init__(self) -> None:
+        self.workdir = Path(self.workdir)
+
+
+class DiskLinkPredictionTrainer:
+    """Out-of-core trainer: partition buffer + COMET/BETA epoch plans.
+
+    Each epoch: the policy produces (S, X); for each step the buffer swaps to
+    S_i (real memmap IO), the sampler re-indexes the in-buffer subgraph, and
+    mini batches are drawn from X_i's buckets with negatives restricted to
+    resident nodes.
+    """
+
+    def __init__(self, dataset: LinkPredictionDataset,
+                 config: Optional[LinkPredictionConfig] = None,
+                 disk: Optional[DiskConfig] = None) -> None:
+        self.dataset = dataset
+        self.config = config or LinkPredictionConfig()
+        self.disk = disk or DiskConfig(workdir=Path("/tmp/repro-disk"))
+        cfg, dsk = self.config, self.disk
+        self.rng = np.random.default_rng(cfg.seed)
+        graph = self._train_graph()
+        self.scheme = PartitionScheme.uniform(graph.num_nodes, dsk.num_partitions)
+        self.io = IOStats()
+        dsk.workdir.mkdir(parents=True, exist_ok=True)
+        self.node_store = NodeStore(dsk.workdir / "embeddings.bin", self.scheme,
+                                    cfg.embedding_dim, learnable=True, stats=self.io)
+        self.node_store.initialize(rng=self.rng)
+        self.edge_store = EdgeBucketStore(dsk.workdir / "edges.bin", graph,
+                                          self.scheme, stats=self.io)
+        self.buffer = PartitionBuffer(self.node_store, dsk.buffer_capacity,
+                                      optimizer=RowAdagrad(lr=cfg.embedding_lr))
+        from ..storage.prefetch import PrefetchingBufferManager
+        self.buffer_manager = PrefetchingBufferManager(self.buffer,
+                                                       enabled=dsk.prefetch)
+        self.model = LinkPredictionModel(cfg, graph.num_relations, rng=self.rng)
+        self.policy = self._make_policy()
+        self.negatives = UniformNegativeSampler(graph.num_nodes, cfg.num_negatives,
+                                                rng=self.rng)
+        self.step_runner = _BatchStep(self.model, cfg, self.rng)
+
+    def _train_graph(self) -> Graph:
+        """Training edges only, as a graph (disk stores what we train on)."""
+        edges = self.dataset.split.train
+        return Graph(num_nodes=self.dataset.graph.num_nodes,
+                     src=edges[:, 0], dst=edges[:, -1],
+                     rel=edges[:, 1] if edges.shape[1] == 3 else None,
+                     num_relations=self.dataset.graph.num_relations)
+
+    def _make_policy(self) -> PartitionPolicy:
+        dsk = self.disk
+        if dsk.policy == "comet":
+            from ..policies.comet import CometPolicy
+            return CometPolicy(dsk.num_partitions, dsk.num_logical, dsk.buffer_capacity)
+        if dsk.policy == "beta":
+            from ..policies.beta import BetaPolicy
+            return BetaPolicy(dsk.num_partitions, dsk.buffer_capacity)
+        raise ValueError(f"unknown policy {dsk.policy!r} (expected comet/beta)")
+
+    # ------------------------------------------------------------------
+    def train(self, verbose: bool = False) -> TrainResult:
+        cfg = self.config
+        records: List[EpochRecord] = []
+        for epoch in range(cfg.num_epochs):
+            record = self._train_epoch(epoch)
+            if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
+                record.metric = self.evaluate().mrr
+            records.append(record)
+            if verbose:
+                print(f"[epoch {epoch}] loss={record.loss:.4f} "
+                      f"time={record.seconds:.1f}s io={record.io_bytes >> 20}MiB "
+                      f"loads={record.partition_loads} mrr={record.metric:.4f}")
+        metrics = self.evaluate()
+        self.buffer.flush()
+        return TrainResult(epochs=records, final_metrics=metrics,
+                           model_name=f"{cfg.encoder}-disk-{self.disk.policy}")
+
+    def _train_epoch(self, epoch: int) -> EpochRecord:
+        cfg = self.config
+        t_epoch = time.perf_counter()
+        record = EpochRecord(epoch=epoch, loss=0.0, seconds=0.0, metric=0.0)
+        io_before = self.io.snapshot()
+        plan = self.policy.plan_epoch(epoch, rng=np.random.default_rng((epoch + 1) * 7919))
+        losses: List[float] = []
+
+        sampler: Optional[DenseSampler] = None
+        for step_idx, step in enumerate(plan.steps):
+            t_io = time.perf_counter()
+            next_parts = (plan.steps[step_idx + 1].partitions
+                          if step_idx + 1 < len(plan.steps) else None)
+            self.buffer_manager.load_step(step.partitions, next_parts)
+            subgraph = self.edge_store.subgraph_for_partitions(step.partitions)
+            if sampler is None:
+                sampler = DenseSampler(subgraph, list(cfg.fanouts),
+                                       directions=cfg.directions, rng=self.rng)
+            else:
+                sampler.set_graph(subgraph)
+            self.negatives.set_allowed(self.buffer.resident_nodes())
+            record.io_seconds += time.perf_counter() - t_io
+
+            edges = self.edge_store.read_buckets(step.buckets)
+            if len(edges) == 0:
+                continue
+            order = self.rng.permutation(len(edges))
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                loss = self.step_runner.run(edges[idx], sampler, self.negatives,
+                                            self.buffer.gather,
+                                            self.buffer.apply_gradients, record)
+                losses.append(loss)
+
+        self.buffer_manager.finish()
+        io_epoch = self.io.diff(io_before)
+        record.io_bytes = io_epoch.total_bytes
+        record.partition_loads = io_epoch.partition_loads
+        record.seconds = time.perf_counter() - t_epoch
+        record.loss = float(np.mean(losses)) if losses else 0.0
+        return record
+
+    # ------------------------------------------------------------------
+    def evaluate(self, edges: Optional[np.ndarray] = None,
+                 seed: int = 1234) -> RankingMetrics:
+        """In-memory evaluation over the full graph using the stored table."""
+        cfg = self.config
+        if edges is None:
+            edges = self.dataset.split.test
+        if len(edges) > cfg.eval_max_edges:
+            pick = np.random.default_rng(seed).choice(len(edges), cfg.eval_max_edges,
+                                                      replace=False)
+            edges = edges[pick]
+        self.buffer.flush()
+        table = self.node_store.read_all()
+        return evaluate_model(self.model, table, self.dataset.graph, edges, cfg,
+                              seed=seed)

@@ -1,0 +1,96 @@
+"""Negative sampling for link prediction training and evaluation.
+
+MariusGNN (like Marius and DGL-KE) scores each positive edge against a
+*shared pool* of negative nodes drawn per batch, so negative scoring is one
+dense matmul (Section 7.1 configures e.g. 500 negatives for the hyperlink
+graph). For disk-based training the pool is drawn from the nodes currently
+resident in the partition buffer — negatives, like neighbors, must live in
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class NegativeSampleBatch:
+    """A pool of negative node IDs shared across the batch's positives."""
+
+    nodes: np.ndarray
+
+
+class UniformNegativeSampler:
+    """Uniform corruption sampler over an allowed node ID set.
+
+    Parameters
+    ----------
+    num_nodes:
+        Global node count (pool drawn from ``[0, num_nodes)`` if no subset).
+    num_negatives:
+        Pool size per batch.
+    allowed:
+        Optional subset of node IDs to draw from (the in-buffer nodes for
+        disk-based training).
+    """
+
+    def __init__(self, num_nodes: int, num_negatives: int,
+                 allowed: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if num_negatives <= 0:
+            raise ValueError("num_negatives must be positive")
+        self.num_nodes = num_nodes
+        self.num_negatives = num_negatives
+        self._rng = rng or np.random.default_rng()
+        self.allowed = None if allowed is None else np.asarray(allowed, dtype=np.int64)
+        if self.allowed is not None and len(self.allowed) == 0:
+            raise ValueError("allowed node set is empty")
+
+    def set_allowed(self, allowed: Optional[np.ndarray]) -> None:
+        """Restrict the pool (called by the disk trainer after each swap)."""
+        self.allowed = None if allowed is None else np.asarray(allowed, dtype=np.int64)
+
+    def sample(self, size: Optional[int] = None) -> NegativeSampleBatch:
+        size = size or self.num_negatives
+        if self.allowed is None:
+            nodes = self._rng.integers(0, self.num_nodes, size=size, dtype=np.int64)
+        else:
+            idx = self._rng.integers(0, len(self.allowed), size=size)
+            nodes = self.allowed[idx]
+        return NegativeSampleBatch(nodes=nodes)
+
+
+class DegreeWeightedNegativeSampler:
+    """Degree-proportional corruption sampler (DGL-KE's default).
+
+    Sampling negatives proportionally to (a power of) node degree produces
+    harder negatives on heavy-tailed graphs — hub nodes appear as candidates
+    roughly as often as they appear in true edges. ``smoothing`` is the
+    exponent alpha in ``p(v) ~ degree(v)^alpha`` (0.75 following word2vec).
+    """
+
+    def __init__(self, degrees: np.ndarray, num_negatives: int,
+                 smoothing: float = 0.75,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if num_negatives <= 0:
+            raise ValueError("num_negatives must be positive")
+        degrees = np.asarray(degrees, dtype=np.float64)
+        if (degrees < 0).any():
+            raise ValueError("degrees must be nonnegative")
+        weights = np.power(np.maximum(degrees, 1e-12), smoothing)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("all degrees are zero")
+        self.num_negatives = num_negatives
+        self._rng = rng or np.random.default_rng()
+        # Inverse-CDF sampling via cumulative weights (vectorized draws).
+        self._cdf = np.cumsum(weights / total)
+
+    def sample(self, size: Optional[int] = None) -> NegativeSampleBatch:
+        size = size or self.num_negatives
+        draws = self._rng.random(size)
+        nodes = np.searchsorted(self._cdf, draws).astype(np.int64)
+        return NegativeSampleBatch(nodes=nodes)

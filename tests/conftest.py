@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic graphs and datasets for fast tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (Graph, PartitionScheme, chain_graph, citation_graph,
+                         power_law_graph, star_graph)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_graph():
+    """The paper's Figure 1/3 example graph: A..F with the edges shown."""
+    # A=0 B=1 C=2 D=3 E=4 F=5; incoming-edge aggregation.
+    src = np.array([2, 3, 2, 4, 3, 2, 4, 0, 1, 5])
+    dst = np.array([0, 0, 1, 1, 1, 3, 2, 2, 0, 1])
+    return Graph(num_nodes=6, src=src, dst=dst)
+
+
+@pytest.fixture
+def small_kg():
+    """Small power-law knowledge graph for sampler/trainer tests."""
+    return power_law_graph(300, 3000, num_relations=7, seed=3)
+
+
+@pytest.fixture
+def medium_kg():
+    return power_law_graph(2000, 24000, num_relations=11, seed=5)
+
+
+@pytest.fixture
+def nc_dataset():
+    graph, train, valid, test = citation_graph(
+        1500, 12000, feat_dim=16, num_classes=5, train_fraction=0.1, seed=7)
+    return graph, train, valid, test
+
+
+@pytest.fixture
+def scheme8(medium_kg):
+    return PartitionScheme.uniform(medium_kg.num_nodes, 8)
+
+
+def numeric_gradient(fn, x, eps=1e-3):
+    """Central-difference gradient of scalar fn at array x (float64)."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = fn(x.astype(np.float32))
+        x[idx] = orig - eps
+        f_minus = fn(x.astype(np.float32))
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad

@@ -1,0 +1,119 @@
+"""Decoder score functions and training losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (ClassificationHead, ComplExDecoder, DistMult, DotProduct,
+                      Tensor, bce_with_logits, link_prediction_loss,
+                      make_decoder, softmax_cross_entropy)
+
+
+def embeddings(n, d, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(0, 1, (n, d)).astype(np.float32))
+
+
+class TestDistMult:
+    def test_score_edges_matches_manual(self):
+        d = 4
+        dec = DistMult(num_relations=3, dim=d)
+        src, dst = embeddings(2, d, 1), embeddings(2, d, 2)
+        rel = np.array([0, 2])
+        scores = dec.score_edges(src, rel, dst).data
+        manual = (src.data * dec.relations.data[rel] * dst.data).sum(axis=1)
+        np.testing.assert_allclose(scores, manual, rtol=1e-5)
+
+    def test_score_against_consistency(self):
+        """Column j of score_against equals score_edges against candidate j."""
+        d = 5
+        dec = DistMult(num_relations=2, dim=d)
+        src = embeddings(3, d, 3)
+        rel = np.array([1, 0, 1])
+        cands = embeddings(4, d, 4)
+        matrix = dec.score_against(src, rel, cands).data
+        for j in range(4):
+            dst_j = Tensor(np.tile(cands.data[j], (3, 1)))
+            col = dec.score_edges(src, rel, dst_j).data
+            np.testing.assert_allclose(matrix[:, j], col, rtol=1e-4)
+
+    def test_gradients_reach_relations(self):
+        dec = DistMult(num_relations=2, dim=3)
+        src = embeddings(2, 3)
+        dst = embeddings(2, 3, 1)
+        dec.score_edges(src, np.array([0, 1]), dst).sum().backward()
+        assert dec.relations.grad is not None
+
+
+class TestComplEx:
+    def test_consistency_against_score_edges(self):
+        d = 6
+        dec = ComplExDecoder(num_relations=2, dim=d)
+        src = embeddings(3, d, 5)
+        rel = np.array([0, 1, 0])
+        cands = embeddings(2, d, 6)
+        matrix = dec.score_against(src, rel, cands).data
+        for j in range(2):
+            dst_j = Tensor(np.tile(cands.data[j], (3, 1)))
+            col = dec.score_edges(src, rel, dst_j).data
+            np.testing.assert_allclose(matrix[:, j], col, rtol=1e-4, atol=1e-5)
+
+    def test_requires_even_dim(self):
+        with pytest.raises(ValueError):
+            ComplExDecoder(num_relations=2, dim=5)
+
+
+class TestDotProductAndRegistry:
+    def test_dot_product(self):
+        dec = DotProduct()
+        src = Tensor(np.array([[1.0, 0.0]], dtype=np.float32))
+        dst = Tensor(np.array([[1.0, 1.0]], dtype=np.float32))
+        assert float(dec.score_edges(src, np.array([0]), dst).data[0]) == 1.0
+
+    def test_make_decoder(self):
+        from repro.nn import TransE
+        assert isinstance(make_decoder("distmult", 3, 4), DistMult)
+        assert isinstance(make_decoder("complex", 3, 4), ComplExDecoder)
+        assert isinstance(make_decoder("dot", 3, 4), DotProduct)
+        assert isinstance(make_decoder("transe", 3, 4), TransE)
+        with pytest.raises(ValueError):
+            make_decoder("rotate", 3, 4)
+
+
+class TestClassificationHead:
+    def test_predict_shape(self):
+        head = ClassificationHead(8, 5)
+        h = embeddings(10, 8)
+        assert head(h).shape == (10, 5)
+        assert head.predict(h).shape == (10,)
+
+
+class TestLosses:
+    def test_link_prediction_loss_prefers_high_positive(self):
+        pos_good = Tensor(np.array([5.0, 5.0], dtype=np.float32))
+        pos_bad = Tensor(np.array([-5.0, -5.0], dtype=np.float32))
+        neg = Tensor(np.zeros((2, 4), dtype=np.float32))
+        assert float(link_prediction_loss(pos_good, neg).data) < \
+            float(link_prediction_loss(pos_bad, neg).data)
+
+    def test_link_prediction_loss_uniform(self):
+        pos = Tensor(np.zeros(3, dtype=np.float32))
+        neg = Tensor(np.zeros((3, 9), dtype=np.float32))
+        np.testing.assert_allclose(link_prediction_loss(pos, neg).data,
+                                   np.log(10.0), rtol=1e-5)
+
+    def test_bce_matches_reference(self):
+        logits = Tensor(np.array([0.0, 2.0, -3.0], dtype=np.float32))
+        labels = np.array([1.0, 1.0, 0.0])
+        loss = float(bce_with_logits(logits, labels).data)
+        x = logits.data.astype(np.float64)
+        ref = np.mean(np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0) - x * labels)
+        np.testing.assert_allclose(loss, ref, rtol=1e-5)
+
+    def test_bce_gradient(self):
+        logits = Tensor(np.array([0.0], dtype=np.float32), requires_grad=True)
+        bce_with_logits(logits, np.array([1.0])).backward()
+        np.testing.assert_allclose(logits.grad, [-0.5], atol=1e-5)
+
+    def test_softmax_ce_alias(self):
+        logits = Tensor(np.zeros((1, 2), dtype=np.float32))
+        np.testing.assert_allclose(softmax_cross_entropy(logits, np.array([0])).data,
+                                   np.log(2.0), rtol=1e-5)

@@ -1,0 +1,95 @@
+"""Metric and pipeline-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.train import (StageTimes, multiclass_accuracy, overlap_efficiency,
+                         pipelined_disk_epoch_seconds, pipelined_epoch_seconds,
+                         ranking_metrics, ranks_from_scores)
+
+
+class TestRanks:
+    def test_rank_positions(self):
+        pos = np.array([3.0, 0.0])
+        neg = np.array([[1.0, 2.0, 4.0], [1.0, 2.0, 3.0]])
+        ranks = ranks_from_scores(pos, neg)
+        np.testing.assert_allclose(ranks, [2.0, 4.0])
+
+    def test_ties_averaged(self):
+        pos = np.array([1.0])
+        neg = np.array([[1.0, 1.0, 0.0]])
+        # 0 better, 2 ties -> 1 + 0 + 1 = 2
+        np.testing.assert_allclose(ranks_from_scores(pos, neg), [2.0])
+
+    def test_constant_scores_give_chance_mrr(self):
+        """The tie convention must not reward a constant scorer."""
+        n_cands = 9
+        pos = np.zeros(100)
+        neg = np.zeros((100, n_cands))
+        metrics = ranking_metrics(ranks_from_scores(pos, neg))
+        chance = 1.0 / (1 + n_cands / 2)
+        assert metrics.mrr < 2 * chance
+
+    def test_metrics_fields(self):
+        m = ranking_metrics(np.array([1.0, 2.0, 20.0]))
+        assert m.hits_at_1 == pytest.approx(1 / 3)
+        assert m.hits_at_10 == pytest.approx(2 / 3)
+        assert m.mrr == pytest.approx((1.0 + 0.5 + 0.05) / 3)
+        assert m.num_examples == 3
+        assert set(m.as_dict()) == {"mrr", "hits@1", "hits@10", "n"}
+
+    def test_empty(self):
+        m = ranking_metrics(np.empty(0))
+        assert m.mrr == 0.0 and m.num_examples == 0
+
+
+class TestAccuracy:
+    def test_accuracy(self):
+        assert multiclass_accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            multiclass_accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty(self):
+        assert multiclass_accuracy(np.empty(0), np.empty(0)) == 0.0
+
+
+class TestPipelineModel:
+    def test_bottleneck_dominates(self):
+        stages = StageTimes(sample=10.0, transfer=2.0, compute=3.0, update=1.0)
+        piped = pipelined_epoch_seconds(stages, num_batches=100)
+        assert 10.0 <= piped < stages.serial
+        assert piped == pytest.approx(10.0 + 6.0 / 100)
+
+    def test_zero_batches(self):
+        assert pipelined_epoch_seconds(StageTimes(), 0) == 0.0
+
+    def test_disk_prefetch_hides_io(self):
+        """Balanced IO fully hides behind compute (COMET's regime)."""
+        io = [2.0, 1.0, 1.0, 1.0]
+        train = [3.0, 3.0, 3.0, 3.0]
+        piped = pipelined_disk_epoch_seconds(io, train, prefetch=True)
+        assert piped == pytest.approx(2.0 + 12.0)  # first load + all train
+        assert overlap_efficiency(io, train) == pytest.approx(3.0 / 5.0)
+
+    def test_unbalanced_schedule_exposes_io(self):
+        """BETA's regime: early steps hold most work, late steps starve and
+        IO surfaces (Section 7.5)."""
+        io = [2.0, 2.0, 2.0, 2.0]
+        balanced = pipelined_disk_epoch_seconds(io, [3.0, 3.0, 3.0, 3.0])
+        frontloaded = pipelined_disk_epoch_seconds(io, [10.0, 1.0, 0.5, 0.5])
+        assert frontloaded > balanced
+
+    def test_no_prefetch_is_serial(self):
+        io = [1.0, 1.0]
+        train = [2.0, 2.0]
+        assert pipelined_disk_epoch_seconds(io, train, prefetch=False) == 6.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pipelined_disk_epoch_seconds([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert pipelined_disk_epoch_seconds([], []) == 0.0
+        assert overlap_efficiency([], []) == 1.0

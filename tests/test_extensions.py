@@ -1,0 +1,403 @@
+"""Tests for the extension modules: pipelined trainer, prefetching, TransE,
+filtered evaluation, Hilbert policy, checkpointing, preprocessing, CLI."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import (Graph, PartitionScheme, chain_graph, deduplicate_edges,
+                         degree_order, densify_ids, export_tsv, import_tsv,
+                         load_fb15k237, power_law_graph, shuffle_node_ids)
+from repro.nn import RowAdagrad, Tensor, TransE
+from repro.policies import HilbertOrderingPolicy, hilbert_bucket_order
+from repro.storage import (NodeStore, PartitionBuffer, Prefetcher,
+                           PrefetchingBufferManager)
+from repro.train import (LinkPredictionConfig, LinkPredictionTrainer,
+                         PipelinedLinkPredictionTrainer, TripleFilter,
+                         filtered_ranks, load_checkpoint, save_checkpoint)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined trainer
+# ---------------------------------------------------------------------------
+
+class TestPipelinedTrainer:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return load_fb15k237(scale=0.05, seed=0)
+
+    def config(self, **kw):
+        defaults = dict(embedding_dim=16, num_layers=1, fanouts=(8,),
+                        batch_size=256, num_negatives=32, num_epochs=2,
+                        eval_negatives=64, eval_max_edges=300, seed=0)
+        defaults.update(kw)
+        return LinkPredictionConfig(**defaults)
+
+    def test_pipelined_training_learns(self, data):
+        trainer = PipelinedLinkPredictionTrainer(data, self.config(num_epochs=3),
+                                                 num_sample_workers=2,
+                                                 pipeline_depth=4)
+        before = trainer.evaluate().mrr
+        result = trainer.train()
+        assert result.final_mrr > before * 1.5
+        assert result.epochs[-1].loss < result.epochs[0].loss
+        assert len(trainer.pipeline_stats) == 3
+        assert trainer.pipeline_stats[0].batches == result.epochs[0].num_batches
+
+    def test_pipelined_matches_sync_quality(self, data):
+        """Bounded staleness must not meaningfully hurt model quality."""
+        sync = LinkPredictionTrainer(data, self.config(num_epochs=3)).train()
+        piped = PipelinedLinkPredictionTrainer(
+            data, self.config(num_epochs=3)).train()
+        assert piped.final_mrr > sync.final_mrr * 0.8
+
+    def test_invalid_pipeline_params(self, data):
+        with pytest.raises(ValueError):
+            PipelinedLinkPredictionTrainer(data, self.config(),
+                                           num_sample_workers=0)
+        with pytest.raises(ValueError):
+            PipelinedLinkPredictionTrainer(data, self.config(),
+                                           pipeline_depth=0)
+
+
+# ---------------------------------------------------------------------------
+# Prefetching
+# ---------------------------------------------------------------------------
+
+class TestPrefetching:
+    def make(self, tmp_path, capacity=2):
+        scheme = PartitionScheme.uniform(40, 4)
+        store = NodeStore(tmp_path / "pf.bin", scheme, dim=4, learnable=True)
+        store.initialize(rng=np.random.default_rng(0))
+        buf = PartitionBuffer(store, capacity, optimizer=RowAdagrad(lr=0.1))
+        return store, buf
+
+    def test_prefetcher_stages_partitions(self, tmp_path):
+        store, _ = self.make(tmp_path)
+        pf = Prefetcher(store)
+        pf.start([0, 1])
+        pf.wait()
+        assert pf.take(0) is not None
+        assert pf.take(1) is not None
+        assert pf.take(2) is None
+        assert pf.prefetch_hits == 2 and pf.prefetch_misses == 1
+
+    def test_manager_walks_plan_with_hits(self, tmp_path):
+        _, buf = self.make(tmp_path)
+        mgr = PrefetchingBufferManager(buf, enabled=True)
+        steps = [[0, 1], [1, 2], [2, 3]]
+        for idx, parts in enumerate(steps):
+            nxt = steps[idx + 1] if idx + 1 < len(steps) else None
+            mgr.load_step(parts, nxt)
+            assert sorted(buf.resident) == sorted(parts)
+        mgr.finish()
+        assert mgr.hits >= 1  # steps 2 and 3 should hit staged partitions
+
+    def test_admit_preloaded_equivalent_to_admit(self, tmp_path):
+        store, buf = self.make(tmp_path)
+        data, state = store.read_partition(2)
+        buf.admit_preloaded(2, data, state)
+        rows = buf.gather(np.array([25]))
+        direct, _ = store.read_partition(2)
+        np.testing.assert_allclose(rows[0], direct[5])
+
+    def test_admit_preloaded_validates_shape(self, tmp_path):
+        _, buf = self.make(tmp_path)
+        with pytest.raises(ValueError):
+            buf.admit_preloaded(0, np.zeros((3, 4), dtype=np.float32), None)
+
+    def test_disabled_manager_reads_directly(self, tmp_path):
+        _, buf = self.make(tmp_path)
+        mgr = PrefetchingBufferManager(buf, enabled=False)
+        mgr.load_step([0, 1], [[1, 2]])
+        assert buf.resident == [0, 1]
+        assert mgr.hits == 0
+
+    def test_writeback_survives_prefetch_path(self, tmp_path):
+        """Updates applied to a prefetched partition must reach disk."""
+        store, buf = self.make(tmp_path)
+        initial, _ = store.read_partition(0)
+        row3_before = initial[3].copy()
+        mgr = PrefetchingBufferManager(buf, enabled=True)
+        mgr.load_step([0, 1], [1, 2])
+        buf.apply_gradients(np.array([3]), np.ones((1, 4), dtype=np.float32))
+        mgr.load_step([1, 2], None)   # evicts dirty partition 0
+        fresh, state = store.read_partition(0)
+        assert not np.allclose(fresh[3], row3_before)
+        assert (state[3] > 0).all()
+        mgr.finish()
+
+
+# ---------------------------------------------------------------------------
+# TransE
+# ---------------------------------------------------------------------------
+
+class TestTransE:
+    def test_perfect_translation_scores_best(self):
+        dec = TransE(1, 4, rng=np.random.default_rng(0))
+        rel = np.array([0])
+        src = Tensor(np.array([[1.0, 0.0, 0.0, 0.0]], dtype=np.float32))
+        perfect = Tensor((src.data + dec.relations.data[0]))
+        off = Tensor(perfect.data + 3.0)
+        good = float(dec.score_edges(src, rel, perfect).data[0])
+        bad = float(dec.score_edges(src, rel, off).data[0])
+        assert good > bad
+        assert good == pytest.approx(0.0, abs=1e-3)
+
+    def test_training_with_transe(self):
+        data = load_fb15k237(scale=0.05, seed=0)
+        cfg = LinkPredictionConfig(embedding_dim=16, encoder="none",
+                                   decoder="transe", batch_size=256,
+                                   num_negatives=32, num_epochs=3,
+                                   eval_negatives=64, eval_max_edges=300,
+                                   embedding_lr=0.05, seed=0)
+        trainer = LinkPredictionTrainer(data, cfg)
+        before = trainer.evaluate().mrr
+        assert trainer.train().final_mrr > before
+
+
+# ---------------------------------------------------------------------------
+# Filtered evaluation
+# ---------------------------------------------------------------------------
+
+class TestFilteredEvaluation:
+    def test_filter_contains(self):
+        edges = np.array([[0, 1, 2], [3, 0, 4]])
+        filt = TripleFilter(edges)
+        assert filt.contains(0, 1, 2) and filt.contains(3, 0, 4)
+        assert not filt.contains(0, 1, 4)
+        assert len(filt) == 2
+
+    def test_filter_without_relations(self):
+        edges = np.array([[0, 2], [1, 3]])
+        filt = TripleFilter(edges)
+        assert filt.contains(0, 0, 2)
+
+    def test_filtered_ranks_exclude_true_candidates(self):
+        pos = np.array([1.0])
+        neg = np.array([[2.0, 0.5]])       # candidate 0 outranks the positive
+        mask = np.array([[True, False]])   # ...but is a known true triple
+        raw = filtered_ranks(pos, neg, np.zeros_like(mask))
+        filt = filtered_ranks(pos, neg, mask)
+        assert raw[0] == 2.0 and filt[0] == 1.0
+
+    def test_mask_shape(self):
+        filt = TripleFilter(np.array([[0, 0, 5]]))
+        mask = filt.mask(np.array([0, 1]), np.array([0, 0]), np.array([5, 6]))
+        assert mask.shape == (2, 2)
+        assert mask[0, 0] and not mask[0, 1] and not mask[1, 0]
+
+
+# ---------------------------------------------------------------------------
+# Hilbert / PBG-style policy
+# ---------------------------------------------------------------------------
+
+class TestHilbertPolicy:
+    def test_curve_is_a_permutation(self):
+        order = hilbert_bucket_order(8)
+        assert len(order) == 64
+        assert len(set(order)) == 64
+
+    def test_non_power_of_two(self):
+        order = hilbert_bucket_order(5)
+        assert len(order) == 25
+        assert all(0 <= i < 5 and 0 <= j < 5 for i, j in order)
+
+    def test_plan_validates(self):
+        plan = HilbertOrderingPolicy(8, 3).plan_epoch(0)
+        plan.validate()
+
+    def test_consecutive_buckets_share_partitions(self):
+        """The locality property the curve buys: most consecutive buckets
+        need no partition swap at all."""
+        order = hilbert_bucket_order(8)
+        shared = sum(1 for a, b in zip(order, order[1:])
+                     if set(a) & set(b))
+        assert shared / len(order) > 0.5
+
+    def test_deterministic_across_epochs_unlike_comet(self):
+        """Hilbert's defining weakness vs COMET is not partition-level bias
+        (the curve revisits regions fairly evenly) but *determinism*: every
+        epoch replays the identical example order, so ordering noise never
+        averages out — COMET regroups and reshuffles each epoch."""
+        from repro.policies import CometPolicy
+        h = HilbertOrderingPolicy(16, 4)
+        plan_a = h.plan_epoch(0, np.random.default_rng(0))
+        plan_b = h.plan_epoch(1, np.random.default_rng(1))
+        assert [s.buckets for s in plan_a.steps] == [s.buckets for s in plan_b.steps]
+        comet = CometPolicy(16, 8, 4)
+        ca = comet.plan_epoch(0, np.random.default_rng(0))
+        cb = comet.plan_epoch(1, np.random.default_rng(1))
+        assert [s.buckets for s in ca.steps] != [s.buckets for s in cb.steps]
+
+    def test_bias_is_computable(self):
+        from repro.graph import EdgeBuckets
+        from repro.policies import edge_permutation_bias
+        g = power_law_graph(2000, 20000, seed=3)
+        eb = EdgeBuckets(g, PartitionScheme.uniform(g.num_nodes, 16))
+        b = edge_permutation_bias(HilbertOrderingPolicy(16, 4).plan_epoch(0), eb)
+        assert 0.0 <= b <= 1.0
+
+    def test_requires_capacity(self):
+        with pytest.raises(ValueError):
+            HilbertOrderingPolicy(8, 1)
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        data = load_fb15k237(scale=0.05, seed=0)
+        cfg = LinkPredictionConfig(embedding_dim=16, num_layers=1, fanouts=(8,),
+                                   batch_size=256, num_negatives=32,
+                                   num_epochs=1, eval_negatives=64,
+                                   eval_max_edges=200, seed=0)
+        trainer = LinkPredictionTrainer(data, cfg)
+        trainer.train()
+        mrr_before = trainer.evaluate().mrr
+        save_checkpoint(tmp_path / "ckpt", trainer.model, cfg,
+                        embeddings=trainer.embeddings.table,
+                        optimizer_state=trainer.embeddings.state)
+
+        fresh = LinkPredictionTrainer(data, cfg)
+        fields, embeddings, state = load_checkpoint(tmp_path / "ckpt",
+                                                    fresh.model)
+        fresh.embeddings.table = embeddings
+        fresh.embeddings.state = state
+        assert fields["embedding_dim"] == 16
+        assert fresh.evaluate().mrr == pytest.approx(mrr_before, abs=1e-6)
+
+    def test_checkpoint_files_present(self, tmp_path):
+        data = load_fb15k237(scale=0.05, seed=0)
+        cfg = LinkPredictionConfig(embedding_dim=16, num_layers=1, fanouts=(8,))
+        trainer = LinkPredictionTrainer(data, cfg)
+        out = save_checkpoint(tmp_path / "c2", trainer.model, cfg,
+                              embeddings=trainer.embeddings.table)
+        assert (out / "model.npz").exists()
+        assert (out / "embeddings.npy").exists()
+        meta = json.loads((out / "config.json").read_text())
+        assert meta["class"] == "LinkPredictionConfig"
+
+
+# ---------------------------------------------------------------------------
+# Preprocessing
+# ---------------------------------------------------------------------------
+
+class TestPreprocess:
+    def test_densify_ids(self):
+        src = np.array([100, 200, 100])
+        dst = np.array([200, 300, 300])
+        rel = np.array([7, 7, 9])
+        graph, node_map, rel_map = densify_ids(src, dst, rel)
+        assert graph.num_nodes == 3
+        assert graph.num_relations == 2
+        np.testing.assert_array_equal(node_map, [100, 200, 300])
+        np.testing.assert_array_equal(rel_map, [7, 9])
+        # Edge structure preserved under the mapping.
+        np.testing.assert_array_equal(node_map[graph.src], src)
+        np.testing.assert_array_equal(node_map[graph.dst], dst)
+
+    def test_shuffle_preserves_structure(self):
+        g = power_law_graph(100, 800, seed=0)
+        shuffled, perm = shuffle_node_ids(g, seed=1)
+        assert shuffled.num_edges == g.num_edges
+        # Degrees are permuted, not changed.
+        np.testing.assert_array_equal(
+            np.sort(shuffled.degree_out()), np.sort(g.degree_out()))
+
+    def test_shuffle_carries_features(self):
+        g = power_law_graph(50, 200, seed=0)
+        g.node_features = np.arange(100, dtype=np.float32).reshape(50, 2)
+        shuffled, perm = shuffle_node_ids(g, seed=2)
+        # feature of new id perm[v] equals feature of old v
+        v = 7
+        np.testing.assert_allclose(shuffled.node_features[perm[v]],
+                                   g.node_features[v])
+
+    def test_deduplicate(self):
+        g = Graph(num_nodes=3, src=np.array([0, 0, 1]),
+                  dst=np.array([1, 1, 2]))
+        d = deduplicate_edges(g)
+        assert d.num_edges == 2
+
+    def test_degree_order_hot_first(self):
+        g = power_law_graph(200, 3000, seed=1)
+        ordered, mapping = degree_order(g)
+        deg = ordered.degree_in() + ordered.degree_out()
+        assert deg[0] == deg.max()
+        assert (np.diff(deg) <= 0).all()
+
+    def test_tsv_roundtrip(self, tmp_path):
+        g = power_law_graph(50, 300, num_relations=4, seed=0)
+        path = export_tsv(g, tmp_path / "edges.tsv")
+        back = import_tsv(path)
+        assert back.num_edges == g.num_edges
+        assert back.num_relations == g.num_relations
+
+    def test_import_tsv_column_check(self, tmp_path):
+        (tmp_path / "bad.tsv").write_text("1\t2\t3\t4\n")
+        with pytest.raises(ValueError):
+            import_tsv(tmp_path / "bad.tsv")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    def test_info(self, capsys):
+        from repro.cli import main
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "freebase86m" in out
+
+    def test_autotune(self, capsys):
+        from repro.cli import main
+        assert main(["autotune", "--dataset", "freebase86m",
+                     "--memory-gb", "61"]) == 0
+        assert "buffer capacity" in capsys.readouterr().out
+
+    def test_train_lp_smoke(self, capsys):
+        from repro.cli import main
+        assert main(["train-lp", "--dataset", "fb15k237", "--scale", "0.03",
+                     "--epochs", "1", "--dim", "8", "--fanouts", "4"]) == 0
+        assert "final MRR" in capsys.readouterr().out
+
+    def test_train_lp_disk_with_checkpoint(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["train-lp", "--dataset", "fb15k237", "--scale", "0.03",
+                     "--epochs", "1", "--dim", "8", "--fanouts", "4",
+                     "--disk", "--partitions", "8", "--logical", "4",
+                     "--buffer", "4",
+                     "--workdir", str(tmp_path / "wd"),
+                     "--save", str(tmp_path / "ckpt")]) == 0
+        assert (tmp_path / "ckpt" / "model.npz").exists()
+
+    def test_train_nc_smoke(self, capsys):
+        from repro.cli import main
+        assert main(["train-nc", "--nodes", "800", "--epochs", "1",
+                     "--dim", "8", "--fanouts", "4", "--batch-size", "128"]) == 0
+        assert "final accuracy" in capsys.readouterr().out
+
+    def test_config_file_overrides(self, tmp_path, capsys):
+        from repro.cli import main
+        cfg = tmp_path / "run.json"
+        cfg.write_text(json.dumps({"epochs": 1, "dim": 8, "fanouts": [4],
+                                   "scale": 0.03}))
+        assert main(["train-lp", "--config", str(cfg)]) == 0
+
+    def test_config_file_rejects_unknown(self, tmp_path):
+        from repro.cli import main
+        cfg = tmp_path / "bad.json"
+        cfg.write_text(json.dumps({"nonexistent_option": 1}))
+        with pytest.raises(SystemExit):
+            main(["train-lp", "--config", str(cfg)])
+
+    def test_unknown_lp_dataset(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["train-lp", "--dataset", "cora"])

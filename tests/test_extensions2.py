@@ -1,0 +1,142 @@
+"""Tests for the second extension batch: GIN / pooling-GraphSage layers,
+degree-weighted negatives, all-candidate and filtered MRR evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DenseSampler, GNNEncoder
+from repro.graph import load_fb15k237, power_law_graph
+from repro.nn import DenseLayerView, GINLayer, PoolGraphSageLayer, Tensor, make_layer
+from repro.nn.layers import _segment_max
+from repro.train import (DegreeWeightedNegativeSampler, LinkPredictionConfig,
+                         LinkPredictionTrainer, TripleFilter, evaluate_model)
+from tests.conftest import numeric_gradient
+
+
+@pytest.fixture
+def simple_view():
+    return DenseLayerView(repr_map=np.array([0, 1, 2]),
+                          nbr_offsets=np.array([0, 2]),
+                          self_start=3, num_outputs=2)
+
+
+class TestSegmentMax:
+    def test_matches_manual(self):
+        vals = Tensor(np.array([[1., 5.], [3., 2.], [7., 0.]], dtype=np.float32))
+        out = _segment_max(vals, np.array([0, 2]), 2)
+        np.testing.assert_allclose(out.data, [[3., 5.], [7., 0.]])
+
+    def test_empty_segment_zero(self):
+        vals = Tensor(np.ones((2, 2), dtype=np.float32))
+        out = _segment_max(vals, np.array([0, 2, 2]), 3)
+        np.testing.assert_allclose(out.data[0], [1., 1.])
+        np.testing.assert_allclose(out.data[1], [0., 0.])
+        np.testing.assert_allclose(out.data[2], [0., 0.])
+
+    def test_gradient(self):
+        from repro.nn import no_grad
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (5, 2)).astype(np.float32)
+        offsets = np.array([0, 3])
+
+        def apply(t):
+            return (_segment_max(t, offsets, 2) ** 2.0).sum()
+
+        t = Tensor(x.copy(), requires_grad=True)
+        apply(t).backward()
+
+        def f(a):
+            with no_grad():
+                return float(apply(Tensor(a)).data)
+
+        numeric = numeric_gradient(f, x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=2e-2)
+
+
+class TestNewLayers:
+    def test_gin_eps_used(self, simple_view):
+        layer = GINLayer(4, 4, activation=None, rng=np.random.default_rng(0))
+        h = Tensor(np.random.default_rng(1).normal(size=(5, 4)).astype(np.float32))
+        base = layer(h, simple_view).data.copy()
+        layer.eps.data[:] = 5.0
+        changed = layer(h, simple_view).data
+        assert not np.allclose(base, changed)
+
+    def test_pool_sage_differs_from_mean_sage(self, simple_view):
+        h = Tensor(np.random.default_rng(2).normal(size=(5, 4)).astype(np.float32))
+        pool = make_layer("graphsage-pool", 4, 3, rng=np.random.default_rng(3))
+        mean = make_layer("graphsage", 4, 3, rng=np.random.default_rng(3))
+        assert not np.allclose(pool(h, simple_view).data,
+                               mean(h, simple_view).data)
+
+    @pytest.mark.parametrize("kind", ["gin", "graphsage-pool"])
+    def test_encoder_stack_trains(self, kind):
+        g = power_law_graph(300, 3000, seed=0)
+        sampler = DenseSampler(g, [5, 5], rng=np.random.default_rng(0))
+        batch = sampler.sample(np.arange(20))
+        enc = GNNEncoder(kind, [6, 6, 6], rng=np.random.default_rng(1))
+        h0 = Tensor(np.random.default_rng(2).normal(
+            size=(batch.num_nodes, 6)).astype(np.float32), requires_grad=True)
+        enc(h0, batch).sum().backward()
+        assert h0.grad is not None
+        assert all(p.grad is not None for p in enc.parameters())
+
+
+class TestDegreeWeightedNegatives:
+    def test_hubs_oversampled(self):
+        degrees = np.array([1000, 1, 1, 1, 1])
+        sampler = DegreeWeightedNegativeSampler(degrees, 2000,
+                                                rng=np.random.default_rng(0))
+        nodes = sampler.sample().nodes
+        assert (nodes == 0).mean() > 0.5
+        assert nodes.max() < 5
+
+    def test_smoothing_flattens(self):
+        degrees = np.array([1000, 1, 1, 1])
+        sharp = DegreeWeightedNegativeSampler(degrees, 5000, smoothing=1.0,
+                                              rng=np.random.default_rng(0))
+        flat = DegreeWeightedNegativeSampler(degrees, 5000, smoothing=0.1,
+                                             rng=np.random.default_rng(0))
+        assert (sharp.sample().nodes == 0).mean() > (flat.sample().nodes == 0).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegreeWeightedNegativeSampler(np.array([1, 2]), 0)
+        with pytest.raises(ValueError):
+            DegreeWeightedNegativeSampler(np.array([-1, 2]), 5)
+
+
+class TestAllCandidateEvaluation:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        data = load_fb15k237(scale=0.05, seed=0)
+        cfg = LinkPredictionConfig(embedding_dim=16, num_layers=1, fanouts=(8,),
+                                   batch_size=256, num_negatives=32,
+                                   num_epochs=3, eval_negatives=64,
+                                   eval_max_edges=200, seed=0)
+        trainer = LinkPredictionTrainer(data, cfg)
+        trainer.train()
+        return data, trainer, cfg
+
+    def test_all_candidates_runs_and_is_harder(self, trained):
+        """Ranking against every node gives a (weakly) lower MRR than ranking
+        against a small sampled pool."""
+        data, trainer, cfg = trained
+        edges = data.split.test[:150]
+        sampled = evaluate_model(trainer.model, trainer.embeddings.table,
+                                 data.graph, edges, cfg)
+        full = evaluate_model(trainer.model, trainer.embeddings.table,
+                              data.graph, edges, cfg, all_candidates=True)
+        assert full.mrr <= sampled.mrr + 0.02
+        assert full.mrr > 0
+
+    def test_filtered_not_worse_than_raw(self, trained):
+        data, trainer, cfg = trained
+        edges = data.split.test[:100]
+        filt = TripleFilter(data.split.train, data.split.valid, data.split.test)
+        raw = evaluate_model(trainer.model, trainer.embeddings.table,
+                             data.graph, edges, cfg, all_candidates=True)
+        filtered = evaluate_model(trainer.model, trainer.embeddings.table,
+                                  data.graph, edges, cfg, all_candidates=True,
+                                  triple_filter=filt)
+        assert filtered.mrr >= raw.mrr

@@ -1,0 +1,144 @@
+"""Graph container, splits, generators, and dataset registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (Graph, PAPER_DATASETS, chain_graph, citation_graph,
+                         erdos_renyi_graph, load_fb15k237, load_papers100m_mini,
+                         paper_stats, power_law_graph, split_edges, star_graph)
+
+
+class TestGraph:
+    def test_validates_endpoints(self):
+        with pytest.raises(ValueError):
+            Graph(num_nodes=2, src=np.array([0]), dst=np.array([5]))
+
+    def test_validates_negative(self):
+        with pytest.raises(ValueError):
+            Graph(num_nodes=2, src=np.array([-1]), dst=np.array([0]))
+
+    def test_rel_alignment(self):
+        with pytest.raises(ValueError):
+            Graph(num_nodes=3, src=np.array([0, 1]), dst=np.array([1, 2]),
+                  rel=np.array([0]))
+
+    def test_num_relations_inferred(self):
+        g = Graph(num_nodes=3, src=np.array([0, 1]), dst=np.array([1, 2]),
+                  rel=np.array([0, 4]))
+        assert g.num_relations == 5
+
+    def test_edges_matrix_with_relations(self):
+        g = Graph(num_nodes=3, src=np.array([0]), dst=np.array([2]),
+                  rel=np.array([1]))
+        np.testing.assert_array_equal(g.edges(), [[0, 1, 2]])
+
+    def test_degrees(self):
+        g = star_graph(4)
+        np.testing.assert_array_equal(g.degree_in(), [4, 0, 0, 0, 0])
+        np.testing.assert_array_equal(g.degree_out(), [0, 1, 1, 1, 1])
+
+    def test_subgraph_edges_keeps_ids(self):
+        g = chain_graph(5)
+        mask = np.array([True, True, True, False, False])
+        sub = g.subgraph_edges(mask)
+        assert sub.num_nodes == 5
+        assert sub.num_edges == 2  # 0->1, 1->2
+
+    def test_with_reversed_edges(self):
+        g = chain_graph(3)
+        sym = g.with_reversed_edges()
+        assert sym.num_edges == 2 * g.num_edges
+        assert (sym.degree_in() == sym.degree_out()).all()
+
+    def test_memory_accounting(self):
+        g = chain_graph(10)
+        mem = g.memory_bytes(feat_dim=4)
+        assert mem["edges"] == 9 * 16
+        assert mem["features"] == 10 * 16
+        assert mem["total"] == mem["edges"] + mem["features"]
+
+
+class TestSplits:
+    def test_split_partitions_edges(self):
+        g = power_law_graph(200, 2000, seed=0)
+        split = split_edges(g, valid_fraction=0.1, test_fraction=0.1,
+                            rng=np.random.default_rng(0))
+        total = len(split.train) + len(split.valid) + len(split.test)
+        assert total == g.num_edges
+        assert len(split.valid) == 200 and len(split.test) == 200
+
+    def test_split_no_overlap(self):
+        g = power_law_graph(100, 500, seed=1)
+        split = split_edges(g, rng=np.random.default_rng(1))
+        def keys(arr):
+            return {tuple(row) for row in arr}
+        # Multigraph duplicates make exact disjointness impossible to require,
+        # but the index partition guarantees the counts are disjoint.
+        assert len(split.train) + len(split.valid) + len(split.test) == g.num_edges
+
+
+class TestGenerators:
+    def test_power_law_heavy_tail(self):
+        g = power_law_graph(2000, 30000, exponent=2.1, seed=0)
+        deg = g.degree_in() + g.degree_out()
+        # Top 1% of nodes should hold a disproportionate share of edges.
+        top = np.sort(deg)[-20:].sum()
+        assert top / deg.sum() > 0.1
+
+    def test_no_self_loops(self):
+        g = power_law_graph(100, 1000, seed=2)
+        assert (g.src != g.dst).all()
+
+    def test_relations_zipfian(self):
+        g = power_law_graph(500, 5000, num_relations=10, seed=3)
+        counts = np.bincount(g.rel, minlength=10)
+        assert counts[0] > counts[-1]
+
+    def test_citation_graph_structure(self):
+        graph, train, valid, test = citation_graph(500, 4000, feat_dim=8,
+                                                   num_classes=4,
+                                                   train_fraction=0.1, seed=0)
+        assert graph.node_features.shape == (500, 8)
+        assert graph.node_labels.max() < 4
+        assert len(train) == 50
+        assert len(np.intersect1d(train, valid)) == 0
+        assert len(np.intersect1d(train, test)) == 0
+
+    def test_citation_homophily(self):
+        graph, *_ = citation_graph(800, 8000, num_classes=4, homophily=0.8, seed=1)
+        labels = graph.node_labels
+        same = (labels[graph.src] == labels[graph.dst]).mean()
+        assert same > 0.5  # far above the 0.25 chance level
+
+    def test_erdos_renyi(self):
+        g = erdos_renyi_graph(50, 200, seed=0)
+        assert g.num_edges == 200 and (g.src != g.dst).all()
+
+
+class TestDatasets:
+    def test_paper_stats_registry(self):
+        assert paper_stats("papers100m").num_nodes == 111_000_000
+        assert paper_stats("FB15K-237").num_relations == 237
+        with pytest.raises(KeyError):
+            paper_stats("cora")
+        assert len(PAPER_DATASETS) == 8
+
+    def test_fb15k237_full_scale(self):
+        data = load_fb15k237(scale=1.0, seed=0)
+        assert data.graph.num_nodes == 14_541
+        assert data.graph.num_edges == 272_115
+        assert data.stats.task == "lp"
+
+    def test_fb15k237_scaled(self):
+        data = load_fb15k237(scale=0.05, seed=0)
+        assert data.graph.num_nodes < 1000
+
+    def test_papers_mini_train_fraction(self):
+        data = load_papers100m_mini(num_nodes=5000, num_edges=30000)
+        frac = len(data.train_nodes) / data.graph.num_nodes
+        assert 0.005 < frac < 0.03  # ~1.1% like the real Papers100M
+        assert data.num_classes > 1
+
+    def test_total_gb(self):
+        stats = paper_stats("freebase86m")
+        assert stats.total_gb == pytest.approx(73.0)

@@ -1,0 +1,134 @@
+"""Cross-module integration tests: end-to-end flows and reproducibility."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graph import (import_tsv, load_fb15k237, load_papers100m_mini,
+                         power_law_graph, shuffle_node_ids, split_edges)
+from repro.graph.datasets import LinkPredictionDataset, paper_stats
+from repro.train import (DiskConfig, DiskLinkPredictionTrainer,
+                         LinkPredictionConfig, LinkPredictionTrainer,
+                         NodeClassificationConfig, NodeClassificationTrainer,
+                         TripleFilter, evaluate_model, filtered_ranks)
+
+
+def lp_config(**kw):
+    defaults = dict(embedding_dim=16, num_layers=1, fanouts=(8,), batch_size=256,
+                    num_negatives=32, num_epochs=2, eval_negatives=64,
+                    eval_max_edges=300, seed=0)
+    defaults.update(kw)
+    return LinkPredictionConfig(**defaults)
+
+
+class TestReproducibility:
+    def test_same_seed_same_result(self):
+        data = load_fb15k237(scale=0.05, seed=0)
+        a = LinkPredictionTrainer(data, lp_config()).train()
+        b = LinkPredictionTrainer(data, lp_config()).train()
+        assert a.final_mrr == pytest.approx(b.final_mrr, abs=1e-9)
+        assert a.epochs[0].loss == pytest.approx(b.epochs[0].loss, abs=1e-9)
+
+    def test_different_seed_different_result(self):
+        data = load_fb15k237(scale=0.05, seed=0)
+        a = LinkPredictionTrainer(data, lp_config(seed=0)).train()
+        b = LinkPredictionTrainer(data, lp_config(seed=1)).train()
+        assert a.final_mrr != b.final_mrr
+
+    def test_disk_training_deterministic(self, tmp_path):
+        data = load_fb15k237(scale=0.05, seed=0)
+        results = []
+        for run in range(2):
+            disk = DiskConfig(workdir=tmp_path / f"run{run}", num_partitions=8,
+                              num_logical=4, buffer_capacity=4)
+            results.append(DiskLinkPredictionTrainer(data, lp_config(), disk)
+                           .train().final_mrr)
+        assert results[0] == pytest.approx(results[1], abs=1e-9)
+
+
+class TestPipelineFromRawData:
+    def test_tsv_to_trained_model(self, tmp_path):
+        """Full ingestion path: raw TSV -> preprocess -> split -> train."""
+        from repro.graph import export_tsv
+        raw = power_law_graph(400, 4000, num_relations=5, seed=0)
+        path = export_tsv(raw, tmp_path / "raw.tsv")
+
+        graph = import_tsv(path)
+        graph, _ = shuffle_node_ids(graph, seed=1)
+        split = split_edges(graph, rng=np.random.default_rng(2))
+        data = LinkPredictionDataset(graph=graph, split=split,
+                                     stats=paper_stats("fb15k-237"),
+                                     embedding_dim=16)
+        trainer = LinkPredictionTrainer(data, lp_config(num_epochs=3))
+        before = trainer.evaluate().mrr
+        assert trainer.train().final_mrr > before
+
+
+class TestFilteredEvaluationEndToEnd:
+    def test_filtered_mrr_not_lower_than_raw(self):
+        """Filtered ranking can only improve (or preserve) each rank."""
+        data = load_fb15k237(scale=0.05, seed=0)
+        trainer = LinkPredictionTrainer(data, lp_config(num_epochs=3))
+        trainer.train()
+
+        # Score a small eval batch manually under both protocols.
+        rng = np.random.default_rng(5)
+        edges = data.split.test[:100]
+        src, rel, dst = edges[:, 0], edges[:, 1], edges[:, 2]
+        negs = rng.integers(0, data.graph.num_nodes, size=128, dtype=np.int64)
+        from repro.core import DenseSampler
+        from repro.nn import Tensor, no_grad
+        sampler = DenseSampler(data.graph, [8], rng=rng)
+        targets = np.unique(np.concatenate([src, dst, negs]))
+        batch = sampler.sample(targets)
+        with no_grad():
+            h0 = Tensor(trainer.embeddings.table[batch.node_ids])
+            out = trainer.model.encode(h0, batch)
+            pos = trainer.model.decoder.score_edges(
+                out.index_select(np.searchsorted(targets, src)), rel,
+                out.index_select(np.searchsorted(targets, dst))).data
+            neg = trainer.model.decoder.score_against(
+                out.index_select(np.searchsorted(targets, src)), rel,
+                out.index_select(np.searchsorted(targets, negs))).data
+
+        filt = TripleFilter(data.split.train, data.split.valid, data.split.test)
+        mask = filt.mask(src, rel, negs)
+        from repro.train import ranks_from_scores
+        raw_ranks = ranks_from_scores(pos, neg)
+        f_ranks = filtered_ranks(pos, neg, mask)
+        assert (f_ranks <= raw_ranks).all()
+        assert mask.any()  # the filter actually fires on a dense-ish KG
+
+
+class TestFullGraphConsistency:
+    def test_disk_store_round_trips_training_graph(self, tmp_path):
+        """After an epoch, the edge store still serves exactly the training
+        edges (no loss/duplication through the bucket layout)."""
+        data = load_fb15k237(scale=0.05, seed=0)
+        disk = DiskConfig(workdir=tmp_path, num_partitions=8, num_logical=4,
+                          buffer_capacity=4)
+        trainer = DiskLinkPredictionTrainer(data, lp_config(num_epochs=1), disk)
+        trainer.train()
+        pairs = [(i, j) for i in range(8) for j in range(8)]
+        stored = trainer.edge_store.read_buckets(pairs)
+        expected = data.split.train
+        # Same multiset of edges (bucket-major order differs).
+        assert len(stored) == len(expected)
+        stored_sorted = stored[np.lexsort(stored.T[::-1])]
+        expected_sorted = expected[np.lexsort(expected.T[::-1])]
+        np.testing.assert_array_equal(stored_sorted, expected_sorted)
+
+
+class TestNodeClassificationIntegration:
+    def test_three_layer_paper_config_shape(self):
+        """The exact paper configuration (3 layers, fanouts 30/20/10) runs
+        end to end on the scale model."""
+        data = load_papers100m_mini(num_nodes=3000, num_edges=30000,
+                                    feat_dim=32, num_classes=8, seed=0)
+        cfg = NodeClassificationConfig(hidden_dim=32, num_layers=3,
+                                       fanouts=(30, 20, 10), batch_size=128,
+                                       num_epochs=3, seed=0)
+        result = NodeClassificationTrainer(data, cfg).train()
+        assert result.final_accuracy > 1.0 / data.num_classes

@@ -1,0 +1,128 @@
+"""GNN layer tests: manual-aggregation references and gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (DenseLayerView, GATLayer, GCNLayer, GraphSageLayer,
+                      Linear, Tensor, make_layer)
+
+
+@pytest.fixture
+def simple_view():
+    """Two output nodes; node0 has neighbors rows {0,1}, node1 has {2}.
+
+    h rows: [n0_nbrA, n0_nbrB, n1_nbrC, out0, out1]
+    """
+    return DenseLayerView(
+        repr_map=np.array([0, 1, 2]),
+        nbr_offsets=np.array([0, 2]),
+        self_start=3,
+        num_outputs=2,
+    )
+
+
+def make_h(rows, dim, seed=0, requires_grad=False):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(0, 1, (rows, dim)).astype(np.float32),
+                  requires_grad=requires_grad)
+
+
+class TestGraphSage:
+    def test_matches_manual_mean_aggregation(self, simple_view):
+        dim = 4
+        layer = GraphSageLayer(dim, 3, activation=None)
+        h = make_h(5, dim, seed=1)
+        out = layer(h, simple_view).data
+        x = h.data
+        nbr_mean0 = x[[0, 1]].mean(axis=0)
+        nbr_mean1 = x[[2]].mean(axis=0)
+        w_self, w_nbr, b = layer.w_self.data, layer.w_nbr.data, layer.bias.data
+        expect0 = x[3] @ w_self + nbr_mean0 @ w_nbr + b
+        expect1 = x[4] @ w_self + nbr_mean1 @ w_nbr + b
+        np.testing.assert_allclose(out, np.stack([expect0, expect1]), rtol=1e-4)
+
+    def test_zero_neighbor_node(self):
+        view = DenseLayerView(repr_map=np.array([0]), nbr_offsets=np.array([0, 1]),
+                              self_start=1, num_outputs=2)
+        layer = GraphSageLayer(4, 4, activation=None)
+        out = layer(make_h(3, 4), view)
+        assert out.shape == (2, 4)
+        assert np.isfinite(out.data).all()
+
+    def test_gradients_flow_to_all_params(self, simple_view):
+        layer = GraphSageLayer(4, 3)
+        h = make_h(5, 4, requires_grad=True)
+        layer(h, simple_view).sum().backward()
+        assert h.grad is not None
+        for p in layer.parameters():
+            assert p.grad is not None, p.name
+
+    def test_relu_activation_applied(self, simple_view):
+        layer = GraphSageLayer(4, 3, activation="relu")
+        out = layer(make_h(5, 4), simple_view)
+        assert (out.data >= 0).all()
+
+
+class TestGCN:
+    def test_normalization(self, simple_view):
+        dim = 4
+        layer = GCNLayer(dim, 3, activation=None)
+        h = make_h(5, dim, seed=2)
+        out = layer(h, simple_view).data
+        x = h.data
+        agg0 = (x[[0, 1]].sum(axis=0) + x[3]) / 3.0
+        agg1 = (x[[2]].sum(axis=0) + x[4]) / 2.0
+        expect = np.stack([agg0, agg1]) @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out, expect, rtol=1e-4)
+
+
+class TestGAT:
+    def test_output_shape_and_finite(self, simple_view):
+        layer = GATLayer(4, 3, activation=None)
+        out = layer(make_h(5, 4, seed=3), simple_view)
+        assert out.shape == (2, 3)
+        assert np.isfinite(out.data).all()
+
+    def test_attention_is_convex_combination(self):
+        """With identity W, the pre-bias GAT output must lie in the convex
+        hull of {self, neighbors} projections — attention weights sum to 1."""
+        dim = 2
+        layer = GATLayer(dim, dim, activation=None)
+        layer.weights[0].data = np.eye(dim, dtype=np.float32)
+        layer.bias.data[:] = 0.0
+        view = DenseLayerView(repr_map=np.array([0, 1]),
+                              nbr_offsets=np.array([0]), self_start=2,
+                              num_outputs=1)
+        h = Tensor(np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]], dtype=np.float32))
+        out = layer(h, view).data[0]
+        assert out[0] >= -1e-5 and out[1] >= -1e-5
+        assert out.sum() <= 1.0 + 1e-5
+
+    def test_multi_head_averages(self, simple_view):
+        layer = GATLayer(4, 3, num_heads=4, activation=None)
+        out = layer(make_h(5, 4), simple_view)
+        assert out.shape == (2, 3)
+
+    def test_gradients_flow(self, simple_view):
+        layer = GATLayer(4, 3, num_heads=2)
+        h = make_h(5, 4, requires_grad=True)
+        layer(h, simple_view).sum().backward()
+        assert h.grad is not None
+        for p in layer.parameters():
+            assert p.grad is not None
+
+
+class TestRegistry:
+    def test_make_layer(self):
+        assert isinstance(make_layer("graphsage", 4, 4), GraphSageLayer)
+        assert isinstance(make_layer("GCN", 4, 4), GCNLayer)
+        assert isinstance(make_layer("gat", 4, 4), GATLayer)
+
+    def test_unknown_layer(self):
+        with pytest.raises(ValueError, match="unknown GNN layer"):
+            make_layer("transformer", 4, 4)
+
+    def test_linear_shapes(self):
+        layer = Linear(3, 7)
+        out = layer(make_h(5, 3))
+        assert out.shape == (5, 7)

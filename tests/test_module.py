@@ -1,0 +1,82 @@
+"""Module system tests: parameter registration, state dicts, train/eval."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Tensor
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+        self.blocks = ModuleList([Linear(2, 2), Linear(2, 2)])
+
+    def forward(self, x):
+        h = self.fc1(x).relu()
+        h = self.fc2(h)
+        for block in self.blocks:
+            h = block(h)
+        return h
+
+
+def test_named_parameters_cover_nested_modules():
+    net = Net()
+    names = {name for name, _ in net.named_parameters()}
+    assert "fc1.weight" in names and "fc2.bias" in names
+    assert "blocks.0.weight" in names and "blocks.1.bias" in names
+    assert len(names) == 8
+
+
+def test_num_parameters():
+    net = Net()
+    expected = (4 * 8 + 8) + (8 * 2 + 2) + 2 * (2 * 2 + 2)
+    assert net.num_parameters() == expected
+
+
+def test_zero_grad_clears_all():
+    net = Net()
+    x = Tensor(np.ones((3, 4), dtype=np.float32))
+    net(x).sum().backward()
+    assert any(p.grad is not None for p in net.parameters())
+    net.zero_grad()
+    assert all(p.grad is None for p in net.parameters())
+
+
+def test_train_eval_propagates():
+    net = Net()
+    net.eval()
+    assert not net.training
+    assert not net.fc1.training and not net.blocks[0].training
+    net.train()
+    assert net.blocks[1].training
+
+
+def test_state_dict_roundtrip():
+    net1, net2 = Net(), Net()
+    state = net1.state_dict()
+    net2.load_state_dict(state)
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32))
+    np.testing.assert_allclose(net1(x).data, net2(x).data, rtol=1e-6)
+
+
+def test_load_state_dict_validates_shapes():
+    net = Net()
+    state = net.state_dict()
+    state["fc1.weight"] = np.zeros((2, 2), dtype=np.float32)
+    with pytest.raises(ValueError):
+        net.load_state_dict(state)
+
+
+def test_load_state_dict_missing_key():
+    net = Net()
+    state = net.state_dict()
+    del state["fc1.weight"]
+    with pytest.raises(KeyError):
+        net.load_state_dict(state)
+
+
+def test_forward_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Module().forward()

@@ -1,0 +1,124 @@
+"""Partition scheme, edge buckets, and logical grouping tests (Section 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (EdgeBuckets, Graph, LogicalGrouping, PartitionScheme,
+                         power_law_graph)
+
+
+class TestPartitionScheme:
+    def test_uniform_covers_all_nodes(self):
+        scheme = PartitionScheme.uniform(100, 7)
+        assert scheme.boundaries[0] == 0 and scheme.boundaries[-1] == 100
+        assert scheme.sizes().sum() == 100
+
+    def test_partition_of_roundtrip(self):
+        scheme = PartitionScheme.uniform(100, 4)
+        for part in range(4):
+            nodes = scheme.partition_nodes(part)
+            assert (scheme.partition_of(nodes) == part).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            PartitionScheme.uniform(10, 0)
+        with pytest.raises(ValueError):
+            PartitionScheme.uniform(3, 5)
+
+    def test_sizes_near_equal(self):
+        scheme = PartitionScheme.uniform(103, 8)
+        sizes = scheme.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestEdgeBuckets:
+    def test_buckets_partition_all_edges(self, medium_kg, scheme8):
+        eb = EdgeBuckets(medium_kg, scheme8)
+        total = sum(eb.bucket_size(i, j) for i in range(8) for j in range(8))
+        assert total == medium_kg.num_edges
+
+    def test_bucket_edges_belong(self, medium_kg, scheme8):
+        eb = EdgeBuckets(medium_kg, scheme8)
+        edges = eb.bucket_edges(2, 5)
+        if len(edges):
+            assert (eb.scheme.partition_of(edges[:, 0]) == 2).all()
+            assert (eb.scheme.partition_of(edges[:, -1]) == 5).all()
+
+    def test_bucket_contiguous_on_disk(self, medium_kg, scheme8):
+        eb = EdgeBuckets(medium_kg, scheme8)
+        s = eb.bucket_slice(1, 1)
+        assert s.stop - s.start == eb.bucket_size(1, 1)
+
+    def test_relations_preserved(self, medium_kg, scheme8):
+        eb = EdgeBuckets(medium_kg, scheme8)
+        edges = eb.bucket_edges(0, 0)
+        if len(edges):
+            assert edges.shape[1] == 3
+
+    def test_subgraph_for_partitions(self, medium_kg, scheme8):
+        eb = EdgeBuckets(medium_kg, scheme8)
+        sub = eb.subgraph_for_partitions([0, 1, 2])
+        mask = scheme8.partition_of(np.arange(medium_kg.num_nodes)) <= 2
+        expected = (mask[medium_kg.src] & mask[medium_kg.dst]).sum()
+        assert sub.num_edges == expected
+        assert sub.num_nodes == medium_kg.num_nodes
+
+    def test_bucket_bytes(self, medium_kg, scheme8):
+        eb = EdgeBuckets(medium_kg, scheme8)
+        assert eb.bucket_bytes(0, 1) == eb.bucket_size(0, 1) * 24
+
+
+class TestLogicalGrouping:
+    def test_random_grouping_partitions_physical(self):
+        grouping = LogicalGrouping.random(12, 4, rng=np.random.default_rng(0))
+        assert grouping.num_logical == 4 and grouping.group_size == 3
+        flat = sorted(int(x) for g in grouping.members for x in g)
+        assert flat == list(range(12))
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            LogicalGrouping.random(10, 4)
+
+    def test_requires_valid_l(self):
+        with pytest.raises(ValueError):
+            LogicalGrouping.random(4, 8)
+
+    def test_identity(self):
+        grouping = LogicalGrouping.identity(5)
+        assert grouping.num_logical == 5
+        assert grouping.physical_of([3]) == [3]
+
+    def test_physical_of_flattens(self):
+        grouping = LogicalGrouping.random(8, 2, rng=np.random.default_rng(1))
+        phys = grouping.physical_of([0, 1])
+        assert sorted(phys) == list(range(8))
+
+    def test_regrouped_each_epoch(self):
+        """Different RNG draws give different groupings (randomization that
+        drives COMET's cross-epoch decorrelation)."""
+        a = LogicalGrouping.random(16, 4, rng=np.random.default_rng(0))
+        b = LogicalGrouping.random(16, 4, rng=np.random.default_rng(1))
+        same = all((x == y).all() for x, y in zip(a.members, b.members))
+        assert not same
+
+    def test_logical_of_physical(self):
+        grouping = LogicalGrouping.random(6, 3, rng=np.random.default_rng(2))
+        mapping = grouping.logical_of_physical()
+        assert len(mapping) == 6
+        for g, members in enumerate(grouping.members):
+            for p in members:
+                assert mapping[int(p)] == g
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_nodes=st.integers(10, 200), p=st.integers(1, 9), seed=st.integers(0, 20))
+def test_property_bucket_totals(num_nodes, p, seed):
+    """Edge buckets always partition the edge set, any p."""
+    p = min(p, num_nodes)
+    g = power_law_graph(num_nodes, num_nodes * 3, seed=seed)
+    scheme = PartitionScheme.uniform(num_nodes, p)
+    eb = EdgeBuckets(g, scheme)
+    total = sum(eb.bucket_size(i, j) for i in range(p) for j in range(p))
+    assert total == g.num_edges

@@ -1,0 +1,190 @@
+"""Policy tests: greedy cover, BETA, COMET, bias metric, workload balance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeBuckets, PartitionScheme, power_law_graph
+from repro.policies import (BetaPolicy, CometPolicy, edge_permutation_bias,
+                            greedy_one_swap_cover, in_memory_plan,
+                            workload_balance)
+
+
+class TestGreedyCover:
+    def test_covers_all_pairs(self):
+        sets = greedy_one_swap_cover(8, 3, rng=np.random.default_rng(0))
+        covered = set()
+        for s in sets:
+            for a in s:
+                for b in s:
+                    covered.add((min(a, b), max(a, b)))
+        expected = {(a, b) for a in range(8) for b in range(a, 8)}
+        assert covered == expected
+
+    def test_one_swap_between_consecutive_sets(self):
+        sets = greedy_one_swap_cover(10, 4, rng=np.random.default_rng(1))
+        for prev, cur in zip(sets, sets[1:]):
+            assert len(set(cur) - set(prev)) == 1
+
+    def test_near_minimal_swaps(self):
+        """Lower bound from Marius: total loads >= c + (p-c) and each swap
+        covers at most c-1 new pairs; the greedy should be within 2x."""
+        p, c = 12, 4
+        sets = greedy_one_swap_cover(p, c, rng=np.random.default_rng(2))
+        total_pairs = p * (p + 1) // 2
+        initial = c * (c + 1) // 2
+        lower = int(np.ceil((total_pairs - initial) / (c - 1)))
+        swaps = len(sets) - 1
+        assert swaps <= 2 * lower
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            greedy_one_swap_cover(4, 1)
+        with pytest.raises(ValueError):
+            greedy_one_swap_cover(4, 5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(3, 14), c=st.integers(2, 6), seed=st.integers(0, 20))
+    def test_property_cover(self, p, c, seed):
+        c = min(c, p)
+        if c < 2:
+            return
+        sets = greedy_one_swap_cover(p, c, rng=np.random.default_rng(seed),
+                                     randomize_start=True)
+        covered = {(min(a, b), max(a, b)) for s in sets for a in s for b in s}
+        assert len(covered) == p * (p + 1) // 2
+
+
+class TestBetaPolicy:
+    def test_plan_is_valid(self):
+        plan = BetaPolicy(12, 4).plan_epoch(0, np.random.default_rng(0))
+        plan.validate()
+
+    def test_greedy_immediacy(self):
+        """BETA's defining property: every bucket is trained at the FIRST
+        step where both partitions are co-resident."""
+        plan = BetaPolicy(8, 3, randomize_start=False).plan_epoch(0, np.random.default_rng(0))
+        seen_resident = set()
+        for step in plan.steps:
+            for (i, j) in step.buckets:
+                assert (i, j) not in seen_resident
+            for a in step.partitions:
+                for b in step.partitions:
+                    seen_resident.add((a, b))
+
+    def test_correlated_tail_steps(self):
+        """After the first step, each X_i's buckets all touch the newly
+        admitted partition (Figure 4's correlation structure)."""
+        plan = BetaPolicy(10, 4, randomize_start=False).plan_epoch(0, np.random.default_rng(0))
+        for step in plan.steps[1:]:
+            if not step.admitted or not step.buckets:
+                continue
+            new = set(step.admitted)
+            assert all(i in new or j in new for (i, j) in step.buckets)
+
+    def test_requires_capacity_2(self):
+        with pytest.raises(ValueError):
+            BetaPolicy(4, 1)
+
+
+class TestCometPolicy:
+    def test_plan_is_valid(self):
+        plan = CometPolicy(12, 6, 4).plan_epoch(0, np.random.default_rng(0))
+        plan.validate()
+
+    def test_divisibility_checks(self):
+        with pytest.raises(ValueError):
+            CometPolicy(10, 4, 4)      # l does not divide p
+        with pytest.raises(ValueError):
+            CometPolicy(12, 6, 3)      # c not a multiple of group size
+        with pytest.raises(ValueError):
+            CometPolicy(12, 3, 4)      # c_l = 1 < 2
+
+    def test_swaps_move_logical_groups(self):
+        policy = CometPolicy(12, 6, 4)
+        plan = policy.plan_epoch(0, np.random.default_rng(0))
+        group = policy.group_size
+        for step in plan.steps[1:]:
+            assert len(step.admitted) in (0, group)
+
+    def test_deferred_assignment_differs_from_greedy(self):
+        """Some buckets must be processed later than their first co-residency
+        (the deferral that decorrelates examples)."""
+        policy = CometPolicy(12, 6, 4)
+        plan = policy.plan_epoch(0, np.random.default_rng(3))
+        first_seen = {}
+        deferred = 0
+        for idx, step in enumerate(plan.steps):
+            for a in step.partitions:
+                for b in step.partitions:
+                    first_seen.setdefault((a, b), idx)
+            for bucket in step.buckets:
+                if idx > first_seen[bucket]:
+                    deferred += 1
+        assert deferred > 0
+
+    def test_grouping_changes_across_epochs(self):
+        policy = CometPolicy(12, 6, 4)
+        policy.plan_epoch(0, np.random.default_rng(0))
+        g0 = [m.tolist() for m in policy.last_grouping.members]
+        policy.plan_epoch(1, np.random.default_rng(1))
+        g1 = [m.tolist() for m in policy.last_grouping.members]
+        assert g0 != g1
+
+
+class TestBiasAndBalance:
+    @pytest.fixture
+    def setup(self):
+        g = power_law_graph(2000, 20000, seed=3)
+        scheme = PartitionScheme.uniform(g.num_nodes, 16)
+        return g, EdgeBuckets(g, scheme)
+
+    def test_comet_less_biased_than_beta(self, setup):
+        """The paper's central policy claim (Fig 6a / Table 8 direction)."""
+        _, eb = setup
+        beta = np.mean([edge_permutation_bias(
+            BetaPolicy(16, 4).plan_epoch(e, np.random.default_rng(e)), eb)
+            for e in range(4)])
+        comet = np.mean([edge_permutation_bias(
+            CometPolicy(16, 8, 4).plan_epoch(e, np.random.default_rng(e)), eb)
+            for e in range(4)])
+        assert comet < beta
+
+    def test_in_memory_plan_zero_bias(self, setup):
+        _, eb = setup
+        plan = in_memory_plan(16)
+        plan.validate()
+        assert edge_permutation_bias(plan, eb) == 0.0
+
+    def test_bias_in_unit_interval(self, setup):
+        _, eb = setup
+        plan = BetaPolicy(16, 4).plan_epoch(0, np.random.default_rng(0))
+        b = edge_permutation_bias(plan, eb)
+        assert 0.0 <= b <= 1.0
+
+    def test_exact_mode_runs(self, setup):
+        _, eb = setup
+        plan = CometPolicy(16, 8, 4).plan_epoch(0, np.random.default_rng(0))
+        b = edge_permutation_bias(plan, eb, exact=True)
+        assert 0.0 <= b <= 1.0
+
+    def test_comet_balances_workload(self, setup):
+        """Deferred random assignment balances |X_i| (Section 7.5)."""
+        _, eb = setup
+        cv_beta, counts_b = workload_balance(
+            BetaPolicy(16, 4).plan_epoch(0, np.random.default_rng(0)), eb)
+        cv_comet, counts_c = workload_balance(
+            CometPolicy(16, 8, 4).plan_epoch(0, np.random.default_rng(0)), eb)
+        assert cv_comet < cv_beta
+        assert counts_b.sum() == counts_c.sum()
+
+    def test_fewer_logical_partitions_fewer_steps(self):
+        """|S| grows with l (Figure 6b, 'Number of Subgraphs'): at fixed
+        c_l = 2, the schedule visits every logical pair once."""
+        steps = []
+        for l in (8, 16, 32):
+            plan = CometPolicy(64, l, 2 * (64 // l)).plan_epoch(
+                0, np.random.default_rng(0))
+            steps.append(plan.num_steps)
+        assert steps[0] < steps[1] < steps[2]

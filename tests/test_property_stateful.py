@@ -1,0 +1,180 @@
+"""Stateful property-based tests (hypothesis rule-based state machines).
+
+The partition buffer is the piece of the system where a subtle bug silently
+corrupts training (a stale row, a lost write-back), so it gets a full model-
+based test: a reference in-memory table is updated in lockstep with the real
+memmap-backed buffer through random admit/evict/swap/update/flush sequences,
+and every gather must agree with the reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize, invariant,
+                                 precondition, rule)
+
+from repro.graph import PartitionScheme
+from repro.nn import RowAdagrad
+from repro.storage import NodeStore, PartitionBuffer
+
+NUM_NODES = 48
+NUM_PARTS = 6
+CAPACITY = 3
+DIM = 4
+
+
+class BufferMachine(RuleBasedStateMachine):
+    """Reference-model test of PartitionBuffer."""
+
+    def __init__(self):
+        super().__init__()
+        import tempfile
+        self._tmp = tempfile.TemporaryDirectory()
+        scheme = PartitionScheme.uniform(NUM_NODES, NUM_PARTS)
+        self.store = NodeStore(f"{self._tmp.name}/t.bin", scheme, DIM,
+                               learnable=True)
+        rng = np.random.default_rng(0)
+        init = rng.normal(0, 1, (NUM_NODES, DIM)).astype(np.float32)
+        self.store.initialize(values=init)
+        self.buffer = PartitionBuffer(self.store, CAPACITY,
+                                      optimizer=RowAdagrad(lr=0.1))
+        # Reference model: full table + optimizer state, updated in lockstep.
+        self.ref_table = init.copy()
+        self.ref_state = np.zeros_like(init)
+        self.ref_opt = RowAdagrad(lr=0.1)
+
+    def teardown(self):
+        self._tmp.cleanup()
+
+    # ------------------------------------------------------------------
+    @rule(part=st.integers(0, NUM_PARTS - 1))
+    def admit(self, part):
+        if self.buffer.is_resident(part) or len(self.buffer.resident) >= CAPACITY:
+            return
+        self.buffer.admit(part)
+
+    @rule(part=st.integers(0, NUM_PARTS - 1))
+    def evict(self, part):
+        if not self.buffer.is_resident(part):
+            return
+        self.buffer.evict(part)
+
+    @rule(parts=st.sets(st.integers(0, NUM_PARTS - 1), min_size=1,
+                        max_size=CAPACITY))
+    def swap(self, parts):
+        self.buffer.set_partitions(sorted(parts))
+
+    @rule(node=st.integers(0, NUM_NODES - 1),
+          seed=st.integers(0, 1000))
+    def update_row(self, node, seed):
+        part = int(node // (NUM_NODES // NUM_PARTS))
+        if not self.buffer.is_resident(part):
+            return
+        grad = np.random.default_rng(seed).normal(
+            0, 1, (1, DIM)).astype(np.float32)
+        self.buffer.apply_gradients(np.array([node]), grad)
+        self.ref_opt.update(self.ref_table, self.ref_state,
+                            np.array([node]), grad)
+
+    @rule()
+    def flush(self):
+        self.buffer.flush()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def resident_rows_match_reference(self):
+        nodes = self.buffer.resident_nodes()
+        if len(nodes) == 0:
+            return
+        got = self.buffer.gather(nodes)
+        np.testing.assert_allclose(got, self.ref_table[nodes], rtol=1e-5,
+                                   atol=1e-6)
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.buffer.resident) <= CAPACITY
+
+    @invariant()
+    def evicted_rows_are_durable(self):
+        """Every non-resident partition's disk contents equal the reference
+        (write-back happened for everything dirty that left the buffer)."""
+        mask = self.buffer.node_mask()
+        missing = np.flatnonzero(~mask)
+        if len(missing) == 0:
+            return
+        on_disk = self.store.read_rows(missing)
+        np.testing.assert_allclose(on_disk, self.ref_table[missing], rtol=1e-5,
+                                   atol=1e-6)
+
+
+TestBufferStateMachine = BufferMachine.TestCase
+TestBufferStateMachine.settings = settings(max_examples=20,
+                                           stateful_step_count=30,
+                                           deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Autograd fuzzing: random op chains vs numerical gradients
+# ---------------------------------------------------------------------------
+
+from hypothesis import given  # noqa: E402
+
+from repro.nn import Tensor, no_grad  # noqa: E402
+from tests.conftest import numeric_gradient  # noqa: E402
+
+_UNARY = ["relu", "sigmoid", "tanh", "leaky_relu"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.sampled_from(_UNARY), min_size=1, max_size=4),
+       rows=st.integers(1, 5), cols=st.integers(1, 4),
+       seed=st.integers(0, 1000))
+def test_fuzz_unary_chains(ops, rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, (rows, cols)).astype(np.float32)
+
+    def apply(t):
+        for op in ops:
+            t = getattr(t, op)()
+        return t.sum()
+
+    t = Tensor(x.copy(), requires_grad=True)
+    apply(t).backward()
+
+    def f(a):
+        with no_grad():
+            return float(apply(Tensor(a)).data)
+
+    numeric = numeric_gradient(f, x.copy())
+    np.testing.assert_allclose(t.grad, numeric, atol=5e-2, rtol=5e-2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 12), segs=st.integers(1, 5), dim=st.integers(1, 3),
+       seed=st.integers(0, 500))
+def test_fuzz_segment_pipeline_gradients(n, segs, dim, seed):
+    """Random gather -> segment_mean -> matmul pipelines (the exact op
+    composition of a GraphSage layer) have correct gradients."""
+    from repro.nn import functional as F
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, (n, dim)).astype(np.float32)
+    w = rng.normal(0, 1, (dim, 2)).astype(np.float32)
+    index = rng.integers(0, n, size=max(1, n))
+    cuts = np.sort(rng.integers(0, len(index) + 1, size=max(0, segs - 1)))
+    offsets = np.concatenate([[0], cuts]).astype(np.int64)
+
+    def apply(t):
+        gathered = t.index_select(index)
+        pooled = F.segment_mean(gathered, offsets)
+        return pooled.matmul(Tensor(w)).sum()
+
+    t = Tensor(x.copy(), requires_grad=True)
+    apply(t).backward()
+
+    def f(a):
+        with no_grad():
+            return float(apply(Tensor(a)).data)
+
+    numeric = numeric_gradient(f, x.copy())
+    np.testing.assert_allclose(t.grad, numeric, atol=5e-2, rtol=5e-2)

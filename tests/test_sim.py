@@ -1,0 +1,182 @@
+"""Performance-model tests: profiles, analytic workloads, table shapes."""
+
+import numpy as np
+import pytest
+
+from repro.graph import paper_stats, power_law_graph
+from repro.sim import (DGL, MARIUSGNN, P3_2XLARGE, P3_8XLARGE, PYG,
+                       estimate_epoch, gnn_flops, link_prediction_disk_io,
+                       mariusgnn_gpu_sampling_seconds, measure_dense_workload,
+                       measure_layerwise_workload,
+                       nextdoor_gpu_sampling_seconds,
+                       node_classification_disk_io, smallest_instance_fitting,
+                       table3_rows, table4_rows, table5_rows)
+from repro.sim.workload import (analytic_dense_workload,
+                                analytic_layerwise_workload, gat_flops,
+                                measure_effective_fanout)
+
+
+class TestProfiles:
+    def test_instance_fit_rule(self):
+        assert smallest_instance_fitting(50).name == "p3.2xlarge"
+        assert smallest_instance_fitting(80).name == "p3.8xlarge"
+        assert smallest_instance_fitting(400).name == "p3.16xlarge"
+        with pytest.raises(ValueError):
+            smallest_instance_fitting(1000)
+
+    def test_speedup_interpolation(self):
+        assert DGL.speedup(4) == 1.4
+        assert DGL.speedup(8) == 2.2
+        assert DGL.speedup(6) == 1.4  # floor to largest known <= n
+        assert MARIUSGNN.speedup(1) == 1.0
+
+    def test_mariusgnn_samples_faster(self):
+        """Calibration sanity: per-edge sampling throughput ordering."""
+        s_m = MARIUSGNN.sampling_seconds(1e6, 1e5, cores=32)
+        s_d = DGL.sampling_seconds(1e6, 1e5, cores=32)
+        s_p = PYG.sampling_seconds(1e6, 1e5, cores=32)
+        assert s_m < s_d < s_p
+
+    def test_fewer_cores_slower(self):
+        fast = MARIUSGNN.sampling_seconds(1e6, 0, cores=32)
+        slow = MARIUSGNN.sampling_seconds(1e6, 0, cores=8)
+        assert 1.5 < slow / fast < 3.0  # sqrt scaling => 2x
+
+
+class TestWorkloads:
+    def test_effective_fanout_bounded(self):
+        g = power_law_graph(2000, 20000, seed=0)
+        eff = measure_effective_fanout(g, 10, "both")
+        assert 0 < eff <= 10
+
+    def test_analytic_dense_saturates(self):
+        """Unique nodes never exceed the graph; growth slows with depth."""
+        wl = analytic_dense_workload(10_000, [10] * 6, [9.0] * 6, 1000)
+        assert wl.nodes_per_batch <= 10_000
+
+    def test_analytic_layerwise_exceeds_dense(self):
+        n = 111_000_000
+        dense = analytic_dense_workload(n, [10] * 3, [9.0] * 3, 1000)
+        layer = analytic_layerwise_workload(n, [10] * 3, [12.0] * 3, 1000)
+        assert layer.edges_per_batch > dense.edges_per_batch
+        assert layer.nodes_per_batch > dense.nodes_per_batch
+
+    def test_analytic_matches_paper_table6_within_3x(self):
+        """Validation anchor: paper Table 6 counts for Papers100M."""
+        g = power_law_graph(12000, 120000, exponent=2.2, seed=0)
+        eff = measure_effective_fanout(g, 10, "both")
+        paper_nodes = {1: 12e3, 2: 136e3, 3: 1e6, 4: 6e6}
+        for k, expected in paper_nodes.items():
+            wl = analytic_dense_workload(111_000_000, [10] * k, [eff] * k, 1000)
+            assert expected / 3 < wl.nodes_per_batch < expected * 3, k
+
+    def test_measured_workloads_run(self):
+        g = power_law_graph(1000, 8000, seed=0)
+        d = measure_dense_workload(g, [5, 5], 100, num_batches=2)
+        l = measure_layerwise_workload(g, [5, 5], 100, num_batches=2)
+        assert d.edges_per_batch > 0 and l.edges_per_batch >= d.edges_per_batch
+
+    def test_flops_per_layer_less_than_naive(self):
+        wl = analytic_dense_workload(1_000_000, [10, 10, 10], [9.0] * 3, 1000)
+        refined = gnn_flops(wl, 128, 128, 3)
+        naive = gnn_flops(
+            type(wl)(wl.nodes_per_batch, wl.edges_per_batch,
+                     wl.dedup_nodes_per_batch, wl.batch_size), 128, 128, 3)
+        assert refined < naive
+
+    def test_gat_flops_exceed_gs(self):
+        wl = analytic_dense_workload(1_000_000, [10], [9.0], 1000)
+        assert gat_flops(wl, 100, 100, 1) > gnn_flops(wl, 100, 100, 1)
+
+
+class TestEstimates:
+    def test_disk_io_models_positive(self):
+        stats = paper_stats("freebase86m")
+        lp = link_prediction_disk_io(stats, 100, partition_loads=300,
+                                     num_partitions=200)
+        nc = node_classification_disk_io(paper_stats("papers100m"), 128, 8, 64)
+        assert lp > 0 and nc > 0
+
+    def test_epoch_estimate_fields(self):
+        stats = paper_stats("freebase86m")
+        wl = analytic_dense_workload(stats.num_nodes, [20], [13.0], 1000)
+        est = estimate_epoch(MARIUSGNN, stats, wl, 1e9, P3_8XLARGE,
+                             num_examples=stats.num_edges, embedding_dim=100)
+        assert est.epoch_seconds > 0 and est.cost_per_epoch > 0
+        assert est.num_batches == int(np.ceil(stats.num_edges / 1000))
+        assert "epoch" in est.row()
+
+    def test_io_balanced_beats_frontloaded(self):
+        stats = paper_stats("freebase86m")
+        wl = analytic_dense_workload(stats.num_nodes, [20], [13.0], 1000)
+        common = dict(num_examples=stats.num_edges, embedding_dim=100,
+                      io_read_bytes=5e11)
+        balanced = estimate_epoch(MARIUSGNN, stats, wl, 1e9, P3_2XLARGE,
+                                  io_balanced=True, **common)
+        exposed = estimate_epoch(MARIUSGNN, stats, wl, 1e9, P3_2XLARGE,
+                                 io_balanced=False, **common)
+        assert balanced.epoch_seconds < exposed.epoch_seconds
+
+
+class TestTableShapes:
+    """The paper's qualitative claims, asserted on the model's output."""
+
+    @pytest.fixture(scope="class")
+    def t3(self):
+        return {(r.system, r.dataset): r for r in table3_rows()}
+
+    @pytest.fixture(scope="class")
+    def t4(self):
+        return {(r.system, r.dataset): r for r in table4_rows()}
+
+    def test_c1_node_classification_cheaper(self, t3):
+        """Claim C1: M-GNN trains NC faster and much cheaper than baselines."""
+        for ds in ("papers100m", "mag240m-cites"):
+            mem = t3[("M-GNN_Mem", ds)]
+            disk = t3[("M-GNN_Disk", ds)]
+            dgl = t3[("DGL", ds)]
+            pyg = t3[("PyG", ds)]
+            assert disk.cost_per_epoch < dgl.cost_per_epoch / 4
+            assert disk.cost_per_epoch < pyg.cost_per_epoch / 4
+            assert mem.epoch_minutes < pyg.epoch_minutes
+
+    def test_c2_link_prediction_faster_and_cheaper(self, t4):
+        """Claim C2: 6x faster, 13-18x cheaper for LP."""
+        for ds in ("freebase86m", "wikikg90mv2"):
+            mem = t4[("M-GNN_Mem", ds)]
+            disk = t4[("M-GNN_Disk", ds)]
+            dgl = t4[("DGL", ds)]
+            assert dgl.epoch_minutes / mem.epoch_minutes > 4
+            assert dgl.cost_per_epoch / disk.cost_per_epoch > 8
+
+    def test_disk_lp_slower_than_memory(self, t4):
+        """Paper: disk LP pays IO + smaller CPU (1-2x slower than memory)."""
+        assert (t4[("M-GNN_Disk", "freebase86m")].epoch_minutes
+                >= t4[("M-GNN_Mem", "freebase86m")].epoch_minutes * 0.9)
+
+    def test_table5_baselines_model_insensitive(self):
+        """Table 5: DGL/PyG times barely change GS -> GAT (sampler-bound)."""
+        rows = {r.system: r for r in table5_rows()}
+        for sysname in ("DGL", "PyG"):
+            gs = rows[f"{sysname}/GS"].epoch_minutes
+            gat = rows[f"{sysname}/GAT"].epoch_minutes
+            assert abs(gs - gat) / gs < 0.15
+        # M-GNN GAT is meaningfully slower than its GS (compute-bound).
+        assert rows["M-GNN_Mem/GAT"].epoch_minutes > rows["M-GNN_Mem/GS"].epoch_minutes
+
+
+class TestGpuSamplingModels:
+    def test_nextdoor_wins_shallow_dense_wins_deep(self):
+        """Table 7's crossover on LiveJournal (4.8M nodes, fanout 20 out):
+        NextDoor's fused kernels win at 1-2 layers; DENSE's sample reuse wins
+        by 4-5 layers as layerwise edge counts compound."""
+        from repro.sim.workload import analytic_hop_draws
+        n = 4_800_000
+        eff = 8.0  # E[min(out-degree, 20)] for LiveJournal's degree skew
+
+        nd1 = nextdoor_gpu_sampling_seconds(analytic_hop_draws(n, 1, eff, 1000, dense=False))
+        mg1 = mariusgnn_gpu_sampling_seconds(analytic_hop_draws(n, 1, eff, 1000, dense=True))
+        assert nd1 < mg1
+        nd5 = nextdoor_gpu_sampling_seconds(analytic_hop_draws(n, 5, eff, 1000, dense=False))
+        mg5 = mariusgnn_gpu_sampling_seconds(analytic_hop_draws(n, 5, eff, 1000, dense=True))
+        assert mg5 < nd5

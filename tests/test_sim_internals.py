@@ -1,0 +1,82 @@
+"""Coverage for sim internals and error paths not hit by the table tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import paper_stats
+from repro.sim.tables import (_comet_loads, _dense_workload, _half_batch,
+                              _layerwise_workload)
+from repro.sim.workload import (BatchWorkload, analytic_dense_workload,
+                                analytic_hop_draws)
+
+
+class TestCometLoads:
+    def test_initial_fill_counted(self):
+        # l=4 units, capacity 2, group=2 physical each: pairs=6, initial
+        # covers 1 pair -> 5 swaps; loads = (2 + 5) * 2 = 14.
+        assert _comet_loads(num_logical=4, logical_capacity=2, num_physical=8) == 14
+
+    def test_full_buffer_no_swaps(self):
+        # capacity == units: all pairs covered by the initial fill.
+        assert _comet_loads(num_logical=4, logical_capacity=4, num_physical=8) == 8
+
+    def test_scales_with_group_size(self):
+        a = _comet_loads(4, 2, 8)
+        b = _comet_loads(4, 2, 16)
+        assert b == 2 * a
+
+
+class TestHalfBatch:
+    def test_halves_counts_and_batch(self):
+        wl = BatchWorkload(1000.0, 2000.0, 500.0, 64)
+        half = _half_batch(wl)
+        assert half.nodes_per_batch == 500.0
+        assert half.edges_per_batch == 1000.0
+        assert half.batch_size == 32
+
+
+class TestWorkloadCaching:
+    def test_dense_workload_cached(self):
+        a = _dense_workload("papers100m", (10,), 1000)
+        b = _dense_workload("papers100m", (10,), 1000)
+        assert a is b  # same object from the cache
+
+    def test_layerwise_exceeds_dense_at_scale(self):
+        d = _dense_workload("papers100m", (10, 10), 1000)
+        l = _layerwise_workload("papers100m", (10, 10), 1000)
+        assert l.edges_per_batch > d.edges_per_batch
+
+
+class TestHopDraws:
+    def test_transit_mode_is_pure_geometric(self):
+        transit = analytic_hop_draws(10_000_000, 4, 10.0, 100, dense=False,
+                                     dedup=False)
+        assert transit[-1] == pytest.approx(100 * 10.0**4)
+
+    def test_transit_exceeds_dedup_once_graph_saturates(self):
+        """On a small graph dedup caps the frontier at |V| while the transit
+        tree keeps multiplying — the NextDoor-OOM regime."""
+        n = 100_000
+        dedup = analytic_hop_draws(n, 6, 10.0, 100, dense=False)
+        transit = analytic_hop_draws(n, 6, 10.0, 100, dense=False, dedup=False)
+        assert transit[-1] > dedup[-1]
+
+    def test_dense_mode_saturates(self):
+        draws = analytic_hop_draws(1_000, 6, 10.0, 100, dense=True)
+        # Once the graph is exhausted, new frontiers (and draws) collapse.
+        assert draws[-1] < draws[2]
+
+    def test_layer_outputs_shrink_forward(self):
+        wl = analytic_dense_workload(1_000_000, [10, 10, 10], [9.0] * 3, 500)
+        assert wl.layer_outputs[0] > wl.layer_outputs[1] > wl.layer_outputs[2]
+        assert wl.layer_outputs[-1] == 500
+        assert wl.layer_edges[0] == pytest.approx(wl.edges_per_batch)
+
+
+class TestStatsRegistry:
+    def test_train_fraction_used_for_nc(self):
+        stats = paper_stats("papers100m")
+        assert 0 < stats.train_fraction < 0.05
+
+    def test_relations_counted(self):
+        assert paper_stats("freebase86m").num_relations > 1000
