@@ -1,0 +1,1 @@
+"""Benchmarks package — makes ``python -m benchmarks.<name>`` runnable."""

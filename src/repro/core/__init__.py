@@ -1,10 +1,11 @@
 """Core contribution: the DENSE data structure, samplers, and GNN encoder."""
 
-from .dense import DenseBatch, SamplingStats, build_dense, compute_next_delta
+from .dense import (DenseBatch, SamplingStats, build_dense,
+                    build_dense_reference, compute_next_delta)
 from .encoder import GNNEncoder
 from .sampler import DenseSampler
 
 __all__ = [
-    "DenseBatch", "SamplingStats", "build_dense", "compute_next_delta",
-    "DenseSampler", "GNNEncoder",
+    "DenseBatch", "SamplingStats", "build_dense", "build_dense_reference",
+    "compute_next_delta", "DenseSampler", "GNNEncoder",
 ]

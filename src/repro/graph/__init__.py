@@ -1,6 +1,6 @@
 """Graph substrate: edge lists, adjacency indexes, partitioning, datasets."""
 
-from .csr import AdjacencyIndex
+from .csr import AdjacencyIndex, PartitionedAdjacencyIndex
 from .datasets import (DatasetStats, LinkPredictionDataset,
                        NodeClassificationDataset, PAPER_DATASETS,
                        load_fb15k237, load_freebase86m_mini,
@@ -15,6 +15,7 @@ from .preprocess import (deduplicate_edges, degree_order, densify_ids,
 
 __all__ = [
     "Graph", "EdgeSplit", "split_edges", "AdjacencyIndex",
+    "PartitionedAdjacencyIndex",
     "PartitionScheme", "EdgeBuckets", "LogicalGrouping",
     "power_law_graph", "citation_graph", "erdos_renyi_graph",
     "chain_graph", "star_graph",

@@ -102,6 +102,12 @@ class EdgeBuckets:
         s = self.bucket_slice(i, j)
         return s.stop - s.start
 
+    def bucket_endpoints(self, i: int, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Bucket ``(i, j)``'s ``(src, dst)`` arrays as contiguous slices —
+        the in-memory bucket source for a partition-aware adjacency index."""
+        s = self.bucket_slice(i, j)
+        return self.src[s], self.dst[s]
+
     def bucket_edges(self, i: int, j: int) -> np.ndarray:
         """Edges of bucket (i, j) as an (n, 2) or (n, 3) array."""
         s = self.bucket_slice(i, j)

@@ -6,20 +6,31 @@ MariusGNN "uses a buffer with capacity of c physical node partitions"
 mini-batch construction, applies row-sparse Adagrad updates in place (Step 6
 of the mini-batch lifecycle), and writes dirty partitions back on eviction.
 
+Resident partitions live in one flat *slab* array of ``capacity`` equal
+slots; ``_slab_row`` maps each resident global node ID to its slab row.
+:meth:`gather` and :meth:`apply_gradients` are therefore a single vectorized
+fancy-index over the slab — no per-partition Python loop on the mini-batch
+hot path.
+
 Swapping to the next partition set is a diff: only partitions leaving the
 buffer are written back and only arriving ones are read — one logical-
-partition swap per step under COMET (Steps A-D in Figure 2).
+partition swap per step under COMET (Steps A-D in Figure 2). Registered
+*swap listeners* receive that diff (``fn(added, removed)``) after every
+swap, which is how samplers keep their partition-aware adjacency index
+incremental instead of re-sorting the in-buffer edge list.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..nn.optim import RowAdagrad
 from .io_stats import IOStats
 from .node_store import NodeStore
+
+SwapListener = Callable[[List[int], List[int]], None]
 
 
 class PartitionBuffer:
@@ -37,12 +48,21 @@ class PartitionBuffer:
         self.capacity = capacity
         self.optimizer = optimizer
         self.stats: IOStats = store.stats
+        # One flat slab of `capacity` fixed-size slots; `_data[part]` values
+        # are views into it so eviction write-back needs no extra copies.
+        self._slot_size = int(store.scheme.sizes().max())
+        self._slab = np.empty((capacity * self._slot_size, store.dim),
+                              dtype=np.float32)
+        self._state_slab: Optional[np.ndarray] = None
+        self._free_slots = list(range(capacity - 1, -1, -1))
+        self._slot_of: Dict[int, int] = {}
         self._data: Dict[int, np.ndarray] = {}
         self._state: Dict[int, Optional[np.ndarray]] = {}
         self._dirty: Dict[int, bool] = {}
-        # Global node id -> local row in its partition's buffer array; -1 if absent.
-        self._local_row = np.full(store.num_nodes, -1, dtype=np.int64)
+        # Global node id -> row in the slab; -1 if not resident.
+        self._slab_row = np.full(store.num_nodes, -1, dtype=np.int64)
         self._partition_of_row = np.full(store.num_nodes, -1, dtype=np.int32)
+        self._swap_listeners: List[SwapListener] = []
 
     # ------------------------------------------------------------------
     @property
@@ -54,9 +74,44 @@ class PartitionBuffer:
 
     def node_mask(self) -> np.ndarray:
         """Boolean mask over all nodes: resident in the buffer or not."""
-        return self._local_row >= 0
+        return self._slab_row >= 0
+
+    def add_swap_listener(self, fn: SwapListener) -> None:
+        """Register ``fn(added, removed)`` to observe buffer-swap diffs."""
+        self._swap_listeners.append(fn)
+
+    def notify_swap(self, added: Sequence[int], removed: Sequence[int]) -> None:
+        """Report a completed swap diff to the registered listeners."""
+        if not (added or removed):
+            return
+        added = sorted(int(p) for p in added)
+        removed = sorted(int(p) for p in removed)
+        for fn in self._swap_listeners:
+            fn(added, removed)
 
     # ------------------------------------------------------------------
+    def _install(self, part: int, data: np.ndarray,
+                 state: Optional[np.ndarray]) -> None:
+        """Copy a partition's arrays into a free slab slot and map its rows."""
+        slot = self._free_slots.pop()
+        size = len(data)
+        base = slot * self._slot_size
+        self._slab[base : base + size] = data
+        self._data[part] = self._slab[base : base + size]
+        if state is not None:
+            if self._state_slab is None:
+                self._state_slab = np.zeros_like(self._slab)
+            self._state_slab[base : base + size] = state
+            self._state[part] = self._state_slab[base : base + size]
+        else:
+            self._state[part] = None
+        self._slot_of[part] = slot
+        self._dirty[part] = False
+        lo = int(self.store.scheme.boundaries[part])
+        hi = int(self.store.scheme.boundaries[part + 1])
+        self._slab_row[lo:hi] = np.arange(base, base + (hi - lo), dtype=np.int64)
+        self._partition_of_row[lo:hi] = part
+
     def admit(self, part: int) -> None:
         """Read a partition from disk into the buffer (must have room)."""
         if part in self._data:
@@ -66,13 +121,7 @@ class PartitionBuffer:
                 f"buffer full ({self.capacity}); evict before admitting {part}"
             )
         data, state = self.store.read_partition(part)
-        self._data[part] = data
-        self._state[part] = state
-        self._dirty[part] = False
-        lo = int(self.store.scheme.boundaries[part])
-        hi = int(self.store.scheme.boundaries[part + 1])
-        self._local_row[lo:hi] = np.arange(hi - lo, dtype=np.int64)
-        self._partition_of_row[lo:hi] = part
+        self._install(part, data, state)
 
     def admit_preloaded(self, part: int, data: np.ndarray,
                         state: Optional[np.ndarray]) -> None:
@@ -91,13 +140,7 @@ class PartitionBuffer:
         if data.shape != expected:
             raise ValueError(f"preloaded partition {part} has shape {data.shape},"
                              f" expected {expected}")
-        self._data[part] = data
-        self._state[part] = state
-        self._dirty[part] = False
-        lo = int(self.store.scheme.boundaries[part])
-        hi = int(self.store.scheme.boundaries[part + 1])
-        self._local_row[lo:hi] = np.arange(hi - lo, dtype=np.int64)
-        self._partition_of_row[lo:hi] = part
+        self._install(part, data, state)
 
     def evict(self, part: int) -> None:
         """Write a partition back (if dirty) and drop it from the buffer."""
@@ -108,25 +151,32 @@ class PartitionBuffer:
         del self._data[part]
         del self._state[part]
         del self._dirty[part]
+        self._free_slots.append(self._slot_of.pop(part))
         lo = int(self.store.scheme.boundaries[part])
         hi = int(self.store.scheme.boundaries[part + 1])
-        self._local_row[lo:hi] = -1
+        self._slab_row[lo:hi] = -1
         self._partition_of_row[lo:hi] = -1
 
     def set_partitions(self, parts: Sequence[int]) -> int:
-        """Swap the buffer contents to exactly ``parts``; returns #partitions moved."""
+        """Swap the buffer contents to exactly ``parts``; returns #partitions moved.
+
+        Registered swap listeners are called with the (added, removed) diff
+        after the swap completes.
+        """
         wanted = set(int(x) for x in parts)
         if len(wanted) > self.capacity:
             raise ValueError(f"requested {len(wanted)} partitions, capacity {self.capacity}")
-        moved = 0
+        removed = []
+        added = []
         for part in [q for q in self._data if q not in wanted]:
             self.evict(part)
-            moved += 1
+            removed.append(part)
         for part in sorted(wanted):
             if part not in self._data:
                 self.admit(part)
-                moved += 1
-        return moved
+                added.append(part)
+        self.notify_swap(added, removed)
+        return len(added) + len(removed)
 
     def flush(self) -> None:
         """Write every dirty resident partition back without evicting."""
@@ -139,33 +189,26 @@ class PartitionBuffer:
     def gather(self, node_ids: np.ndarray) -> np.ndarray:
         """Copy the rows of ``node_ids`` (global IDs; must all be resident)."""
         node_ids = np.asarray(node_ids, dtype=np.int64)
-        local = self._local_row[node_ids]
-        if (local < 0).any():
-            missing = node_ids[local < 0][:5]
+        rows = self._slab_row[node_ids]
+        if (rows < 0).any():
+            missing = node_ids[rows < 0][:5]
             raise KeyError(f"nodes not resident in buffer (first few: {missing.tolist()})")
-        out = np.empty((len(node_ids), self.store.dim), dtype=np.float32)
-        parts = self._partition_of_row[node_ids]
-        for part in np.unique(parts):
-            mask = parts == part
-            out[mask] = self._data[int(part)][local[mask]]
-        return out
+        return self._slab[rows]
 
     def apply_gradients(self, node_ids: np.ndarray, grads: np.ndarray) -> None:
         """Row-sparse optimizer update for learnable representations (Step 6)."""
         if self.optimizer is None:
             raise RuntimeError("buffer was built without an embedding optimizer")
         node_ids = np.asarray(node_ids, dtype=np.int64)
-        local = self._local_row[node_ids]
-        if (local < 0).any():
+        rows = self._slab_row[node_ids]
+        if (rows < 0).any():
             raise KeyError("gradient rows must be resident in the buffer")
-        parts = self._partition_of_row[node_ids]
-        for part in np.unique(parts):
-            mask = parts == part
-            part = int(part)
-            state = self._state[part]
-            if state is None:
+        parts = [int(p) for p in np.unique(self._partition_of_row[node_ids])]
+        for part in parts:
+            if self._state[part] is None:
                 raise RuntimeError(f"partition {part} has no optimizer state")
-            self.optimizer.update(self._data[part], state, local[mask], grads[mask])
+        self.optimizer.update(self._slab, self._state_slab, rows, grads)
+        for part in parts:
             self._dirty[part] = True
 
     def resident_nodes(self) -> np.ndarray:

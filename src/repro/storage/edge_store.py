@@ -57,14 +57,24 @@ class EdgeBucketStore:
     def bucket_bytes(self, i: int, j: int) -> int:
         return self.bucket_size(i, j) * self.width * 8
 
-    def read_bucket(self, i: int, j: int) -> np.ndarray:
+    def read_bucket(self, i: int, j: int, record_io: bool = True) -> np.ndarray:
         """One contiguous disk read returning bucket (i, j) edges."""
         p = self.num_partitions
         b = i * p + j
         lo, hi = int(self.bucket_offsets[b]), int(self.bucket_offsets[b + 1])
         data = np.array(self._edges[lo:hi])
-        self.stats.record_read(data.nbytes)
+        if record_io:
+            self.stats.record_read(data.nbytes)
         return data
+
+    def bucket_endpoints(self, i: int, j: int,
+                         record_io: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """Bucket ``(i, j)``'s ``(src, dst)`` endpoint arrays — the bucket
+        source of a :class:`~repro.graph.csr.PartitionedAdjacencyIndex`, so
+        a buffer swap reads only the *new* partitions' buckets from disk
+        instead of re-reading all c^2 resident buckets."""
+        data = self.read_bucket(i, j, record_io=record_io)
+        return data[:, 0], data[:, -1]
 
     def read_buckets(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
         parts = [self.read_bucket(i, j) for i, j in pairs]

@@ -96,10 +96,11 @@ class PrefetchingBufferManager:
                 f"requested {len(wanted)} partitions, capacity {self.buffer.capacity}")
         if self.enabled:
             self.prefetcher.wait()
-        moved = 0
+        removed = []
+        added = []
         for part in [q for q in self.buffer.resident if q not in wanted]:
             self.buffer.evict(part)
-            moved += 1
+            removed.append(part)
         for part in sorted(wanted):
             if self.buffer.is_resident(part):
                 continue
@@ -108,7 +109,9 @@ class PrefetchingBufferManager:
                 self.buffer.admit_preloaded(part, *staged)
             else:
                 self.buffer.admit(part)
-            moved += 1
+            added.append(part)
+        moved = len(added) + len(removed)
+        self.buffer.notify_swap(added, removed)
         if self.enabled and next_partitions is not None:
             incoming = [p for p in next_partitions
                         if not self.buffer.is_resident(int(p))]

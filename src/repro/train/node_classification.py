@@ -261,6 +261,13 @@ class DiskNodeClassificationTrainer:
         self.edge_store = EdgeBucketStore(dsk.workdir / "edges.bin", graph,
                                           self.scheme, stats=self.io)
         self.buffer = PartitionBuffer(self.node_store, dsk.buffer_capacity)
+        # Swap listener keeps the partition-aware sampler index incremental:
+        # only the buckets of partitions that entered the buffer are read.
+        self.sampler = DenseSampler.from_partitions(
+            self.scheme, self.edge_store.bucket_endpoints, (),
+            list(cfg.fanouts), directions=cfg.directions, rng=self.rng)
+        self.buffer.add_swap_listener(
+            lambda added, removed: self.sampler.update_graph(added, removed))
         self.policy = TrainingNodeCachePolicy(dsk.num_partitions, dsk.buffer_capacity,
                                               train_parts, self.dataset.train_nodes,
                                               scheme=self.scheme)
@@ -293,10 +300,8 @@ class DiskNodeClassificationTrainer:
         losses: List[float] = []
         for step in plan.steps:
             t_io = time.perf_counter()
+            # The swap listener updates self.sampler's index incrementally.
             self.buffer.set_partitions(step.partitions)
-            subgraph = self.edge_store.subgraph_for_partitions(step.partitions)
-            sampler = DenseSampler(subgraph, list(cfg.fanouts),
-                                   directions=cfg.directions, rng=self.rng)
             record.io_seconds += time.perf_counter() - t_io
             if len(step.train_nodes) == 0:
                 continue
@@ -305,7 +310,7 @@ class DiskNodeClassificationTrainer:
             for start in range(0, len(order), cfg.batch_size):
                 nodes = np.unique(order[start : start + cfg.batch_size])
                 t1 = time.perf_counter()
-                batch = sampler.sample(nodes)
+                batch = self.sampler.sample(nodes)
                 t2 = time.perf_counter()
                 h0 = Tensor(self.buffer.gather(batch.node_ids))
                 logits = self.model(h0, batch)

@@ -28,6 +28,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.sampler import DenseSampler
+from ..graph.csr import AdjacencyIndex
 from ..nn.loss import link_prediction_loss
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
@@ -75,6 +76,10 @@ class PipelinedLinkPredictionTrainer:
         params = self.model.parameters()
         self.gnn_optimizer = Adam(params, lr=cfg.gnn_lr) if params else None
         self.pipeline_stats: List[PipelineStats] = []
+        # The dual-sorted index over the (static) training graph is built
+        # once and shared read-only by every sampler worker across epochs,
+        # instead of each worker re-sorting the edge list per epoch.
+        self._shared_index = AdjacencyIndex(graph, directions=cfg.directions)
 
     # ------------------------------------------------------------------
     def _sampler_worker(self, worker_id: int, epoch: int, edges: np.ndarray,
@@ -85,10 +90,10 @@ class PipelinedLinkPredictionTrainer:
         # and must NOT replay the same neighbor/negative draws — a repeated
         # negative-sample sequence lets the model overfit those specific
         # negatives (loss falls, ranking quality collapses).
-        sampler = DenseSampler(self.dataset.graph, list(cfg.fanouts),
-                               directions=cfg.directions,
+        sampler = DenseSampler(None, list(cfg.fanouts),
                                rng=np.random.default_rng(
-                                   [cfg.seed, 97, epoch, worker_id]))
+                                   [cfg.seed, 97, epoch, worker_id]),
+                               index=self._shared_index)
         negatives = UniformNegativeSampler(
             self.dataset.graph.num_nodes, cfg.num_negatives,
             rng=np.random.default_rng([cfg.seed, 131, epoch, worker_id]))
@@ -108,9 +113,18 @@ class PipelinedLinkPredictionTrainer:
                 batch = sampler.sample(targets)
             else:
                 batch = sampler.sample_no_neighbors(targets)
+            # Row lookups into the encoder output happen here on the worker
+            # (off the compute thread's critical path): one concatenated
+            # sorted search split three ways. For 0-layer models the output
+            # rows ARE the h0 rows, so the same lookup selects both.
+            rows = np.searchsorted(targets, np.concatenate([src, dst, neg]))
+            rows_src = rows[: len(src)]
+            rows_dst = rows[len(src) : len(src) + len(dst)]
+            rows_neg = rows[len(src) + len(dst) :]
             # Step 3's gather happens on the main thread so it sees the
             # freshest embeddings the pipeline allows.
-            batch_queue.put((batch, targets, src, rel, dst, neg))
+            batch_queue.put((batch, src, rel, dst,
+                             rows_src, rows_dst, rows_neg))
 
     def _updater_worker(self, update_queue: "queue.Queue",
                         stats: PipelineStats) -> None:
@@ -159,14 +173,14 @@ class PipelinedLinkPredictionTrainer:
             if item is _STOP:
                 stops_seen += 1
                 continue
-            batch, targets, src, rel, dst, neg = item
+            batch, src, rel, dst, rows_src, rows_dst, rows_neg = item
             t0 = time.perf_counter()
             h0 = Tensor(self.embeddings.gather(batch.node_ids),
                         requires_grad=True)
             out = self.model.encode(h0, batch)
-            src_repr = out.index_select(np.searchsorted(targets, src))
-            dst_repr = out.index_select(np.searchsorted(targets, dst))
-            neg_repr = out.index_select(np.searchsorted(targets, neg))
+            src_repr = out.index_select(rows_src)
+            dst_repr = out.index_select(rows_dst)
+            neg_repr = out.index_select(rows_neg)
             pos = self.model.decoder.score_edges(src_repr, rel, dst_repr)
             negs = self.model.decoder.score_against(src_repr, rel, neg_repr)
             loss = link_prediction_loss(pos, negs)

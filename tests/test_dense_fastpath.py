@@ -1,0 +1,320 @@
+"""Fast-path equivalence: allocation-lean DENSE build and the two-level index.
+
+The perf work in ``core/dense.py`` and ``graph/csr.py`` must be *invisible*
+semantically:
+
+* :func:`build_dense` (membership-array dedup, single-pass assembly, scatter
+  ``repr_map``) must produce batches bit-identical to
+  :func:`build_dense_reference` (the direct Algorithm 1 transcription) under
+  the same seeded generator — including stats and post-``advance`` layouts.
+* :class:`PartitionedAdjacencyIndex` driven through arbitrary
+  ``update_partitions`` admit/evict sequences must be sample-for-sample
+  identical to a flat :class:`AdjacencyIndex` rebuilt from scratch over the
+  bucket-major in-buffer subgraph.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dense import build_dense, build_dense_reference
+from repro.core.sampler import DenseSampler
+from repro.graph import (AdjacencyIndex, EdgeBuckets, Graph,
+                         PartitionedAdjacencyIndex, PartitionScheme,
+                         power_law_graph)
+from repro.storage.buffer import PartitionBuffer
+from repro.storage.node_store import NodeStore
+from repro.storage.prefetch import PrefetchingBufferManager
+
+
+def random_graph(num_nodes, num_edges, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, num_edges)
+    dst = rng.integers(0, num_nodes, num_edges)
+    return Graph(num_nodes=num_nodes, src=src, dst=dst)
+
+
+def assert_batches_identical(a, b):
+    np.testing.assert_array_equal(a.node_id_offsets, b.node_id_offsets)
+    np.testing.assert_array_equal(a.node_ids, b.node_ids)
+    np.testing.assert_array_equal(a.nbr_offsets, b.nbr_offsets)
+    np.testing.assert_array_equal(a.nbrs, b.nbrs)
+    if a.repr_map is not None or b.repr_map is not None:
+        np.testing.assert_array_equal(a.repr_map, b.repr_map)
+    assert a.num_layers == b.num_layers
+
+
+class TestBuildDenseFastPath:
+    @settings(max_examples=30, deadline=None)
+    @given(num_nodes=st.integers(10, 120), num_edges=st.integers(5, 600),
+           k=st.integers(1, 4), fanout=st.integers(1, 8),
+           directions=st.sampled_from(["out", "in", "both"]),
+           seed=st.integers(0, 1000))
+    def test_bit_identical_to_reference(self, num_nodes, num_edges, k, fanout,
+                                        directions, seed):
+        g = random_graph(num_nodes, num_edges, seed)
+        idx = AdjacencyIndex(g, directions)
+        rng = np.random.default_rng(seed + 1)
+        targets = rng.choice(num_nodes, size=min(8, num_nodes), replace=False)
+        fanouts = [fanout] * k
+
+        ref = build_dense_reference(targets, fanouts, idx,
+                                    rng=np.random.default_rng(seed + 2))
+        member = np.zeros(num_nodes, dtype=bool)
+        fast = build_dense(targets, fanouts, idx,
+                           rng=np.random.default_rng(seed + 2),
+                           member=member)
+        assert_batches_identical(ref, fast)
+        assert not member.any()  # scratch restored
+        # Stats must match too (they feed Table 6).
+        assert ref.stats == fast.stats
+        fast.validate()
+
+        # repr_map: scatter path == sorted-search path.
+        rows = np.empty(num_nodes, dtype=np.int64)
+        ref.compute_repr_map()
+        fast.compute_repr_map(row_scratch=rows)
+        np.testing.assert_array_equal(ref.repr_map, fast.repr_map)
+
+        # Algorithm 2: identical layouts at every advance step.
+        while ref.num_deltas > 1:
+            ref, fast = ref.advance(), fast.advance()
+            assert_batches_identical(ref, fast)
+
+    def test_advance_returns_views_where_offsets_allow(self):
+        g = power_law_graph(200, 2000, seed=0)
+        sampler = DenseSampler(g, [4, 4], rng=np.random.default_rng(0))
+        batch = sampler.sample(np.arange(10))
+        adv = batch.advance()
+        assert np.shares_memory(adv.node_ids, batch.node_ids)
+        assert np.shares_memory(adv.nbrs, batch.nbrs)
+        # A delta-less advance (all shifts zero) keeps offset views too.
+        empty = build_dense(np.arange(5), [3],
+                            AdjacencyIndex(Graph(num_nodes=5,
+                                                 src=np.empty(0, dtype=np.int64),
+                                                 dst=np.empty(0, dtype=np.int64))))
+        adv2 = empty.advance()
+        assert np.shares_memory(adv2.node_id_offsets, empty.node_id_offsets)
+
+    def test_sampler_batches_are_reference_identical(self):
+        g = power_law_graph(500, 6000, num_relations=3, seed=2)
+        idx = AdjacencyIndex(g, "both")
+        sampler = DenseSampler(g, [5, 5], rng=np.random.default_rng(7), index=idx)
+        targets = np.random.default_rng(0).choice(500, 64, replace=False)
+        fast = sampler.sample(targets)
+        ref = build_dense_reference(targets, [5, 5], idx,
+                                    rng=np.random.default_rng(7))
+        ref.compute_repr_map()
+        assert_batches_identical(ref, fast)
+
+    def test_without_replacement_vectorized_draw(self):
+        g = power_law_graph(300, 9000, seed=4)
+        idx = AdjacencyIndex(g, "both")
+        nodes = np.arange(50)
+        nbrs, offsets = idx.sample_one_hop(nodes, 6,
+                                           rng=np.random.default_rng(3),
+                                           replace=False)
+        from collections import Counter
+        bounds = np.concatenate([offsets, [len(nbrs)]])
+        for i, node in enumerate(nodes):
+            mine = Counter(nbrs[bounds[i]:bounds[i + 1]].tolist())
+            # Distinct *positions*: each neighbor drawn at most as often as
+            # it occurs in the full run (multi-edges occur more than once).
+            run = Counter(idx.neighbors_of(int(node)).tolist())
+            assert all(run[v] >= c for v, c in mine.items())
+
+
+def reference_index(buckets, parts, directions):
+    """Flat index over the bucket-major in-buffer subgraph (sorted parts)."""
+    return AdjacencyIndex(buckets.subgraph_for_partitions(sorted(parts)),
+                          directions)
+
+
+class TestPartitionedIndex:
+    @settings(max_examples=20, deadline=None)
+    @given(num_nodes=st.integers(16, 100), num_edges=st.integers(10, 500),
+           p=st.integers(2, 6), directions=st.sampled_from(["out", "in", "both"]),
+           cache=st.booleans(), seed=st.integers(0, 500))
+    def test_update_equals_full_rebuild(self, num_nodes, num_edges, p,
+                                        directions, cache, seed):
+        g = random_graph(num_nodes, num_edges, seed)
+        scheme = PartitionScheme.uniform(num_nodes, p)
+        buckets = EdgeBuckets(g, scheme)
+        rng = np.random.default_rng(seed)
+
+        resident = set()
+        index = PartitionedAdjacencyIndex(scheme, buckets.bucket_endpoints,
+                                          (), directions=directions,
+                                          cache_evicted=cache)
+        for _ in range(6):
+            # Arbitrary admit/evict diff keeping at least one partition.
+            removed = ([int(x) for x in
+                        rng.choice(sorted(resident),
+                                   rng.integers(0, len(resident) + 1),
+                                   replace=False)] if resident else [])
+            candidates = [q for q in range(p) if q not in resident]
+            added = [int(x) for x in
+                     rng.choice(candidates,
+                                rng.integers(1 if not resident else 0,
+                                             len(candidates) + 1),
+                                replace=False)] if candidates else []
+            if not (added or removed):
+                continue
+            index.update_partitions(added, removed)
+            resident = (resident - set(removed)) | set(added)
+
+            ref = reference_index(buckets, resident, directions)
+            all_nodes = np.arange(num_nodes)
+            np.testing.assert_array_equal(index.degrees(all_nodes),
+                                          ref.degrees(all_nodes))
+            for node in range(0, num_nodes, max(1, num_nodes // 7)):
+                np.testing.assert_array_equal(index.neighbors_of(node),
+                                              ref.neighbors_of(int(node)))
+            probe = rng.choice(num_nodes, size=min(12, num_nodes), replace=False)
+            for fanout, replace in ((3, True), (0, True), (2, False)):
+                s = int(rng.integers(1 << 30))
+                got = index.sample_one_hop(probe, fanout,
+                                           rng=np.random.default_rng(s),
+                                           replace=replace)
+                want = ref.sample_one_hop(probe, fanout,
+                                          rng=np.random.default_rng(s),
+                                          replace=replace)
+                np.testing.assert_array_equal(got[0], want[0])
+                np.testing.assert_array_equal(got[1], want[1])
+
+    def test_build_dense_matches_reference_over_partitioned_index(self):
+        g = power_law_graph(400, 5000, seed=9)
+        scheme = PartitionScheme.uniform(400, 8)
+        buckets = EdgeBuckets(g, scheme)
+        parts = [1, 3, 4, 6]
+        two_level = PartitionedAdjacencyIndex(scheme, buckets.bucket_endpoints,
+                                              parts)
+        flat = reference_index(buckets, parts, "both")
+        targets = np.random.default_rng(1).choice(400, 50, replace=False)
+        fast = build_dense(targets, [4, 4], two_level,
+                           rng=np.random.default_rng(11))
+        ref = build_dense_reference(targets, [4, 4], flat,
+                                    rng=np.random.default_rng(11))
+        assert_batches_identical(ref, fast)
+
+    def test_memory_bytes_matches_flat_index(self):
+        g = power_law_graph(200, 3000, seed=5)
+        scheme = PartitionScheme.uniform(200, 4)
+        buckets = EdgeBuckets(g, scheme)
+        index = PartitionedAdjacencyIndex(scheme, buckets.bucket_endpoints,
+                                          range(4))
+        flat = reference_index(buckets, range(4), "both")
+        # Same 2x sorted-neighbor payload; the two-level form adds one local
+        # offset array per bucket sub-run (2 * p^2 of them) instead of one
+        # global offset array per view.
+        offset_overhead = 8 * 2 * (4 * 4) * (200 // 4 + 1)
+        flat_offsets = 8 * 2 * (200 + 1)
+        payload = index.memory_bytes() - offset_overhead
+        assert payload == flat.memory_bytes() - flat_offsets
+        assert index.memory_bytes() > 0
+
+    def test_update_validates_removals(self):
+        g = random_graph(40, 100, 0)
+        scheme = PartitionScheme.uniform(40, 4)
+        buckets = EdgeBuckets(g, scheme)
+        index = PartitionedAdjacencyIndex(scheme, buckets.bucket_endpoints, [0])
+        with pytest.raises(KeyError):
+            index.update_partitions([], [2])
+
+    def test_cache_avoids_resorting_on_readmit(self):
+        g = random_graph(60, 400, 3)
+        scheme = PartitionScheme.uniform(60, 4)
+        buckets = EdgeBuckets(g, scheme)
+        index = PartitionedAdjacencyIndex(scheme, buckets.bucket_endpoints,
+                                          [0, 1], cache_evicted=True)
+        index.update_partitions([2], [0])
+        fetches = index.bucket_fetches
+        index.update_partitions([0], [2])   # 0's buckets are cached
+        assert index.bucket_fetches == fetches
+
+
+class TestBufferSwapListeners:
+    def make(self, tmp_path, p=4, capacity=2):
+        scheme = PartitionScheme.uniform(40, p)
+        store = NodeStore(tmp_path / "n.bin", scheme, dim=4, learnable=True)
+        store.initialize(rng=np.random.default_rng(0))
+        return PartitionBuffer(store, capacity)
+
+    def test_set_partitions_reports_diff(self, tmp_path):
+        buf = self.make(tmp_path)
+        events = []
+        buf.add_swap_listener(lambda a, r: events.append((a, r)))
+        buf.set_partitions([0, 1])
+        buf.set_partitions([1, 2])
+        buf.set_partitions([1, 2])   # no-op swap: no event
+        assert events == [([0, 1], []), ([2], [0])]
+
+    def test_prefetch_manager_reports_diff(self, tmp_path):
+        buf = self.make(tmp_path)
+        events = []
+        buf.add_swap_listener(lambda a, r: events.append((a, r)))
+        mgr = PrefetchingBufferManager(buf, enabled=True)
+        mgr.load_step([0, 1], next_partitions=[1, 2])
+        mgr.load_step([1, 2], None)
+        mgr.finish()
+        assert events == [([0, 1], []), ([2], [0])]
+
+    def test_listener_keeps_sampler_in_sync(self, tmp_path):
+        g = power_law_graph(40, 600, seed=8)
+        scheme = PartitionScheme.uniform(40, 4)
+        buckets = EdgeBuckets(g, scheme)
+        buf = self.make(tmp_path)
+        sampler = DenseSampler.from_partitions(scheme, buckets.bucket_endpoints,
+                                               (), [3],
+                                               rng=np.random.default_rng(0))
+        buf.add_swap_listener(lambda a, r: sampler.update_graph(a, r))
+        buf.set_partitions([0, 3])
+        assert sampler.index.partitions == [0, 3]
+        assert sampler.index_updates == 1
+        ref = reference_index(buckets, [0, 3], "both")
+        all_nodes = np.arange(40)
+        np.testing.assert_array_equal(sampler.index.degrees(all_nodes),
+                                      ref.degrees(all_nodes))
+
+    def test_stateless_partition_rejects_gradients(self, tmp_path):
+        from repro.nn.optim import RowAdagrad
+        scheme = PartitionScheme.uniform(40, 4)
+        store = NodeStore(tmp_path / "n.bin", scheme, dim=4, learnable=True)
+        store.initialize(rng=np.random.default_rng(0))
+        buf = PartitionBuffer(store, 2, optimizer=RowAdagrad(lr=0.1))
+        buf.admit(0)
+        # A partition installed without optimizer state must refuse updates
+        # rather than train against a stale slab slot.
+        buf.admit_preloaded(1, np.zeros((10, 4), dtype=np.float32), None)
+        buf.apply_gradients(np.array([0]), np.ones((1, 4), dtype=np.float32))
+        with pytest.raises(RuntimeError, match="no optimizer state"):
+            buf.apply_gradients(np.array([12]), np.ones((1, 4), dtype=np.float32))
+
+    def test_update_graph_requires_partitioned_index(self):
+        g = power_law_graph(30, 200, seed=0)
+        sampler = DenseSampler(g, [2])
+        with pytest.raises(TypeError):
+            sampler.update_graph([0], [])
+
+    def test_directions_conflict_with_prebuilt_index(self):
+        g = power_law_graph(30, 200, seed=0)
+        idx = AdjacencyIndex(g, "both")
+        with pytest.raises(ValueError):
+            DenseSampler(None, [2], directions="in", index=idx)
+        assert DenseSampler(None, [2], index=idx).directions == "both"
+
+    def test_scratch_reset_after_failed_build(self):
+        g = power_law_graph(50, 400, seed=0)
+        sampler = DenseSampler(g, [3], rng=np.random.default_rng(0))
+        with pytest.raises(IndexError):
+            sampler.sample(np.array([1, 999]))   # out-of-range target
+        # Scratches must come back clean so later batches are not corrupted.
+        batch = sampler.sample(np.arange(20))
+        clean = DenseSampler(g, [3], rng=np.random.default_rng(0))
+        # Replay: consume one failed + one good draw on the clean sampler.
+        with pytest.raises(IndexError):
+            clean.sample(np.array([1, 999]))
+        expect = clean.sample(np.arange(20))
+        assert_batches_identical(expect, batch)
+        assert not sampler._member.any()

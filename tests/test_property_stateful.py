@@ -133,6 +133,10 @@ _UNARY = ["relu", "sigmoid", "tanh", "leaky_relu"]
 def test_fuzz_unary_chains(ops, rows, cols, seed):
     rng = np.random.default_rng(seed)
     x = rng.normal(0, 1, (rows, cols)).astype(np.float32)
+    # Keep inputs away from the relu/leaky_relu kink at 0: the central
+    # difference is wrong within eps of a kink — a limitation of the
+    # numeric check, not of the gradients under test.
+    x += np.where(x >= 0, 0.25, -0.25).astype(np.float32)
 
     def apply(t):
         for op in ops:
