@@ -194,7 +194,38 @@ def test_sampling_fastpath(report):
     assert dense["speedup"] > 1.1
 
 
-def main():
+SMOKE_SWAP_CFG = dict(num_nodes=8_000, num_edges=120_000, p=8, capacity=4,
+                      num_swaps=6, seed=0)
+SMOKE_DENSE_CFG = dict(num_nodes=8_000, num_edges=100_000, fanouts=(10, 5),
+                       batch=256, n_batches=4, seed=0)
+
+
+def main(argv=None):
+    """Regenerate BENCH_sampling.json, or sanity-check the hot path fast.
+
+    ``--smoke`` runs a reduced configuration (seconds, not minutes) with the
+    same bit-exactness correctness checks but does **not** overwrite the
+    committed baseline — the hook for PRs touching the sampling hot path:
+    run the smoke first; if it passes and the numbers moved, re-run without
+    the flag to refresh BENCH_sampling.json.
+    """
+    import argparse
+    parser = argparse.ArgumentParser(prog="benchmarks.test_sampling_fastpath")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast correctness + perf sanity run; leaves "
+                             "BENCH_sampling.json untouched")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        results = {
+            "bench": "sampling_fastpath (smoke; baseline NOT updated)",
+            "swap_preparation": bench_swap_preparation(**SMOKE_SWAP_CFG),
+            "build_dense": bench_build_dense(**SMOKE_DENSE_CFG),
+        }
+        print(json.dumps(results, indent=2))
+        assert results["swap_preparation"]["speedup"] > 1.0
+        assert results["build_dense"]["speedup"] > 1.0
+        print("smoke ok: fast paths bit-identical to references and not slower")
+        return
     results = run_all()
     _write(results)
     print(json.dumps(results, indent=2))

@@ -26,7 +26,8 @@ from .train import (DiskConfig, DiskLinkPredictionTrainer,
                     DiskNodeClassificationConfig,
                     DiskNodeClassificationTrainer, LinkPredictionConfig,
                     LinkPredictionTrainer, NodeClassificationConfig,
-                    NodeClassificationTrainer)
+                    NodeClassificationTrainer,
+                    PipelinedLinkPredictionTrainer)
 
 LP_DATASETS = {
     "fb15k237": lambda scale: load_fb15k237(scale=scale),
@@ -84,15 +85,32 @@ def cmd_train_lp(args: argparse.Namespace) -> int:
         num_layers=len(fanouts), fanouts=fanouts, decoder=args.decoder,
         batch_size=args.batch_size, num_negatives=args.negatives,
         num_epochs=args.epochs, eval_every=1, seed=args.seed)
+    if args.disk and args.pipelined:
+        raise SystemExit("--disk and --pipelined select different trainers; "
+                         "pass one of them")
+    if args.deterministic and not args.pipelined:
+        raise SystemExit("--deterministic only applies to --pipelined "
+                         "(the other trainers are already deterministic)")
+    ckpt = _checkpoint_args(args)
     if args.disk:
         workdir = Path(args.workdir) if args.workdir else Path(
             tempfile.mkdtemp(prefix="repro-disk-"))
         disk = DiskConfig(workdir=workdir, num_partitions=args.partitions,
                           num_logical=args.logical, buffer_capacity=args.buffer,
                           policy=args.policy)
-        trainer = DiskLinkPredictionTrainer(data, config, disk)
+        trainer = DiskLinkPredictionTrainer(data, config, disk, **ckpt)
+    elif args.pipelined:
+        trainer = PipelinedLinkPredictionTrainer(
+            data, config, num_sample_workers=args.workers,
+            pipeline_depth=args.pipeline_depth,
+            deterministic=args.deterministic, **ckpt)
     else:
-        trainer = LinkPredictionTrainer(data, config)
+        trainer = LinkPredictionTrainer(data, config, **ckpt)
+    if args.resume_from:
+        meta = trainer.resume(Path(args.resume_from))
+        print(f"resumed from snapshot at epoch {meta['epoch']}"
+              + (f", step {meta['step']}" if "step" in meta else "")
+              + (f", batch {meta['batch']}" if "batch" in meta else ""))
     result = trainer.train(verbose=True)
     print(f"\nfinal MRR {result.final_mrr:.4f} "
           f"(hits@10 {result.final_metrics.hits_at_10:.4f}) "
@@ -105,6 +123,22 @@ def cmd_train_lp(args: argparse.Namespace) -> int:
                         optimizer_state=embeddings.state if embeddings else None)
         print(f"checkpoint written to {args.save}")
     return 0
+
+
+def _checkpoint_args(args: argparse.Namespace) -> dict:
+    """Shared --checkpoint-every/--checkpoint-dir handling for trainers."""
+    if not args.checkpoint_every and not args.checkpoint_dir:
+        return {}
+    checkpoint_dir = Path(args.checkpoint_dir) if args.checkpoint_dir else (
+        Path(args.workdir) / "checkpoints" if args.workdir else
+        Path(tempfile.mkdtemp(prefix="repro-ckpt-")))
+    if args.checkpoint_every:
+        print(f"checkpointing every {args.checkpoint_every} to {checkpoint_dir}")
+    else:
+        print(f"checkpoint dir {checkpoint_dir} (no --checkpoint-every: "
+              f"snapshots are read for resume but none will be written)")
+    return {"checkpoint_dir": checkpoint_dir,
+            "checkpoint_every": args.checkpoint_every}
 
 
 def cmd_train_nc(args: argparse.Namespace) -> int:
@@ -122,8 +156,16 @@ def cmd_train_nc(args: argparse.Namespace) -> int:
         disk = DiskNodeClassificationConfig(workdir=workdir,
                                             num_partitions=args.partitions,
                                             buffer_capacity=args.buffer)
-        trainer = DiskNodeClassificationTrainer(data, config, disk)
+        trainer = DiskNodeClassificationTrainer(data, config, disk,
+                                                **_checkpoint_args(args))
+        if args.resume_from:
+            meta = trainer.resume(Path(args.resume_from))
+            print(f"resumed from snapshot at epoch {meta['epoch']}, "
+                  f"step {meta['step']}")
     else:
+        if args.resume_from or args.checkpoint_every or args.checkpoint_dir:
+            raise SystemExit("checkpoint/resume for train-nc requires --disk "
+                             "(the in-memory NC trainer is cheap to restart)")
         trainer = NodeClassificationTrainer(data, config)
     result = trainer.train(verbose=True)
     print(f"\nfinal accuracy {result.final_accuracy:.4f} "
@@ -165,6 +207,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer", type=int, default=4)
     p.add_argument("--workdir", default=None)
     p.add_argument("--save", default=None, help="checkpoint directory")
+    p.add_argument("--pipelined", action="store_true",
+                   help="threaded mini-batch pipeline trainer (in-memory)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="sampling workers for --pipelined")
+    p.add_argument("--pipeline-depth", type=int, default=4)
+    p.add_argument("--deterministic", action="store_true",
+                   help="ordered, replayable pipeline (bit-exact resume)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="snapshot cadence: epochs (in-memory), plan steps "
+                        "(--disk), or consumed batches (--pipelined "
+                        "--deterministic; without --deterministic the racy "
+                        "pipeline only snapshots at epoch boundaries); 0 = off")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="snapshot root (default: <workdir>/checkpoints)")
+    p.add_argument("--resume-from", default=None,
+                   help="snapshot dir (or checkpoint root) to resume from")
 
     p = sub.add_parser("train-nc", help="train node classification")
     p.add_argument("--config", help="JSON file overriding these options")
@@ -178,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partitions", type=int, default=16)
     p.add_argument("--buffer", type=int, default=8)
     p.add_argument("--workdir", default=None)
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="snapshot cadence in epoch-plan steps (--disk only)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="snapshot root (default: <workdir>/checkpoints)")
+    p.add_argument("--resume-from", default=None,
+                   help="snapshot dir (or checkpoint root) to resume from")
 
     return parser
 

@@ -120,6 +120,11 @@ class DenseSampler:
         self.index.update_partitions(added_parts, removed_parts)
         self.index_updates += 1
 
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Swap the draw stream in place (per-batch seeding reuses one
+        sampler — and its O(num_nodes) scratch — across batches)."""
+        self._rng = rng
+
     # ------------------------------------------------------------------
     def _scratch(self) -> Tuple[np.ndarray, np.ndarray]:
         n = self.index.num_nodes

@@ -9,7 +9,7 @@ layer (the dense optimizers handle the GNN weights on the "GPU").
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -34,6 +34,29 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Snapshot support: every optimizer can export/restore its slot state
+    # as a flat dict of numpy arrays (what the checkpoint subsystem stores).
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        expected = self.state_dict()
+        missing = set(expected) - set(state)
+        if missing:
+            raise KeyError(f"optimizer state missing entries: {sorted(missing)}")
+
+    @staticmethod
+    def _load_slots(slots: List[np.ndarray], state: Dict[str, np.ndarray],
+                    prefix: str) -> None:
+        for i, slot in enumerate(slots):
+            value = state[f"{prefix}{i}"]
+            if slot.shape != value.shape:
+                raise ValueError(
+                    f"optimizer slot {prefix}{i} shape mismatch: "
+                    f"{slot.shape} vs {value.shape}")
+            slot[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -57,6 +80,16 @@ class SGD(Optimizer):
                 grad = self._velocity[i]
             p.data -= self.lr * grad
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        if self._velocity is None:
+            return {}
+        return {f"velocity_{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        if self._velocity is not None:
+            self._load_slots(self._velocity, state, "velocity_")
+
 
 class Adagrad(Optimizer):
     """Adagrad (the optimizer Marius uses for embedding training)."""
@@ -72,6 +105,13 @@ class Adagrad(Optimizer):
                 continue
             self._accum[i] += p.grad**2
             p.data -= self.lr * p.grad / (np.sqrt(self._accum[i]) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {f"accum_{i}": a.copy() for i, a in enumerate(self._accum)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._load_slots(self._accum, state, "accum_")
 
 
 class Adam(Optimizer):
@@ -103,6 +143,20 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {"t": np.asarray(self._t, dtype=np.int64)}
+        for i, m in enumerate(self._m):
+            out[f"m_{i}"] = m.copy()
+        for i, v in enumerate(self._v):
+            out[f"v_{i}"] = v.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        self._load_slots(self._m, state, "m_")
+        self._load_slots(self._v, state, "v_")
 
 
 class RowAdagrad:

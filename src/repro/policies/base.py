@@ -155,3 +155,17 @@ class PartitionPolicy:
 
     def plan_epoch(self, epoch: int, rng: Optional[np.random.Generator] = None) -> EpochPlan:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Snapshot support. Policies are epoch-seeded (plans re-derive from a
+    # per-epoch rng), so most carry no cross-epoch state — the default
+    # export is empty. Stateful policies override both methods with
+    # JSON-able payloads so a resumed trainer sees the same policy view.
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(
+                f"policy {self.name!r} keeps no state but the snapshot "
+                f"carries {sorted(state)}")

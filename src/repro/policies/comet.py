@@ -96,6 +96,28 @@ class CometPolicy(PartitionPolicy):
                 chosen = eligible[int(rng.integers(len(eligible)))]
                 step_buckets[chosen].append((i, j))
 
+        return self._assemble_steps(phys_sets, step_buckets, rng)
+
+    def state_dict(self) -> dict:
+        """Export the current epoch's logical grouping (diagnostic state).
+
+        Plans re-derive deterministically from the per-epoch rng, but a
+        resumed trainer should report the same grouping it was using when
+        snapshotted (autotune dashboards read ``last_grouping``).
+        """
+        if self.last_grouping is None:
+            return {}
+        return {"last_grouping": [m.tolist() for m in self.last_grouping.members]}
+
+    def load_state_dict(self, state: dict) -> None:
+        if not state:
+            self.last_grouping = None
+            return
+        members = [np.asarray(m, dtype=np.int64) for m in state["last_grouping"]]
+        self.last_grouping = LogicalGrouping(members=members)
+
+    # ------------------------------------------------------------------
+    def _assemble_steps(self, phys_sets, step_buckets, rng):
         steps: List[EpochStep] = []
         prev: set = set()
         for parts, buckets in zip(phys_sets, step_buckets):

@@ -4,7 +4,7 @@ from .buffer import PartitionBuffer
 from .edge_store import EdgeBucketStore
 from .io_stats import IOStats
 from .node_store import NodeStore
-from .prefetch import Prefetcher, PrefetchingBufferManager
+from .prefetch import PrefetchError, Prefetcher, PrefetchingBufferManager
 
 __all__ = ["IOStats", "NodeStore", "EdgeBucketStore", "PartitionBuffer",
-           "Prefetcher", "PrefetchingBufferManager"]
+           "Prefetcher", "PrefetchingBufferManager", "PrefetchError"]

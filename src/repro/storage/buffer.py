@@ -72,6 +72,10 @@ class PartitionBuffer:
     def is_resident(self, part: int) -> bool:
         return part in self._data
 
+    def dirty_partitions(self) -> List[int]:
+        """Resident partitions holding updates not yet written back."""
+        return sorted(p for p, dirty in self._dirty.items() if dirty)
+
     def node_mask(self) -> np.ndarray:
         """Boolean mask over all nodes: resident in the buffer or not."""
         return self._slab_row >= 0
@@ -177,6 +181,21 @@ class PartitionBuffer:
                 added.append(part)
         self.notify_swap(added, removed)
         return len(added) + len(removed)
+
+    def drop_all(self) -> None:
+        """Discard every resident partition WITHOUT write-back.
+
+        The crash-recovery path: whatever the buffer holds is about to be
+        superseded by a snapshot restore, so flushing it would overwrite the
+        store with post-snapshot (possibly corrupt) state. Swap listeners
+        are notified so partition-aware sampler indexes drop the partitions
+        too.
+        """
+        dropped = sorted(self._data)
+        for part in dropped:
+            self._dirty[part] = False
+            self.evict(part)
+        self.notify_swap([], dropped)
 
     def flush(self) -> None:
         """Write every dirty resident partition back without evicting."""

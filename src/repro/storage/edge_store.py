@@ -10,6 +10,7 @@ size shrinking quadratically in p) is measurable for real.
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
@@ -109,6 +110,16 @@ class EdgeBucketStore:
             rel=edges[:, 1] if self.has_relations else None,
             num_relations=self.num_relations,
         )
+
+    def fingerprint(self) -> str:
+        """Layout identity: bucket offsets + edge width.
+
+        The edge store is immutable after construction, so the fingerprint
+        also pins its contents' shape — a snapshot taken against one bucket
+        layout refuses to resume against another.
+        """
+        crc = zlib.crc32(np.ascontiguousarray(self.bucket_offsets).tobytes())
+        return f"edge:{self.num_edges}:{self.width}:{crc:08x}"
 
     def close(self) -> None:
         self._edges.flush()

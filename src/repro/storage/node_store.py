@@ -15,6 +15,7 @@ pages in and out with its partition (as in Marius).
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
 from typing import Optional, Tuple
 
@@ -129,6 +130,47 @@ class NodeStore:
         data = np.array(self._table)
         self.stats.record_read(data.nbytes)
         return data
+
+    def read_all_state(self) -> Optional[np.ndarray]:
+        """Full optimizer-state table (``None`` for fixed-feature stores)."""
+        if self._state is None:
+            return None
+        data = np.array(self._state)
+        self.stats.record_read(data.nbytes)
+        return data
+
+    def restore(self, table: np.ndarray,
+                state: Optional[np.ndarray] = None) -> None:
+        """Overwrite the whole store from a snapshot's table (+ state) copy.
+
+        The workdir memmaps are scratch once checkpointing is on — a resume
+        rewrites them wholesale from the snapshot, so partition writes torn
+        by a crash after the snapshot cannot leak into training.
+        """
+        if table.shape != self._table.shape:
+            raise ValueError(
+                f"restore shape {table.shape} != store shape {self._table.shape}")
+        self._table[:] = table
+        self.stats.record_write(self._table.nbytes)
+        if state is not None:
+            if self._state is None:
+                raise ValueError("store has no optimizer state file")
+            if state.shape != self._state.shape:
+                raise ValueError(
+                    f"restore state shape {state.shape} != {self._state.shape}")
+            self._state[:] = state
+            self.stats.record_write(self._state.nbytes)
+        self.flush()
+
+    def fingerprint(self) -> str:
+        """Layout identity (not contents): partition boundaries + dim.
+
+        Snapshots record this so a resume against a store partitioned
+        differently (or a different graph size) is rejected up front.
+        """
+        crc = zlib.crc32(np.ascontiguousarray(self.scheme.boundaries).tobytes())
+        learnable = 1 if self._state is not None else 0
+        return f"node:{self.num_nodes}:{self.dim}:{learnable}:{crc:08x}"
 
     def flush(self) -> None:
         self._table.flush()

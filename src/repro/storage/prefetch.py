@@ -16,7 +16,7 @@ policy exposes the tail IO.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,14 +24,26 @@ from .buffer import PartitionBuffer
 from .node_store import NodeStore
 
 
+class PrefetchError(RuntimeError):
+    """A background prefetch worker died; the original error is chained."""
+
+
 class Prefetcher:
-    """Stages upcoming partitions in memory ahead of the buffer swap."""
+    """Stages upcoming partitions in memory ahead of the buffer swap.
+
+    A worker-thread exception is captured and re-raised from the next
+    :meth:`wait` (hence from ``load_step``/``finish``) instead of dying
+    silently inside the daemon thread — a prefetch that failed to read a
+    partition must abort the swap that depended on it, not hand the trainer
+    a silent miss.
+    """
 
     def __init__(self, store: NodeStore) -> None:
         self.store = store
         self._staged: Dict[int, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
         self.prefetch_hits = 0
         self.prefetch_misses = 0
 
@@ -42,19 +54,31 @@ class Prefetcher:
         parts = [int(p) for p in partitions]
 
         def work() -> None:
-            for part in parts:
-                data, state = self.store.read_partition(part)
+            try:
+                for part in parts:
+                    data, state = self.store.read_partition(part)
+                    with self._lock:
+                        self._staged[part] = (data, state)
+            except BaseException as exc:  # surfaced by the next wait()
                 with self._lock:
-                    self._staged[part] = (data, state)
+                    self._error = exc
 
         self._thread = threading.Thread(target=work, daemon=True)
         self._thread.start()
 
     def wait(self) -> None:
-        """Block until the in-flight prefetch (if any) completes."""
+        """Block until the in-flight prefetch (if any) completes.
+
+        Raises :class:`PrefetchError` if the worker thread failed.
+        """
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        with self._lock:
+            error, self._error = self._error, None
+        if error is not None:
+            raise PrefetchError(
+                f"prefetch worker failed: {error!r}") from error
 
     def take(self, part: int) -> Optional[Tuple[np.ndarray, Optional[np.ndarray]]]:
         """Hand over a staged partition, or ``None`` on a miss."""
@@ -77,12 +101,23 @@ class PrefetchingBufferManager:
     Usage: call :meth:`load_step` for each step; the manager swaps the buffer
     (using staged data when the prefetcher finished in time) and immediately
     starts prefetching the next step's incoming partitions.
+
+    ``fault_hook`` is a test-only crash-injection point, called with a
+    crash-point name at the swap's I/O boundaries (``swap-evicted`` between
+    the eviction and admission halves of a swap, ``prefetch-staged`` between
+    taking staged prefetch data and applying it to the buffer).
     """
 
-    def __init__(self, buffer: PartitionBuffer, enabled: bool = True) -> None:
+    def __init__(self, buffer: PartitionBuffer, enabled: bool = True,
+                 fault_hook: Optional[Callable[[str], None]] = None) -> None:
         self.buffer = buffer
         self.enabled = enabled
         self.prefetcher = Prefetcher(buffer.store)
+        self.fault_hook = fault_hook
+
+    def _fire(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
 
     def load_step(self, partitions: Sequence[int],
                   next_partitions: Optional[Sequence[int]] = None) -> int:
@@ -101,11 +136,13 @@ class PrefetchingBufferManager:
         for part in [q for q in self.buffer.resident if q not in wanted]:
             self.buffer.evict(part)
             removed.append(part)
+        self._fire("swap-evicted")
         for part in sorted(wanted):
             if self.buffer.is_resident(part):
                 continue
             staged = self.prefetcher.take(part) if self.enabled else None
             if staged is not None:
+                self._fire("prefetch-staged")
                 self.buffer.admit_preloaded(part, *staged)
             else:
                 self.buffer.admit(part)
@@ -120,10 +157,26 @@ class PrefetchingBufferManager:
         return moved
 
     def finish(self) -> None:
-        """Flush dirty partitions and drop any staged data."""
+        """Flush dirty partitions and drop any staged data.
+
+        Raises :class:`PrefetchError` if a prefetch worker died since the
+        last ``load_step`` — shutdown must not swallow worker failures.
+        """
         self.prefetcher.wait()
         self.prefetcher.drop_all()
         self.buffer.flush()
+
+    def reset(self) -> None:
+        """Discard in-flight and staged prefetch data (resume path).
+
+        A pending worker error is also cleared: after a restore the staged
+        data would be dropped anyway, so a failure to produce it is moot.
+        """
+        try:
+            self.prefetcher.wait()
+        except PrefetchError:
+            pass
+        self.prefetcher.drop_all()
 
     @property
     def hits(self) -> int:

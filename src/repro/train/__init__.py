@@ -1,6 +1,7 @@
 """Training harness: trainers, negative sampling, evaluation, pipelining."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (SnapshotError, SnapshotManager, load_checkpoint,
+                         open_snapshot, save_checkpoint)
 from .evaluation import (EpochRecord, RankingMetrics, TripleFilter,
                          filtered_ranks, multiclass_accuracy, ranking_metrics,
                          ranks_from_scores)
@@ -34,4 +35,5 @@ __all__ = [
     "overlap_efficiency",
     "PipelinedLinkPredictionTrainer", "PipelineStats",
     "TripleFilter", "filtered_ranks", "save_checkpoint", "load_checkpoint",
+    "SnapshotManager", "SnapshotError", "open_snapshot",
 ]

@@ -1,26 +1,360 @@
-"""Checkpointing: persist and restore trained models and embeddings.
+"""Checkpointing: atomic training snapshots plus legacy model export.
 
-A checkpoint directory holds:
+Two layers live here:
 
-* ``model.npz``        — GNN/decoder parameters (the module state dict),
-* ``embeddings.npy``   — learnable base representations (if any),
-* ``optimizer.npy``    — per-row Adagrad state for the embeddings,
-* ``config.json``      — the :class:`LinkPredictionConfig` /
-  :class:`NodeClassificationConfig` used, so evaluation reproduces the exact
-  sampling setup.
+* :class:`SnapshotManager` — the crash-safe snapshot subsystem. A snapshot
+  is a directory ``snap-<step_id>`` holding ``arrays.npz`` (every numpy
+  array of the training state: node table, optimizer slabs, model
+  parameters, dense-optimizer moments) and ``manifest.json`` (format
+  version, CRC of the array payload, and the JSON-able metadata: epoch/step
+  cursors, buffer residency, per-stream RNG states, store fingerprints,
+  policy state). Writes follow the classic atomicity protocol:
+  **write-temp + fsync + rename** — the temp directory only becomes visible
+  under its final name via one atomic ``os.rename``, so a reader never
+  observes a partial snapshot and a crash mid-save leaves only a ``tmp-*``
+  directory that the next save or scan sweeps away.
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the original
+  best-effort model/embedding export, kept for evaluation workflows.
+
+The resume guarantee (enforced by ``tests/test_checkpoint_recovery.py``):
+restoring the latest snapshot and continuing produces **bit-identical**
+parameters to the uninterrupted run, because a snapshot captures every
+source of state the training math reads — parameters, optimizer moments,
+the embedding table *and* its Adagrad state, buffer residency, and the
+exact RNG stream positions.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import shutil
+import zlib
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..nn.module import Module
 
+SNAPSHOT_VERSION = 1
+_SNAP_PREFIX = "snap-"
+_TMP_PREFIX = "tmp-"
+
+FaultHook = Callable[[str], None]
+
+
+# ---------------------------------------------------------------------------
+# RNG stream state
+# ---------------------------------------------------------------------------
+
+def _crc_file(path: Path, chunk: int = 1 << 20) -> int:
+    """CRC-32 of a file, streamed — snapshot payloads can be table-sized,
+    so neither save nor load may hold the whole archive in memory."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                return crc
+            crc = zlib.crc32(block, crc)
+
+
+def rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-able state of a numpy Generator (PCG64 ints serialize fine)."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a Generator *in place* (every holder of the object sees it)."""
+    rng.bit_generator.state = state
+
+
+# ---------------------------------------------------------------------------
+# Array-dict flattening for model / optimizer state
+# ---------------------------------------------------------------------------
+
+def flatten_arrays(prefix: str, state: Dict[str, np.ndarray],
+                   into: Dict[str, np.ndarray]) -> None:
+    """Merge ``state`` under ``prefix/`` keys into the snapshot array dict."""
+    for name, value in state.items():
+        into[f"{prefix}/{name}"] = np.asarray(value)
+
+
+def unflatten_arrays(prefix: str, arrays: Dict[str, np.ndarray]
+                     ) -> Dict[str, np.ndarray]:
+    head = f"{prefix}/"
+    return {key[len(head):]: arrays[key] for key in arrays if key.startswith(head)}
+
+
+# ---------------------------------------------------------------------------
+# Atomic snapshot store
+# ---------------------------------------------------------------------------
+
+class SnapshotError(RuntimeError):
+    """A snapshot is missing, truncated, or fails validation."""
+
+
+class SnapshotManager:
+    """Versioned, atomic on-disk snapshots under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the ``snap-*`` snapshot directories.
+    keep:
+        Retain at most this many complete snapshots (oldest pruned first).
+    fault_hook:
+        Test-only injection point: called with a crash-point name at the
+        I/O boundaries of :meth:`save` (``snapshot-begin``,
+        ``snapshot-pre-rename``, ``snapshot-post-rename``). Production code
+        leaves it ``None``.
+    """
+
+    def __init__(self, root: os.PathLike, keep: int = 2,
+                 fault_hook: Optional[FaultHook] = None) -> None:
+        self.root = Path(root)
+        if keep < 1:
+            raise ValueError("must keep at least one snapshot")
+        self.keep = keep
+        self.fault_hook = fault_hook
+
+    # ------------------------------------------------------------------
+    def _fire(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
+
+    @staticmethod
+    def _fsync(path: Path) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _sweep_tmp(self) -> None:
+        if not self.root.is_dir():
+            return
+        for leftover in self.root.glob(f"{_TMP_PREFIX}*"):
+            shutil.rmtree(leftover, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def save(self, step_id: int, meta: Dict[str, Any],
+             arrays: Dict[str, np.ndarray]) -> Path:
+        """Write a snapshot atomically; returns its directory.
+
+        ``meta`` must be JSON-serializable; ``arrays`` maps names to numpy
+        arrays. ``step_id`` seeds the directory ordinal (bumped past any
+        existing snapshots so this save sorts latest). The snapshot becomes
+        visible only after the final rename.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_tmp()
+        # The directory ordinal is the *save* sequence, not the training
+        # cursor (the cursor lives in the manifest): normally they coincide,
+        # but a run resumed from an older snapshot may re-reach (or fall
+        # behind) ids a crashed run left on disk — its fresher save must
+        # sort last for latest() without ever touching the old directories,
+        # so there is no demote/replace window for a crash to land in.
+        ordinal = int(step_id)
+        existing = self.list()
+        if existing:
+            ordinal = max(ordinal, self._step_of(existing[-1]) + 1)
+        final = self.root / f"{_SNAP_PREFIX}{ordinal:012d}"
+        while final.exists():   # debris of an incomplete snapshot
+            ordinal += 1
+            final = self.root / f"{_SNAP_PREFIX}{ordinal:012d}"
+        tmp = self.root / f"{_TMP_PREFIX}{ordinal:012d}"
+        tmp.mkdir()
+        self._fire("snapshot-begin")
+
+        with open(tmp / "arrays.npz", "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        crc = _crc_file(tmp / "arrays.npz")
+
+        manifest = {"version": SNAPSHOT_VERSION, "step_id": int(step_id),
+                    "arrays_crc": crc, "meta": meta}
+        with open(tmp / "manifest.json", "w") as fh:
+            json.dump(manifest, fh, indent=2)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fsync(tmp)
+
+        self._fire("snapshot-pre-rename")
+        os.rename(tmp, final)
+        self._fsync(self.root)
+        self._fire("snapshot-post-rename")
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        snaps = self.list()
+        for old in snaps[: max(0, len(snaps) - self.keep)]:
+            shutil.rmtree(old, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _step_of(path: Path) -> int:
+        try:
+            return int(path.name[len(_SNAP_PREFIX):])
+        except ValueError:
+            return -1
+
+    def list(self) -> List[Path]:
+        """Complete snapshots under the root, oldest first.
+
+        Ordered by the numeric step id, not the directory name — a step id
+        wider than the 12-digit zero padding must still sort after the
+        padded ones (lexicographic order would call it oldest and prune it).
+        """
+        if not self.root.is_dir():
+            return []
+        out = []
+        for cand in self.root.glob(f"{_SNAP_PREFIX}*"):
+            if (self._step_of(cand) >= 0 and (cand / "manifest.json").is_file()
+                    and (cand / "arrays.npz").is_file()):
+                out.append(cand)
+        return sorted(out, key=self._step_of)
+
+    def latest(self) -> Optional[Path]:
+        snaps = self.list()
+        return snaps[-1] if snaps else None
+
+    def load(self, path: Optional[os.PathLike] = None
+             ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Read and validate a snapshot; returns ``(meta, arrays)``.
+
+        With ``path=None`` the latest complete snapshot is used. Validation
+        covers the format version and the CRC of the array payload, so a
+        torn copy is rejected rather than silently restored.
+        """
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise SnapshotError(f"no snapshots under {self.root}")
+        path = Path(path)
+        try:
+            manifest = json.loads((path / "manifest.json").read_text())
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(f"unreadable manifest in {path}") from exc
+        if manifest.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot {path.name} has format version "
+                f"{manifest.get('version')}, expected {SNAPSHOT_VERSION}")
+        if _crc_file(path / "arrays.npz") != manifest["arrays_crc"]:
+            raise SnapshotError(f"snapshot {path.name} failed its CRC check")
+        with np.load(path / "arrays.npz") as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        return manifest["meta"], arrays
+
+
+def open_snapshot(path: os.PathLike
+                  ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Load a snapshot by path: either one ``snap-*`` directory or a
+    checkpoint root (in which case the latest complete snapshot is used)."""
+    path = Path(path)
+    if (path / "manifest.json").is_file():
+        return SnapshotManager(path.parent).load(path)
+    return SnapshotManager(path).load()
+
+
+def resolve_snapshot(path: Optional[os.PathLike],
+                     manager: Optional[SnapshotManager]
+                     ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """The trainers' shared resume dispatch: an explicit path wins,
+    otherwise the trainer's own manager provides its latest snapshot."""
+    if path is not None:
+        return open_snapshot(path)
+    if manager is not None:
+        return manager.load()
+    raise RuntimeError("no checkpoint_dir and no explicit snapshot path")
+
+
+# ---------------------------------------------------------------------------
+# Shared trainer capture/restore helpers
+# ---------------------------------------------------------------------------
+
+def dataset_fingerprint(dataset) -> str:
+    """Identity of a link prediction dataset's training data.
+
+    The disk trainers pin their data via store fingerprints; the in-memory
+    trainers record this instead, so a resume against regenerated splits or
+    a different dataset of compatible shape is rejected rather than
+    silently continuing with unrelated embeddings and cursors.
+    """
+    edges = np.ascontiguousarray(dataset.split.train)
+    crc = zlib.crc32(edges.tobytes())
+    return (f"dataset:{dataset.graph.num_nodes}:{len(edges)}:"
+            f"{edges.shape[1] if edges.ndim > 1 else 1}:{crc:08x}")
+
+
+def pack_model(model: Module, arrays: Dict[str, np.ndarray]) -> None:
+    flatten_arrays("model", model.state_dict(), arrays)
+
+
+def unpack_model(model: Module, arrays: Dict[str, np.ndarray]) -> None:
+    model.load_state_dict(unflatten_arrays("model", arrays))
+
+
+def pack_optimizer(prefix: str, optimizer,
+                   arrays: Dict[str, np.ndarray]) -> None:
+    if optimizer is not None:
+        flatten_arrays(prefix, optimizer.state_dict(), arrays)
+
+
+def unpack_optimizer(prefix: str, optimizer,
+                     arrays: Dict[str, np.ndarray]) -> None:
+    if optimizer is not None:
+        optimizer.load_state_dict(unflatten_arrays(prefix, arrays))
+
+
+# Config fields a resume may legitimately change: they steer how *long* or
+# how training is *reported*, never the replayed math. Everything else
+# (batch size, fanouts, lrs, seed, ...) shifts batch boundaries or rng
+# consumption and would silently break the bit-identical-resume guarantee.
+_RESUMABLE_CONFIG_DIFFS = frozenset(
+    {"num_epochs", "eval_every", "eval_negatives", "eval_max_edges"})
+
+
+def validate_meta(meta: Dict[str, Any], trainer_kind: str,
+                  stores: Optional[Dict[str, str]] = None,
+                  config: Optional[Any] = None) -> None:
+    """Reject snapshots from a different trainer, storage layout, or
+    training configuration (cursors and rng states are only meaningful
+    under the exact config that produced them)."""
+    if meta.get("trainer") != trainer_kind:
+        raise SnapshotError(
+            f"snapshot was written by trainer {meta.get('trainer')!r}, "
+            f"cannot resume a {trainer_kind!r} trainer from it")
+    if stores:
+        recorded = meta.get("stores", {})
+        for name, fingerprint in stores.items():
+            if recorded.get(name) != fingerprint:
+                raise SnapshotError(
+                    f"{name} layout changed since the snapshot "
+                    f"({recorded.get(name)} vs {fingerprint}); refusing to "
+                    f"resume against different data or partitioning")
+    if config is not None and "config" in meta:
+        current = _config_to_dict(config)
+        mismatched = sorted(
+            key for key in set(current) | set(meta["config"])
+            if key not in _RESUMABLE_CONFIG_DIFFS
+            and current.get(key) != meta["config"].get(key))
+        if mismatched:
+            raise SnapshotError(
+                "snapshot config differs on fields that change the replayed "
+                f"training math: {mismatched}; resume with the original "
+                "settings (only "
+                f"{sorted(_RESUMABLE_CONFIG_DIFFS)} may change)")
+
+
+# ---------------------------------------------------------------------------
+# Legacy model export (evaluation workflows)
+# ---------------------------------------------------------------------------
 
 def _config_to_dict(config: Any) -> Dict[str, Any]:
     out = dataclasses.asdict(config)

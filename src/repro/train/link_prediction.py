@@ -39,6 +39,10 @@ from ..storage.buffer import PartitionBuffer
 from ..storage.edge_store import EdgeBucketStore
 from ..storage.io_stats import IOStats
 from ..storage.node_store import NodeStore
+from .checkpoint import (SnapshotManager, _config_to_dict,
+                         dataset_fingerprint, pack_model, pack_optimizer,
+                         resolve_snapshot, rng_state, set_rng_state,
+                         unpack_model, unpack_optimizer, validate_meta)
 from .evaluation import EpochRecord, RankingMetrics, ranking_metrics, ranks_from_scores
 from .negative_sampling import UniformNegativeSampler
 
@@ -193,10 +197,19 @@ class _BatchStep:
 
 
 class LinkPredictionTrainer:
-    """Single-machine, full-graph-in-memory trainer (M-GNN_Mem)."""
+    """Single-machine, full-graph-in-memory trainer (M-GNN_Mem).
+
+    ``checkpoint_dir``/``checkpoint_every`` (in epochs) enable the atomic
+    snapshot subsystem; :meth:`resume` restores the latest snapshot so a
+    continued :meth:`train` is bit-identical to an uninterrupted run.
+    """
+
+    KIND = "lp-mem"
 
     def __init__(self, dataset: LinkPredictionDataset,
-                 config: Optional[LinkPredictionConfig] = None) -> None:
+                 config: Optional[LinkPredictionConfig] = None,
+                 checkpoint_dir: Optional[Path] = None,
+                 checkpoint_every: int = 0) -> None:
         self.dataset = dataset
         self.config = config or LinkPredictionConfig()
         cfg = self.config
@@ -210,13 +223,45 @@ class LinkPredictionTrainer:
         self.negatives = UniformNegativeSampler(graph.num_nodes, cfg.num_negatives,
                                                 rng=self.rng)
         self.step = _BatchStep(self.model, cfg, self.rng)
+        self.snapshots = (SnapshotManager(checkpoint_dir)
+                          if checkpoint_dir is not None else None)
+        self.checkpoint_every = int(checkpoint_every)
+        self._start_epoch = 0
+
+    # ------------------------------------------------------------------
+    def save_snapshot(self, next_epoch: int) -> Path:
+        """Atomically snapshot full training state; resume at ``next_epoch``."""
+        if self.snapshots is None:
+            raise RuntimeError("trainer was built without a checkpoint_dir")
+        arrays = {"emb_table": self.embeddings.table.copy(),
+                  "emb_state": self.embeddings.state.copy()}
+        pack_model(self.model, arrays)
+        pack_optimizer("gnn_opt", self.step.gnn_optimizer, arrays)
+        meta = {"trainer": self.KIND, "epoch": int(next_epoch),
+                "rng": rng_state(self.rng),
+                "stores": {"dataset": dataset_fingerprint(self.dataset)},
+                "config": _config_to_dict(self.config)}
+        return self.snapshots.save(next_epoch, meta, arrays)
+
+    def resume(self, path: Optional[Path] = None) -> dict:
+        """Restore a snapshot (latest under the checkpoint dir by default)."""
+        meta, arrays = resolve_snapshot(path, self.snapshots)
+        validate_meta(meta, self.KIND, config=self.config,
+                      stores={"dataset": dataset_fingerprint(self.dataset)})
+        self.embeddings.table[:] = arrays["emb_table"]
+        self.embeddings.state[:] = arrays["emb_state"]
+        unpack_model(self.model, arrays)
+        unpack_optimizer("gnn_opt", self.step.gnn_optimizer, arrays)
+        set_rng_state(self.rng, meta["rng"])
+        self._start_epoch = int(meta["epoch"])
+        return meta
 
     # ------------------------------------------------------------------
     def train(self, verbose: bool = False) -> TrainResult:
         cfg = self.config
         train_edges = self.dataset.split.train
         records: List[EpochRecord] = []
-        for epoch in range(cfg.num_epochs):
+        for epoch in range(self._start_epoch, cfg.num_epochs):
             t0 = time.perf_counter()
             record = EpochRecord(epoch=epoch, loss=0.0, seconds=0.0, metric=0.0)
             losses = []
@@ -232,9 +277,13 @@ class LinkPredictionTrainer:
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate().mrr
             records.append(record)
+            if (self.snapshots is not None and self.checkpoint_every
+                    and (epoch + 1) % self.checkpoint_every == 0):
+                self.save_snapshot(epoch + 1)
             if verbose:
                 print(f"[epoch {epoch}] loss={record.loss:.4f} "
                       f"time={record.seconds:.1f}s mrr={record.metric:.4f}")
+        self._start_epoch = 0
         metrics = self.evaluate()
         return TrainResult(epochs=records, final_metrics=metrics,
                            model_name=f"{cfg.encoder}-mem")
@@ -339,9 +388,13 @@ class DiskLinkPredictionTrainer:
     resident nodes.
     """
 
+    KIND = "lp-disk"
+
     def __init__(self, dataset: LinkPredictionDataset,
                  config: Optional[LinkPredictionConfig] = None,
-                 disk: Optional[DiskConfig] = None) -> None:
+                 disk: Optional[DiskConfig] = None,
+                 checkpoint_dir: Optional[Path] = None,
+                 checkpoint_every: int = 0) -> None:
         self.dataset = dataset
         self.config = config or LinkPredictionConfig()
         self.disk = disk or DiskConfig(workdir=Path("/tmp/repro-disk"))
@@ -374,6 +427,76 @@ class DiskLinkPredictionTrainer:
         self.negatives = UniformNegativeSampler(graph.num_nodes, cfg.num_negatives,
                                                 rng=self.rng)
         self.step_runner = _BatchStep(self.model, cfg, self.rng)
+        self.snapshots = (SnapshotManager(checkpoint_dir)
+                          if checkpoint_dir is not None else None)
+        self.checkpoint_every = int(checkpoint_every)  # in epoch-plan steps
+        self._start_epoch = 0
+        self._start_step = 0
+        self._steps_done = 0
+
+    # ------------------------------------------------------------------
+    def _store_fingerprints(self) -> dict:
+        # The plan entry pins everything the epoch-step cursor's meaning
+        # depends on: a resume under a different policy or grouping would
+        # skip steps of the WRONG plan (prefetch only shifts IO timing, so
+        # it may be toggled).
+        dsk = self.disk
+        return {"node": self.node_store.fingerprint(),
+                "edge": self.edge_store.fingerprint(),
+                "plan": f"{dsk.policy}:p{dsk.num_partitions}"
+                        f":l{dsk.num_logical}:c{dsk.buffer_capacity}"}
+
+    def save_snapshot(self, epoch: int, next_step: int, num_steps: int) -> Path:
+        """Quiesce and atomically snapshot the full out-of-core state.
+
+        ``next_step`` is the plan step the resumed run starts at; a cursor
+        past the last step normalizes to the next epoch's step 0. The buffer
+        is flushed first, so the snapshot's table copy holds the in-buffer
+        parameter slab's exact values (flushing writes the same bytes an
+        eviction would later — training math is unaffected).
+        """
+        if self.snapshots is None:
+            raise RuntimeError("trainer was built without a checkpoint_dir")
+        if next_step >= num_steps:
+            epoch, next_step = epoch + 1, 0
+        self.buffer.flush()
+        self.node_store.flush()
+        arrays = {"node_table": self.node_store.read_all()}
+        state = self.node_store.read_all_state()
+        if state is not None:
+            arrays["node_state"] = state
+        pack_model(self.model, arrays)
+        pack_optimizer("gnn_opt", self.step_runner.gnn_optimizer, arrays)
+        meta = {"trainer": self.KIND, "epoch": int(epoch), "step": int(next_step),
+                "resident": self.buffer.resident,
+                "rng": rng_state(self.rng),
+                "policy": self.policy.state_dict(),
+                "stores": self._store_fingerprints(),
+                "config": _config_to_dict(self.config)}
+        return self.snapshots.save(epoch * 1_000_000 + next_step, meta, arrays)
+
+    def resume(self, path: Optional[Path] = None) -> dict:
+        """Restore the latest (or given) snapshot; next train() continues.
+
+        The workdir memmaps are rewritten wholesale from the snapshot, so
+        any partition writes torn by the crash are discarded — the snapshot
+        directory is the durable source of truth.
+        """
+        meta, arrays = resolve_snapshot(path, self.snapshots)
+        validate_meta(meta, self.KIND, stores=self._store_fingerprints(),
+                      config=self.config)
+        self.buffer_manager.reset()
+        self.buffer.drop_all()
+        self.node_store.restore(arrays["node_table"], arrays.get("node_state"))
+        unpack_model(self.model, arrays)
+        unpack_optimizer("gnn_opt", self.step_runner.gnn_optimizer, arrays)
+        self.policy.load_state_dict(meta.get("policy", {}))
+        self.buffer.set_partitions(meta["resident"])
+        self.negatives.set_allowed(self.buffer.resident_nodes())
+        set_rng_state(self.rng, meta["rng"])
+        self._start_epoch = int(meta["epoch"])
+        self._start_step = int(meta["step"])
+        return meta
 
     def _train_graph(self) -> Graph:
         """Training edges only, as a graph (disk stores what we train on)."""
@@ -397,8 +520,9 @@ class DiskLinkPredictionTrainer:
     def train(self, verbose: bool = False) -> TrainResult:
         cfg = self.config
         records: List[EpochRecord] = []
-        for epoch in range(cfg.num_epochs):
-            record = self._train_epoch(epoch)
+        for epoch in range(self._start_epoch, cfg.num_epochs):
+            start_step = self._start_step if epoch == self._start_epoch else 0
+            record = self._train_epoch(epoch, start_step=start_step)
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate().mrr
             records.append(record)
@@ -406,12 +530,14 @@ class DiskLinkPredictionTrainer:
                 print(f"[epoch {epoch}] loss={record.loss:.4f} "
                       f"time={record.seconds:.1f}s io={record.io_bytes >> 20}MiB "
                       f"loads={record.partition_loads} mrr={record.metric:.4f}")
+        self._start_epoch = 0
+        self._start_step = 0
         metrics = self.evaluate()
         self.buffer.flush()
         return TrainResult(epochs=records, final_metrics=metrics,
                            model_name=f"{cfg.encoder}-disk-{self.disk.policy}")
 
-    def _train_epoch(self, epoch: int) -> EpochRecord:
+    def _train_epoch(self, epoch: int, start_step: int = 0) -> EpochRecord:
         cfg = self.config
         t_epoch = time.perf_counter()
         record = EpochRecord(epoch=epoch, loss=0.0, seconds=0.0, metric=0.0)
@@ -420,6 +546,10 @@ class DiskLinkPredictionTrainer:
         losses: List[float] = []
 
         for step_idx, step in enumerate(plan.steps):
+            if step_idx < start_step:
+                # Already trained before the snapshot this run resumed from;
+                # the restored rng state and buffer residency account for it.
+                continue
             t_io = time.perf_counter()
             next_parts = (plan.steps[step_idx + 1].partitions
                           if step_idx + 1 < len(plan.steps) else None)
@@ -429,15 +559,21 @@ class DiskLinkPredictionTrainer:
             record.io_seconds += time.perf_counter() - t_io
 
             edges = self.edge_store.read_buckets(step.buckets)
-            if len(edges) == 0:
-                continue
-            order = self.rng.permutation(len(edges))
-            for start in range(0, len(order), cfg.batch_size):
-                idx = order[start : start + cfg.batch_size]
-                loss = self.step_runner.run(edges[idx], self.sampler, self.negatives,
-                                            self.buffer.gather,
-                                            self.buffer.apply_gradients, record)
-                losses.append(loss)
+            if len(edges) > 0:
+                order = self.rng.permutation(len(edges))
+                for start in range(0, len(order), cfg.batch_size):
+                    idx = order[start : start + cfg.batch_size]
+                    loss = self.step_runner.run(edges[idx], self.sampler,
+                                                self.negatives,
+                                                self.buffer.gather,
+                                                self.buffer.apply_gradients,
+                                                record)
+                    losses.append(loss)
+
+            self._steps_done += 1
+            if (self.snapshots is not None and self.checkpoint_every
+                    and self._steps_done % self.checkpoint_every == 0):
+                self.save_snapshot(epoch, step_idx + 1, len(plan.steps))
 
         self.buffer_manager.finish()
         io_epoch = self.io.diff(io_before)

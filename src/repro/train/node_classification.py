@@ -32,6 +32,10 @@ from ..storage.buffer import PartitionBuffer
 from ..storage.edge_store import EdgeBucketStore
 from ..storage.io_stats import IOStats
 from ..storage.node_store import NodeStore
+from .checkpoint import (SnapshotManager, _config_to_dict, pack_model,
+                         pack_optimizer, resolve_snapshot, rng_state,
+                         set_rng_state, unpack_model, unpack_optimizer,
+                         validate_meta)
 from .evaluation import EpochRecord, multiclass_accuracy
 
 
@@ -241,9 +245,13 @@ class DiskNodeClassificationTrainer:
     accuracy drop and faster epochs in Table 3.
     """
 
+    KIND = "nc-disk"
+
     def __init__(self, dataset: NodeClassificationDataset,
                  config: Optional[NodeClassificationConfig] = None,
-                 disk: Optional[DiskNodeClassificationConfig] = None) -> None:
+                 disk: Optional[DiskNodeClassificationConfig] = None,
+                 checkpoint_dir: Optional[Path] = None,
+                 checkpoint_every: int = 0) -> None:
         self.config = config or NodeClassificationConfig()
         self.disk = disk or DiskNodeClassificationConfig(workdir=Path("/tmp/repro-nc"))
         cfg, dsk = self.config, self.disk
@@ -274,54 +282,114 @@ class DiskNodeClassificationTrainer:
         self.model = NodeClassifier(cfg, graph.node_features.shape[1],
                                     self.dataset.num_classes, rng=self.rng)
         self.optimizer = Adam(self.model.parameters(), lr=cfg.lr)
+        self.snapshots = (SnapshotManager(checkpoint_dir)
+                          if checkpoint_dir is not None else None)
+        self.checkpoint_every = int(checkpoint_every)  # in epoch-plan steps
+        self._start_epoch = 0
+        self._start_step = 0
+        self._steps_done = 0
+
+    # ------------------------------------------------------------------
+    def _store_fingerprints(self) -> dict:
+        dsk = self.disk
+        return {"node": self.node_store.fingerprint(),
+                "edge": self.edge_store.fingerprint(),
+                "plan": f"node-cache:p{dsk.num_partitions}"
+                        f":c{dsk.buffer_capacity}"}
+
+    def save_snapshot(self, epoch: int, next_step: int, num_steps: int) -> Path:
+        """Atomic snapshot of the GNN + cursors; features are read-only.
+
+        The feature store is immutable (``learnable=False``) and rebuilt
+        bit-identically from the dataset on restart, so — unlike the link
+        prediction trainers — the snapshot carries no table copy, only the
+        store fingerprints to validate the layout on resume.
+        """
+        if self.snapshots is None:
+            raise RuntimeError("trainer was built without a checkpoint_dir")
+        if next_step >= num_steps:
+            epoch, next_step = epoch + 1, 0
+        arrays: dict = {}
+        pack_model(self.model, arrays)
+        pack_optimizer("gnn_opt", self.optimizer, arrays)
+        meta = {"trainer": self.KIND, "epoch": int(epoch), "step": int(next_step),
+                "resident": self.buffer.resident,
+                "rng": rng_state(self.rng),
+                "policy": self.policy.state_dict(),
+                "stores": self._store_fingerprints(),
+                "config": _config_to_dict(self.config)}
+        return self.snapshots.save(epoch * 1_000_000 + next_step, meta, arrays)
+
+    def resume(self, path: Optional[Path] = None) -> dict:
+        """Restore the latest (or given) snapshot; next train() continues."""
+        meta, arrays = resolve_snapshot(path, self.snapshots)
+        validate_meta(meta, self.KIND, stores=self._store_fingerprints(),
+                      config=self.config)
+        unpack_model(self.model, arrays)
+        unpack_optimizer("gnn_opt", self.optimizer, arrays)
+        self.policy.load_state_dict(meta.get("policy", {}))
+        self.buffer.drop_all()
+        self.buffer.set_partitions(meta["resident"])
+        set_rng_state(self.rng, meta["rng"])
+        self._start_epoch = int(meta["epoch"])
+        self._start_step = int(meta["step"])
+        return meta
 
     # ------------------------------------------------------------------
     def train(self, verbose: bool = False) -> NodeClassificationResult:
         cfg = self.config
         records: List[EpochRecord] = []
-        for epoch in range(cfg.num_epochs):
-            record = self._train_epoch(epoch)
+        for epoch in range(self._start_epoch, cfg.num_epochs):
+            start_step = self._start_step if epoch == self._start_epoch else 0
+            record = self._train_epoch(epoch, start_step=start_step)
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate(self.dataset.valid_nodes)
             records.append(record)
             if verbose:
                 print(f"[epoch {epoch}] loss={record.loss:.4f} "
                       f"time={record.seconds:.1f}s io={record.io_bytes >> 20}MiB")
+        self._start_epoch = 0
+        self._start_step = 0
         acc = self.evaluate(self.dataset.test_nodes)
         return NodeClassificationResult(epochs=records, final_accuracy=acc,
                                         model_name=f"{cfg.encoder}-disk")
 
-    def _train_epoch(self, epoch: int) -> EpochRecord:
+    def _train_epoch(self, epoch: int, start_step: int = 0) -> EpochRecord:
         cfg = self.config
         t0 = time.perf_counter()
         record = EpochRecord(epoch=epoch, loss=0.0, seconds=0.0, metric=0.0)
         io_before = self.io.snapshot()
         plan = self.policy.plan_epoch(epoch, rng=np.random.default_rng(epoch * 31 + 7))
         losses: List[float] = []
-        for step in plan.steps:
+        for step_idx, step in enumerate(plan.steps):
+            if step_idx < start_step:
+                continue
             t_io = time.perf_counter()
             # The swap listener updates self.sampler's index incrementally.
             self.buffer.set_partitions(step.partitions)
             record.io_seconds += time.perf_counter() - t_io
-            if len(step.train_nodes) == 0:
-                continue
-            order = self.rng.permutation(step.train_nodes)
-            labels = self.dataset.graph.node_labels
-            for start in range(0, len(order), cfg.batch_size):
-                nodes = np.unique(order[start : start + cfg.batch_size])
-                t1 = time.perf_counter()
-                batch = self.sampler.sample(nodes)
-                t2 = time.perf_counter()
-                h0 = Tensor(self.buffer.gather(batch.node_ids))
-                logits = self.model(h0, batch)
-                loss = softmax_cross_entropy(logits, labels[nodes])
-                self.model.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-                record.sample_seconds += t2 - t1
-                record.compute_seconds += time.perf_counter() - t2
-                record.num_batches += 1
-                losses.append(float(loss.data))
+            if len(step.train_nodes) > 0:
+                order = self.rng.permutation(step.train_nodes)
+                labels = self.dataset.graph.node_labels
+                for start in range(0, len(order), cfg.batch_size):
+                    nodes = np.unique(order[start : start + cfg.batch_size])
+                    t1 = time.perf_counter()
+                    batch = self.sampler.sample(nodes)
+                    t2 = time.perf_counter()
+                    h0 = Tensor(self.buffer.gather(batch.node_ids))
+                    logits = self.model(h0, batch)
+                    loss = softmax_cross_entropy(logits, labels[nodes])
+                    self.model.zero_grad()
+                    loss.backward()
+                    self.optimizer.step()
+                    record.sample_seconds += t2 - t1
+                    record.compute_seconds += time.perf_counter() - t2
+                    record.num_batches += 1
+                    losses.append(float(loss.data))
+            self._steps_done += 1
+            if (self.snapshots is not None and self.checkpoint_every
+                    and self._steps_done % self.checkpoint_every == 0):
+                self.save_snapshot(epoch, step_idx + 1, len(plan.steps))
         io_epoch = self.io.diff(io_before)
         record.io_bytes = io_epoch.total_bytes
         record.partition_loads = io_epoch.partition_loads

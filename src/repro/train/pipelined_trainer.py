@@ -15,6 +15,25 @@ accepts: a batch may be sampled (and its embeddings gathered) before the
 previous batch's embedding updates land. ``pipeline_depth`` bounds it.
 NumPy releases the GIL inside large kernels, so sampling genuinely overlaps
 compute for realistic batch sizes.
+
+``deterministic=True`` switches the pipeline to a replayable discipline:
+(a) sampling is seeded **per batch** (``[seed, epoch, batch]``) instead of
+per worker, so a batch's neighbor and negative draws are a pure function of
+its position in the epoch, independent of which worker samples it or when;
+(b) batches are reassembled in epoch order on the compute thread (workers
+may finish out of order); and (c) base-representation updates are applied
+inline instead of through the async writer. The pipeline still overlaps
+sampling with compute, but training becomes a pure function of the seed —
+and a run resumed from a snapshot is bit-identical to an uninterrupted one
+(``tests/test_checkpoint_recovery``). The default racy mode keeps the
+per-``(epoch, worker)`` streams and bounded-staleness behaviour unchanged.
+
+Checkpointing follows quiesce → drain queues → snapshot → refill: in
+deterministic mode snapshots land every ``checkpoint_every`` consumed
+batches (in-flight sampled batches are discarded by a crash and re-sampled
+identically on resume); in the default racy mode the pipeline only reaches
+a consistent cut once the epoch's queues are joined, so snapshots land at
+epoch boundaries.
 """
 
 from __future__ import annotations
@@ -23,6 +42,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -32,6 +52,10 @@ from ..graph.csr import AdjacencyIndex
 from ..nn.loss import link_prediction_loss
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
+from .checkpoint import (SnapshotError, SnapshotManager, _config_to_dict,
+                         dataset_fingerprint, pack_model, pack_optimizer,
+                         resolve_snapshot, rng_state, set_rng_state,
+                         unpack_model, unpack_optimizer, validate_meta)
 from .evaluation import EpochRecord, RankingMetrics
 from .link_prediction import (LinkPredictionConfig, LinkPredictionTrainer,
                               TrainResult, _EmbeddingTable, evaluate_model)
@@ -53,11 +77,17 @@ class PipelinedLinkPredictionTrainer:
     """Link prediction trainer with a multi-threaded mini-batch pipeline.
 
     Produces the same model family as :class:`LinkPredictionTrainer`; the
-    training order differs only by pipeline-induced staleness.
+    training order differs only by pipeline-induced staleness (none when
+    ``deterministic=True``).
     """
 
+    KIND = "lp-pipelined"
+
     def __init__(self, dataset, config: Optional[LinkPredictionConfig] = None,
-                 num_sample_workers: int = 2, pipeline_depth: int = 4) -> None:
+                 num_sample_workers: int = 2, pipeline_depth: int = 4,
+                 deterministic: bool = False,
+                 checkpoint_dir: Optional[Path] = None,
+                 checkpoint_every: int = 0) -> None:
         if num_sample_workers < 1:
             raise ValueError("need at least one sampling worker")
         if pipeline_depth < 1:
@@ -66,6 +96,7 @@ class PipelinedLinkPredictionTrainer:
         self.config = config or LinkPredictionConfig()
         self.num_sample_workers = num_sample_workers
         self.pipeline_depth = pipeline_depth
+        self.deterministic = deterministic
         cfg = self.config
         self.rng = np.random.default_rng(cfg.seed)
         graph = dataset.graph
@@ -80,29 +111,112 @@ class PipelinedLinkPredictionTrainer:
         # once and shared read-only by every sampler worker across epochs,
         # instead of each worker re-sorting the edge list per epoch.
         self._shared_index = AdjacencyIndex(graph, directions=cfg.directions)
+        self.snapshots = (SnapshotManager(checkpoint_dir)
+                          if checkpoint_dir is not None else None)
+        self.checkpoint_every = int(checkpoint_every)  # in consumed batches
+        self._start_epoch = 0
+        self._start_batch = 0
+        self._resume_order: Optional[np.ndarray] = None
+        self._since_snapshot = 0
+
+    # ------------------------------------------------------------------
+    def save_snapshot(self, epoch: int, next_batch: int, num_batches: int,
+                      order: Optional[np.ndarray]) -> Path:
+        """Snapshot at a consistent cut: batches ``< next_batch`` applied.
+
+        Callers quiesce first — in deterministic mode updates are inline so
+        any batch boundary is a cut; in racy mode the epoch's queues must be
+        drained and joined (epoch boundary). In-flight sampled batches need
+        no draining ever: per-batch seeding re-samples them identically.
+        """
+        if self.snapshots is None:
+            raise RuntimeError("trainer was built without a checkpoint_dir")
+        if next_batch >= num_batches:
+            epoch, next_batch, order = epoch + 1, 0, None
+        arrays = {"emb_table": self.embeddings.table.copy(),
+                  "emb_state": self.embeddings.state.copy()}
+        if next_batch > 0 and order is not None:
+            # Mid-epoch cut: the epoch's shuffle was already drawn from the
+            # trainer stream, so the resumed run reuses it verbatim.
+            arrays["epoch_order"] = np.asarray(order, dtype=np.int64)
+        pack_model(self.model, arrays)
+        pack_optimizer("gnn_opt", self.gnn_optimizer, arrays)
+        meta = {"trainer": self.KIND, "epoch": int(epoch),
+                "batch": int(next_batch), "rng": rng_state(self.rng),
+                "deterministic": self.deterministic,
+                "stores": {"dataset": dataset_fingerprint(self.dataset)},
+                "config": _config_to_dict(self.config)}
+        self._since_snapshot = 0
+        return self.snapshots.save(epoch * 1_000_000_000 + next_batch,
+                                   meta, arrays)
+
+    def resume(self, path: Optional[Path] = None) -> dict:
+        """Restore the latest (or given) snapshot; next train() continues."""
+        meta, arrays = resolve_snapshot(path, self.snapshots)
+        validate_meta(meta, self.KIND, config=self.config,
+                      stores={"dataset": dataset_fingerprint(self.dataset)})
+        if bool(meta.get("deterministic")) != self.deterministic:
+            raise SnapshotError(
+                "snapshot was written with deterministic="
+                f"{meta.get('deterministic')} but this trainer runs "
+                f"deterministic={self.deterministic}; the resumed run would "
+                "not continue the recorded one — use matching modes")
+        if int(meta["batch"]) > 0 and not self.deterministic:
+            raise SnapshotError(
+                "mid-epoch snapshots are only replayable in deterministic "
+                "mode; resume with deterministic=True or from an epoch-"
+                "boundary snapshot")
+        self.embeddings.table[:] = arrays["emb_table"]
+        self.embeddings.state[:] = arrays["emb_state"]
+        unpack_model(self.model, arrays)
+        unpack_optimizer("gnn_opt", self.gnn_optimizer, arrays)
+        set_rng_state(self.rng, meta["rng"])
+        self._start_epoch = int(meta["epoch"])
+        self._start_batch = int(meta["batch"])
+        self._resume_order = arrays.get("epoch_order")
+        if self._start_batch > 0 and self._resume_order is None:
+            raise SnapshotError(
+                "mid-epoch snapshot carries no epoch_order; cannot replay "
+                "the interrupted epoch's shuffle")
+        self._since_snapshot = 0
+        return meta
 
     # ------------------------------------------------------------------
     def _sampler_worker(self, worker_id: int, epoch: int, edges: np.ndarray,
                         index_queue: "queue.Queue",
                         batch_queue: "queue.Queue") -> None:
         cfg = self.config
-        # Seed per (run, epoch, worker): workers are re-spawned every epoch
-        # and must NOT replay the same neighbor/negative draws — a repeated
-        # negative-sample sequence lets the model overfit those specific
-        # negatives (loss falls, ranking quality collapses).
+        num_nodes = self.dataset.graph.num_nodes
+        # One stream per (run, epoch, worker): workers are re-spawned every
+        # epoch and must NOT replay the same neighbor/negative draws — a
+        # repeated negative-sample sequence lets the model overfit those
+        # specific negatives (loss falls, ranking quality collapses).
+        # Deterministic mode reseeds both streams per batch below.
         sampler = DenseSampler(None, list(cfg.fanouts),
                                rng=np.random.default_rng(
                                    [cfg.seed, 97, epoch, worker_id]),
                                index=self._shared_index)
         negatives = UniformNegativeSampler(
-            self.dataset.graph.num_nodes, cfg.num_negatives,
+            num_nodes, cfg.num_negatives,
             rng=np.random.default_rng([cfg.seed, 131, epoch, worker_id]))
         while True:
             item = index_queue.get()
             if item is _STOP:
                 batch_queue.put(_STOP)
                 return
-            chunk = edges[item]
+            seq, idx = item
+            if self.deterministic:
+                # Per-batch streams: draws depend only on (run, epoch,
+                # batch), never on worker identity or scheduling — so every
+                # batch is replayable on resume, and batches a crash caught
+                # in flight are re-sampled identically. Reseeding (rather
+                # than rebuilding the sampler) keeps the O(num_nodes)
+                # scratch arrays across batches.
+                sampler.reseed(np.random.default_rng([cfg.seed, 97, epoch, seq]))
+                negatives = UniformNegativeSampler(
+                    num_nodes, cfg.num_negatives,
+                    rng=np.random.default_rng([cfg.seed, 131, epoch, seq]))
+            chunk = edges[idx]
             src = chunk[:, 0]
             dst = chunk[:, -1]
             rel = (chunk[:, 1] if chunk.shape[1] == 3
@@ -123,7 +237,7 @@ class PipelinedLinkPredictionTrainer:
             rows_neg = rows[len(src) + len(dst) :]
             # Step 3's gather happens on the main thread so it sees the
             # freshest embeddings the pipeline allows.
-            batch_queue.put((batch, src, rel, dst,
+            batch_queue.put((seq, batch, src, rel, dst,
                              rows_src, rows_dst, rows_neg))
 
     def _updater_worker(self, update_queue: "queue.Queue",
@@ -133,76 +247,150 @@ class PipelinedLinkPredictionTrainer:
                                            update_queue.qsize())
             item = update_queue.get()
             if item is _STOP:
+                update_queue.task_done()
                 return
             rows, grads = item
             self.embeddings.apply(rows, grads)
+            update_queue.task_done()
 
     # ------------------------------------------------------------------
-    def _train_epoch(self, epoch: int, edges: np.ndarray) -> EpochRecord:
+    def _compute_batch(self, item, record: EpochRecord,
+                       stats: PipelineStats, losses: List[float],
+                       update_queue: Optional["queue.Queue"]) -> None:
+        _, batch, src, rel, dst, rows_src, rows_dst, rows_neg = item
+        t0 = time.perf_counter()
+        h0 = Tensor(self.embeddings.gather(batch.node_ids),
+                    requires_grad=True)
+        out = self.model.encode(h0, batch)
+        src_repr = out.index_select(rows_src)
+        dst_repr = out.index_select(rows_dst)
+        neg_repr = out.index_select(rows_neg)
+        pos = self.model.decoder.score_edges(src_repr, rel, dst_repr)
+        negs = self.model.decoder.score_against(src_repr, rel, neg_repr)
+        loss = link_prediction_loss(pos, negs)
+        self.model.zero_grad()
+        loss.backward()
+        if self.gnn_optimizer is not None:
+            self.gnn_optimizer.step()
+        if h0.grad is not None:
+            if update_queue is not None:
+                update_queue.put((batch.node_ids, h0.grad))
+            else:
+                self.embeddings.apply(batch.node_ids, h0.grad)
+        record.compute_seconds += time.perf_counter() - t0
+        record.num_batches += 1
+        stats.batches += 1
+        losses.append(float(loss.data))
+
+    def _train_epoch(self, epoch: int, edges: np.ndarray,
+                     start_batch: int = 0,
+                     order: Optional[np.ndarray] = None) -> EpochRecord:
         cfg = self.config
         record = EpochRecord(epoch=epoch, loss=0.0, seconds=0.0, metric=0.0)
         stats = PipelineStats()
         t_epoch = time.perf_counter()
 
-        order = self.rng.permutation(len(edges))
+        if order is None:
+            order = self.rng.permutation(len(edges))
+        starts = range(0, len(order), cfg.batch_size)
+        num_batches = len(starts)
         index_queue: "queue.Queue" = queue.Queue()
         batch_queue: "queue.Queue" = queue.Queue(maxsize=self.pipeline_depth)
-        update_queue: "queue.Queue" = queue.Queue()
+        update_queue: Optional["queue.Queue"] = (
+            None if self.deterministic else queue.Queue())
 
-        for start in range(0, len(order), cfg.batch_size):
-            index_queue.put(order[start:start + cfg.batch_size])
-        for _ in range(self.num_sample_workers):
-            index_queue.put(_STOP)
+        items = iter([(seq, order[start:start + cfg.batch_size])
+                      for seq, start in enumerate(starts) if seq >= start_batch])
+
+        def feed(n: int) -> None:
+            for _ in range(n):
+                item = next(items, None)
+                if item is None:
+                    return
+                index_queue.put(item)
+
+        if self.deterministic:
+            # Feed the index queue a bounded window at a time (topped up as
+            # batches are consumed): if the worker holding the next-in-order
+            # batch stalls, the others cannot sample arbitrarily far ahead
+            # and grow the out-of-order `pending` set without limit.
+            feed(self.pipeline_depth + self.num_sample_workers)
+        else:
+            feed(num_batches)
+            for _ in range(self.num_sample_workers):
+                index_queue.put(_STOP)
 
         workers = [threading.Thread(
             target=self._sampler_worker,
             args=(w, epoch, edges, index_queue, batch_queue),
             daemon=True) for w in range(self.num_sample_workers)]
-        updater = threading.Thread(target=self._updater_worker,
-                                   args=(update_queue, stats), daemon=True)
+        updater = None
+        if update_queue is not None:
+            updater = threading.Thread(target=self._updater_worker,
+                                       args=(update_queue, stats), daemon=True)
+            updater.start()
         for w in workers:
             w.start()
-        updater.start()
 
         losses: List[float] = []
-        stops_seen = 0
-        while stops_seen < self.num_sample_workers:
-            t_wait = time.perf_counter()
-            item = batch_queue.get()
-            stats.sample_wait_seconds += time.perf_counter() - t_wait
-            if item is _STOP:
-                stops_seen += 1
-                continue
-            batch, src, rel, dst, rows_src, rows_dst, rows_neg = item
-            t0 = time.perf_counter()
-            h0 = Tensor(self.embeddings.gather(batch.node_ids),
-                        requires_grad=True)
-            out = self.model.encode(h0, batch)
-            src_repr = out.index_select(rows_src)
-            dst_repr = out.index_select(rows_dst)
-            neg_repr = out.index_select(rows_neg)
-            pos = self.model.decoder.score_edges(src_repr, rel, dst_repr)
-            negs = self.model.decoder.score_against(src_repr, rel, neg_repr)
-            loss = link_prediction_loss(pos, negs)
-            self.model.zero_grad()
-            loss.backward()
-            if self.gnn_optimizer is not None:
-                self.gnn_optimizer.step()
-            if h0.grad is not None:
-                update_queue.put((batch.node_ids, h0.grad))
-            record.compute_seconds += time.perf_counter() - t0
-            record.num_batches += 1
-            stats.batches += 1
-            losses.append(float(loss.data))
+        if self.deterministic:
+            pending: dict = {}
+            next_seq = start_batch
+            while next_seq < num_batches:
+                if next_seq in pending:
+                    item = pending.pop(next_seq)
+                else:
+                    t_wait = time.perf_counter()
+                    item = batch_queue.get()
+                    stats.sample_wait_seconds += time.perf_counter() - t_wait
+                    if item[0] != next_seq:
+                        pending[item[0]] = item
+                        continue
+                self._compute_batch(item, record, stats, losses, update_queue)
+                next_seq += 1
+                feed(1)
+                self._since_snapshot += 1
+                if (self.snapshots is not None and self.checkpoint_every
+                        and self._since_snapshot >= self.checkpoint_every):
+                    # Updates are inline, so "all batches < next_seq
+                    # applied" already holds — quiesce is free and sampling
+                    # continues undisturbed in the background.
+                    self.save_snapshot(epoch, next_seq, num_batches, order)
+            for _ in range(self.num_sample_workers):
+                index_queue.put(_STOP)
+            stops_seen = 0
+            while stops_seen < self.num_sample_workers:
+                if batch_queue.get() is _STOP:
+                    stops_seen += 1
+        else:
+            stops_seen = 0
+            while stops_seen < self.num_sample_workers:
+                t_wait = time.perf_counter()
+                item = batch_queue.get()
+                stats.sample_wait_seconds += time.perf_counter() - t_wait
+                if item is _STOP:
+                    stops_seen += 1
+                    continue
+                self._compute_batch(item, record, stats, losses, update_queue)
+                self._since_snapshot += 1
 
-        update_queue.put(_STOP)
-        updater.join()
+        if update_queue is not None and updater is not None:
+            update_queue.join()          # drain Step-6 write-backs
+            update_queue.put(_STOP)
+            updater.join()
         for w in workers:
             w.join()
 
         record.seconds = time.perf_counter() - t_epoch
         record.loss = float(np.mean(losses)) if losses else 0.0
         self.pipeline_stats.append(stats)
+
+        if (not self.deterministic and self.snapshots is not None
+                and self.checkpoint_every
+                and self._since_snapshot >= self.checkpoint_every):
+            # Racy mode reaches a consistent cut only here, with the epoch's
+            # queues drained and threads joined.
+            self.save_snapshot(epoch, num_batches, num_batches, None)
         return record
 
     # ------------------------------------------------------------------
@@ -210,8 +398,14 @@ class PipelinedLinkPredictionTrainer:
         cfg = self.config
         edges = self.dataset.split.train
         records: List[EpochRecord] = []
-        for epoch in range(cfg.num_epochs):
-            record = self._train_epoch(epoch, edges)
+        for epoch in range(self._start_epoch, cfg.num_epochs):
+            start_batch = 0
+            order = None
+            if epoch == self._start_epoch and self._start_batch > 0:
+                start_batch = self._start_batch
+                order = self._resume_order
+            record = self._train_epoch(epoch, edges, start_batch=start_batch,
+                                       order=order)
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate().mrr
             records.append(record)
@@ -221,6 +415,9 @@ class PipelinedLinkPredictionTrainer:
                       f"time={record.seconds:.1f}s "
                       f"starved={stats.sample_wait_seconds:.2f}s "
                       f"backlog={stats.update_backlog_max}")
+        self._start_epoch = 0
+        self._start_batch = 0
+        self._resume_order = None
         metrics = self.evaluate()
         return TrainResult(epochs=records, final_metrics=metrics,
                            model_name=f"{cfg.encoder}-pipelined")

@@ -1,0 +1,107 @@
+"""Reusable fault-injection harness for crash-safety tests.
+
+The production code exposes narrow test-only hooks (``fault_hook`` on
+:class:`~repro.train.checkpoint.SnapshotManager` and
+:class:`~repro.storage.prefetch.PrefetchingBufferManager`); this module
+provides the other half: a :class:`FaultInjector` that "kills" the process
+(raises :class:`SimulatedCrash`) the N-th time a chosen :class:`CrashPoint`
+is hit, and :class:`FaultyStorage`, which wraps a live
+:class:`~repro.storage.node_store.NodeStore` *in place* so every holder of
+the store (buffer, prefetcher) sees the same faulty I/O boundaries.
+
+A write crash is **torn**: half the partition's rows are replaced with NaNs
+before the crash fires, modelling a partial write-back. Recovery code must
+therefore treat the workdir memmaps as scratch and rebuild them from the
+snapshot — exactly what the trainers' ``resume()`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage import NodeStore
+
+
+class SimulatedCrash(Exception):
+    """Stands in for a killed worker at an I/O boundary."""
+
+
+class CrashPoint:
+    """Registered crash points across the training stack."""
+
+    # NodeStore I/O boundaries (FaultyStorage)
+    NODE_READ = "node-read"                  # partition read (admit/prefetch)
+    NODE_WRITE = "node-write"                # partition write-back — torn
+
+    # PrefetchingBufferManager hooks
+    SWAP_EVICTED = "swap-evicted"            # mid-swap: evicted, not admitted
+    PREFETCH_STAGED = "prefetch-staged"      # staged data taken, not applied
+
+    # SnapshotManager hooks
+    SNAPSHOT_BEGIN = "snapshot-begin"        # temp dir created, nothing in it
+    SNAPSHOT_PRE_RENAME = "snapshot-pre-rename"    # fully written, not visible
+    SNAPSHOT_POST_RENAME = "snapshot-post-rename"  # visible, pruning pending
+
+    ALL = (NODE_READ, NODE_WRITE, SWAP_EVICTED, PREFETCH_STAGED,
+           SNAPSHOT_BEGIN, SNAPSHOT_PRE_RENAME, SNAPSHOT_POST_RENAME)
+
+
+class FaultInjector:
+    """Raises :class:`SimulatedCrash` the ``after+1``-th time the chosen
+    crash point fires; inert afterwards (a process dies only once)."""
+
+    def __init__(self, crash_at: str, after: int = 0) -> None:
+        if crash_at not in CrashPoint.ALL:
+            raise ValueError(f"unknown crash point {crash_at!r}")
+        self.crash_at = crash_at
+        self.after = int(after)
+        self.seen = 0
+        self.fired = False
+
+    def fire(self, point: str) -> None:
+        if self.fired or point != self.crash_at:
+            return
+        self.seen += 1
+        if self.seen > self.after:
+            self.fired = True
+            raise SimulatedCrash(
+                f"simulated crash at {point} (occurrence {self.seen})")
+
+
+class FaultyStorage:
+    """Wraps a :class:`NodeStore` in place with crash-injecting I/O.
+
+    Because the instance's bound methods are replaced (not a subclass or a
+    copy), the buffer, prefetcher, and trainer all hit the faulty paths
+    without any re-plumbing. ``uninstall()`` restores the originals.
+    """
+
+    def __init__(self, store: NodeStore, injector: FaultInjector) -> None:
+        self.store = store
+        self.injector = injector
+        self._read = store.read_partition
+        self._write = store.write_partition
+        store.read_partition = self._read_hook    # type: ignore[method-assign]
+        store.write_partition = self._write_hook  # type: ignore[method-assign]
+
+    def uninstall(self) -> None:
+        self.store.read_partition = self._read    # type: ignore[method-assign]
+        self.store.write_partition = self._write  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def _read_hook(self, part: int):
+        self.injector.fire(CrashPoint.NODE_READ)
+        return self._read(part)
+
+    def _write_hook(self, part: int, data: np.ndarray,
+                    state: Optional[np.ndarray] = None) -> None:
+        try:
+            self.injector.fire(CrashPoint.NODE_WRITE)
+        except SimulatedCrash:
+            torn = np.array(data)
+            torn[len(torn) // 2:] = np.nan
+            self._write(part, torn, state)
+            raise
+        self._write(part, data, state)

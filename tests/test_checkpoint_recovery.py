@@ -1,0 +1,506 @@
+"""Crash-injection and bit-exact resume tests for the snapshot subsystem.
+
+The contract under test (docs/checkpointing.md): a training run killed at
+*any* registered :class:`~tests.faultinject.CrashPoint` and resumed from
+the latest complete snapshot produces **bit-identical** final parameters to
+an uninterrupted run — for the disk link prediction trainer, the disk node
+classification trainer, and the deterministic pipelined trainer.
+
+The crash-matrix tests are marked ``slow`` (each runs a crashed training,
+a recovery training, and shares a module-scoped uninterrupted baseline).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.graph import load_fb15k237, load_papers100m_mini
+from repro.storage import PrefetchError
+from repro.train import (DiskConfig, DiskLinkPredictionTrainer,
+                         DiskNodeClassificationConfig,
+                         DiskNodeClassificationTrainer, LinkPredictionConfig,
+                         LinkPredictionTrainer, NodeClassificationConfig,
+                         PipelinedLinkPredictionTrainer, SnapshotError,
+                         SnapshotManager)
+from tests.faultinject import (CrashPoint, FaultInjector, FaultyStorage,
+                               SimulatedCrash)
+
+CRASHES = (SimulatedCrash, PrefetchError)
+
+LP_CFG = LinkPredictionConfig(embedding_dim=8, num_layers=1, fanouts=(4,),
+                              batch_size=256, num_negatives=16, num_epochs=2,
+                              eval_negatives=32, eval_max_edges=100, seed=0)
+NC_CFG = NodeClassificationConfig(hidden_dim=8, num_layers=1, fanouts=(4,),
+                                  batch_size=128, num_epochs=3, seed=0)
+
+
+def _models_equal(a, b) -> bool:
+    sa, sb = a.state_dict(), b.state_dict()
+    return set(sa) == set(sb) and all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot format + atomicity protocol
+# ---------------------------------------------------------------------------
+
+class TestSnapshotManager:
+    def _payload(self):
+        return ({"epoch": 1, "note": "x"},
+                {"a": np.arange(6, dtype=np.float32).reshape(2, 3)})
+
+    def test_roundtrip_and_latest(self, tmp_path):
+        mgr = SnapshotManager(tmp_path, keep=2)
+        meta, arrays = self._payload()
+        mgr.save(3, meta, arrays)
+        mgr.save(7, {"epoch": 2}, arrays)
+        got_meta, got_arrays = mgr.load()
+        assert got_meta == {"epoch": 2}
+        np.testing.assert_array_equal(got_arrays["a"], arrays["a"])
+        assert mgr.latest().name == "snap-000000000007"
+        assert [p.name for p in mgr.list()] == ["snap-000000000003",
+                                                "snap-000000000007"]
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        mgr = SnapshotManager(tmp_path, keep=2)
+        meta, arrays = self._payload()
+        for step in (1, 2, 3):
+            mgr.save(step, meta, arrays)
+        assert [p.name for p in mgr.list()] == ["snap-000000000002",
+                                                "snap-000000000003"]
+
+    def test_crc_rejects_torn_payload(self, tmp_path):
+        mgr = SnapshotManager(tmp_path)
+        meta, arrays = self._payload()
+        snap = mgr.save(1, meta, arrays)
+        payload = bytearray((snap / "arrays.npz").read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        (snap / "arrays.npz").write_bytes(bytes(payload))
+        with pytest.raises(SnapshotError, match="CRC"):
+            mgr.load()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import json
+        mgr = SnapshotManager(tmp_path)
+        meta, arrays = self._payload()
+        snap = mgr.save(1, meta, arrays)
+        manifest = json.loads((snap / "manifest.json").read_text())
+        manifest["version"] = 999
+        (snap / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="version"):
+            mgr.load()
+
+    @pytest.mark.parametrize("point", [CrashPoint.SNAPSHOT_BEGIN,
+                                       CrashPoint.SNAPSHOT_PRE_RENAME])
+    def test_crash_before_rename_preserves_previous(self, tmp_path, point):
+        """A save killed before the atomic rename leaves only a tmp- dir;
+        the previous snapshot stays the loadable latest and the debris is
+        swept by the next successful save."""
+        meta, arrays = self._payload()
+        mgr = SnapshotManager(tmp_path)
+        mgr.save(1, meta, arrays)
+        inj = FaultInjector(point)
+        mgr.fault_hook = inj.fire
+        with pytest.raises(SimulatedCrash):
+            mgr.save(2, {"epoch": 9}, arrays)
+        assert mgr.latest().name == "snap-000000000001"
+        assert mgr.load()[0] == meta
+        mgr.fault_hook = None
+        mgr.save(3, {"epoch": 10}, arrays)
+        assert not list(tmp_path.glob("tmp-*"))
+
+    def test_numeric_order_beyond_name_padding(self, tmp_path):
+        """Step ids wider than the 12-digit zero padding must still sort
+        newest-last (lexicographic order would prune the newest)."""
+        meta, arrays = self._payload()
+        mgr = SnapshotManager(tmp_path, keep=2)
+        mgr.save(999_999_999_999, {"which": "padded"}, arrays)
+        mgr.save(1_000_000_000_000, {"which": "wide"}, arrays)
+        assert mgr.load()[0] == {"which": "wide"}
+        mgr.save(1_000_000_000_001, {"which": "wider"}, arrays)
+        assert [mgr._step_of(p) for p in mgr.list()] == [1_000_000_000_000,
+                                                         1_000_000_000_001]
+
+    def test_save_supersedes_stale_same_id(self, tmp_path):
+        """A resumed run that re-reaches (or trails) step ids left by a
+        crashed run must become latest() without touching the old
+        directories (no replace window): its saves take fresh ordinals past
+        everything on disk, and the stale timeline ages out via keep."""
+        meta, arrays = self._payload()
+        mgr = SnapshotManager(tmp_path, keep=2)
+        mgr.save(5, {"run": "crashed"}, arrays)
+        mgr.save(5, {"run": "resumed"}, arrays)
+        assert mgr.load()[0] == {"run": "resumed"}
+        mgr.save(3, {"run": "resumed-later"}, arrays)   # cursor behind old id
+        assert mgr.load()[0] == {"run": "resumed-later"}
+        assert len(mgr.list()) == 2
+
+
+# ---------------------------------------------------------------------------
+# Disk link prediction: crash matrix
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def lp_data():
+    return load_fb15k237(scale=0.03, seed=0)
+
+
+def make_disk_lp(data, workdir, **kw):
+    disk = DiskConfig(workdir=workdir, num_partitions=8, num_logical=4,
+                      buffer_capacity=4)
+    return DiskLinkPredictionTrainer(data, LP_CFG, disk, **kw)
+
+
+@pytest.fixture(scope="module")
+def lp_baseline(lp_data, tmp_path_factory):
+    """Uninterrupted run: final node table + trained model."""
+    trainer = make_disk_lp(lp_data, tmp_path_factory.mktemp("lp-base"))
+    trainer.train()
+    return trainer.node_store.read_all(), trainer.model
+
+
+def _recover(make_trainer):
+    """Resume from the latest snapshot; restart from scratch if the crash
+    landed before the first checkpoint (both are valid recoveries)."""
+    trainer = make_trainer()
+    try:
+        trainer.resume()
+    except SnapshotError:
+        pass
+    trainer.train()
+    return trainer
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("point,after", [
+    (CrashPoint.NODE_READ, 10),
+    (CrashPoint.NODE_WRITE, 6),
+    (CrashPoint.SWAP_EVICTED, 3),
+    (CrashPoint.PREFETCH_STAGED, 2),
+    (CrashPoint.SNAPSHOT_BEGIN, 1),
+    (CrashPoint.SNAPSHOT_PRE_RENAME, 1),
+    (CrashPoint.SNAPSHOT_POST_RENAME, 1),
+])
+def test_disk_lp_crash_matrix(lp_data, lp_baseline, tmp_path, point, after):
+    """Kill mid-swap / mid-snapshot / between prefetch load and apply; the
+    resumed run must reach bit-identical final parameters."""
+    injector = FaultInjector(point, after=after)
+    crashed = make_disk_lp(lp_data, tmp_path / "crashed",
+                           checkpoint_dir=tmp_path / "ckpt",
+                           checkpoint_every=1)
+    FaultyStorage(crashed.node_store, injector)
+    crashed.buffer_manager.fault_hook = injector.fire
+    crashed.snapshots.fault_hook = injector.fire
+    with pytest.raises(CRASHES):
+        crashed.train()
+    assert injector.fired, f"crash point {point} never hit"
+
+    resumed = _recover(lambda: make_disk_lp(
+        lp_data, tmp_path / "resumed", checkpoint_dir=tmp_path / "ckpt",
+        checkpoint_every=1))
+    ref_table, ref_model = lp_baseline
+    np.testing.assert_array_equal(resumed.node_store.read_all(), ref_table)
+    assert _models_equal(resumed.model, ref_model)
+
+
+@pytest.mark.slow
+def test_disk_lp_torn_write_not_restored(lp_data, tmp_path):
+    """A write-back torn by the crash leaves NaNs in the workdir memmap;
+    resume() rewrites the store wholesale from the snapshot, so no NaN can
+    survive into the recovered table."""
+    injector = FaultInjector(CrashPoint.NODE_WRITE, after=4)
+    crashed = make_disk_lp(lp_data, tmp_path / "w", checkpoint_dir=tmp_path / "c",
+                           checkpoint_every=1)
+    FaultyStorage(crashed.node_store, injector)
+    with pytest.raises(CRASHES):
+        crashed.train()
+    assert np.isnan(crashed.node_store.read_all()).any()
+
+    resumed = make_disk_lp(lp_data, tmp_path / "w2",
+                           checkpoint_dir=tmp_path / "c")
+    resumed.resume()
+    assert not np.isnan(resumed.node_store.read_all()).any()
+    assert not np.isnan(resumed.buffer.gather(
+        resumed.buffer.resident_nodes())).any()
+
+
+# ---------------------------------------------------------------------------
+# Disk node classification: crash + resume
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def nc_data():
+    return load_papers100m_mini(num_nodes=800, num_edges=6400, feat_dim=8,
+                                num_classes=5, seed=0)
+
+
+def make_disk_nc(data, workdir, **kw):
+    disk = DiskNodeClassificationConfig(workdir=workdir, num_partitions=8,
+                                        buffer_capacity=4)
+    return DiskNodeClassificationTrainer(data, NC_CFG, disk, **kw)
+
+
+@pytest.fixture(scope="module")
+def nc_baseline(nc_data, tmp_path_factory):
+    trainer = make_disk_nc(nc_data, tmp_path_factory.mktemp("nc-base"))
+    trainer.train()
+    return trainer.model
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("point,after", [
+    # 4 reads fill the buffer in epoch 0; the 5th is a later epoch's swap.
+    (CrashPoint.NODE_READ, 4),
+    (CrashPoint.SNAPSHOT_PRE_RENAME, 1),
+    (CrashPoint.SNAPSHOT_POST_RENAME, 1),
+])
+def test_disk_nc_crash_matrix(nc_data, nc_baseline, tmp_path, point, after):
+    injector = FaultInjector(point, after=after)
+    crashed = make_disk_nc(nc_data, tmp_path / "crashed",
+                           checkpoint_dir=tmp_path / "ckpt",
+                           checkpoint_every=1)
+    FaultyStorage(crashed.node_store, injector)
+    crashed.snapshots.fault_hook = injector.fire
+    with pytest.raises(CRASHES):
+        crashed.train()
+    assert injector.fired, f"crash point {point} never hit"
+
+    resumed = _recover(lambda: make_disk_nc(
+        nc_data, tmp_path / "resumed", checkpoint_dir=tmp_path / "ckpt",
+        checkpoint_every=1))
+    assert _models_equal(resumed.model, nc_baseline)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined trainer: quiesce → drain → snapshot → refill
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def pipelined_baseline(lp_data):
+    trainer = PipelinedLinkPredictionTrainer(lp_data, LP_CFG,
+                                             num_sample_workers=2,
+                                             deterministic=True)
+    trainer.train()
+    return trainer
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("point", [CrashPoint.SNAPSHOT_PRE_RENAME,
+                                   CrashPoint.SNAPSHOT_POST_RENAME])
+def test_pipelined_mid_epoch_crash(lp_data, pipelined_baseline, tmp_path, point):
+    """Kill the pipeline mid-epoch (checkpoints land every 5 consumed
+    batches); in-flight sampled batches die with the process and are
+    re-sampled identically on resume thanks to per-batch seeding."""
+    injector = FaultInjector(point, after=1)
+    crashed = PipelinedLinkPredictionTrainer(
+        lp_data, LP_CFG, num_sample_workers=2, deterministic=True,
+        checkpoint_dir=tmp_path / "ckpt", checkpoint_every=5)
+    crashed.snapshots.fault_hook = injector.fire
+    with pytest.raises(SimulatedCrash):
+        crashed.train()
+    assert injector.fired
+
+    resumed = _recover(lambda: PipelinedLinkPredictionTrainer(
+        lp_data, LP_CFG, num_sample_workers=2, deterministic=True,
+        checkpoint_dir=tmp_path / "ckpt", checkpoint_every=5))
+    np.testing.assert_array_equal(resumed.embeddings.table,
+                                  pipelined_baseline.embeddings.table)
+    assert _models_equal(resumed.model, pipelined_baseline.model)
+
+
+def test_pipelined_deterministic_worker_invariance(lp_data):
+    """Deterministic mode is a pure function of the seed: worker count and
+    scheduling cannot change the result (per-batch seeding + ordered
+    reassembly + inline write-back)."""
+    one = PipelinedLinkPredictionTrainer(lp_data, LP_CFG,
+                                         num_sample_workers=1,
+                                         deterministic=True)
+    one.train()
+    three = PipelinedLinkPredictionTrainer(lp_data, LP_CFG,
+                                           num_sample_workers=3,
+                                           deterministic=True)
+    three.train()
+    np.testing.assert_array_equal(one.embeddings.table, three.embeddings.table)
+    assert _models_equal(one.model, three.model)
+
+
+# ---------------------------------------------------------------------------
+# Determinism golden tests: checkpoint at epoch 1 of 3, resume, compare
+# ---------------------------------------------------------------------------
+
+def _three_epochs(cfg):
+    return dataclasses.replace(cfg, num_epochs=3)
+
+
+def _one_epoch(cfg):
+    return dataclasses.replace(cfg, num_epochs=1)
+
+
+@pytest.mark.slow
+def test_golden_disk_lp_epoch_boundary(lp_data, tmp_path):
+    cfg3, cfg1 = _three_epochs(LP_CFG), _one_epoch(LP_CFG)
+    disk = lambda d: DiskConfig(workdir=tmp_path / d, num_partitions=8,
+                                num_logical=4, buffer_capacity=4)
+    straight = DiskLinkPredictionTrainer(lp_data, cfg3, disk("a"))
+    straight.train()
+
+    first = DiskLinkPredictionTrainer(lp_data, cfg1, disk("b"),
+                                      checkpoint_dir=tmp_path / "ckpt")
+    first.train()
+    first.save_snapshot(1, 0, 1)
+
+    second = DiskLinkPredictionTrainer(lp_data, cfg3, disk("c"),
+                                       checkpoint_dir=tmp_path / "ckpt")
+    meta = second.resume()
+    assert (meta["epoch"], meta["step"]) == (1, 0)
+    second.train()
+    np.testing.assert_array_equal(second.node_store.read_all(),
+                                  straight.node_store.read_all())
+    assert _models_equal(second.model, straight.model)
+
+
+@pytest.mark.slow
+def test_golden_disk_nc_epoch_boundary(nc_data, tmp_path):
+    cfg3, cfg1 = _three_epochs(NC_CFG), _one_epoch(NC_CFG)
+    disk = lambda d: DiskNodeClassificationConfig(workdir=tmp_path / d,
+                                                  num_partitions=8,
+                                                  buffer_capacity=4)
+    straight = DiskNodeClassificationTrainer(nc_data, cfg3, disk("a"))
+    straight.train()
+
+    first = DiskNodeClassificationTrainer(nc_data, cfg1, disk("b"),
+                                          checkpoint_dir=tmp_path / "ckpt")
+    first.train()
+    first.save_snapshot(1, 0, 1)
+
+    second = DiskNodeClassificationTrainer(nc_data, cfg3, disk("c"),
+                                           checkpoint_dir=tmp_path / "ckpt")
+    meta = second.resume()
+    assert (meta["epoch"], meta["step"]) == (1, 0)
+    second.train()
+    assert _models_equal(second.model, straight.model)
+
+
+@pytest.mark.slow
+def test_golden_pipelined_epoch_boundary(lp_data, tmp_path):
+    cfg3, cfg1 = _three_epochs(LP_CFG), _one_epoch(LP_CFG)
+    straight = PipelinedLinkPredictionTrainer(lp_data, cfg3,
+                                              num_sample_workers=2,
+                                              deterministic=True)
+    straight.train()
+
+    first = PipelinedLinkPredictionTrainer(lp_data, cfg1,
+                                           num_sample_workers=2,
+                                           deterministic=True,
+                                           checkpoint_dir=tmp_path / "ckpt")
+    first.train()
+    first.save_snapshot(0, 1, 1, None)   # normalizes to (epoch 1, batch 0)
+
+    second = PipelinedLinkPredictionTrainer(lp_data, cfg3,
+                                            num_sample_workers=2,
+                                            deterministic=True,
+                                            checkpoint_dir=tmp_path / "ckpt")
+    meta = second.resume()
+    assert (meta["epoch"], meta["batch"]) == (1, 0)
+    second.train()
+    np.testing.assert_array_equal(second.embeddings.table,
+                                  straight.embeddings.table)
+    assert _models_equal(second.model, straight.model)
+
+
+def test_golden_in_memory_lp(lp_data, tmp_path):
+    """The in-memory trainer shares the subsystem (epoch cadence)."""
+    cfg3, cfg1 = _three_epochs(LP_CFG), _one_epoch(LP_CFG)
+    straight = LinkPredictionTrainer(lp_data, cfg3)
+    straight.train()
+
+    first = LinkPredictionTrainer(lp_data, cfg1,
+                                  checkpoint_dir=tmp_path / "ckpt",
+                                  checkpoint_every=1)
+    first.train()
+    second = LinkPredictionTrainer(lp_data, cfg3,
+                                   checkpoint_dir=tmp_path / "ckpt")
+    assert second.resume()["epoch"] == 1
+    second.train()
+    np.testing.assert_array_equal(second.embeddings.table,
+                                  straight.embeddings.table)
+    assert _models_equal(second.model, straight.model)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot hygiene: wrong-trainer / wrong-layout snapshots are rejected
+# ---------------------------------------------------------------------------
+
+def test_resume_rejects_wrong_trainer(lp_data, tmp_path):
+    cfg1 = _one_epoch(LP_CFG)
+    mem = LinkPredictionTrainer(lp_data, cfg1, checkpoint_dir=tmp_path / "ckpt",
+                                checkpoint_every=1)
+    mem.train()
+    disk = make_disk_lp(lp_data, tmp_path / "w", checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(SnapshotError, match="trainer"):
+        disk.resume()
+
+
+def test_resume_rejects_changed_config(lp_data, tmp_path):
+    """Cursors and rng states are only meaningful under the config that
+    produced them: resuming with a different batch size would re-train some
+    edges and desync the seeds, so it must be refused up front. Fields that
+    only extend or re-report the run (num_epochs, eval cadence) may change."""
+    cfg1 = _one_epoch(LP_CFG)
+    first = LinkPredictionTrainer(lp_data, cfg1,
+                                  checkpoint_dir=tmp_path / "ckpt",
+                                  checkpoint_every=1)
+    first.train()
+    smaller_batches = dataclasses.replace(cfg1, num_epochs=3, batch_size=128)
+    second = LinkPredictionTrainer(lp_data, smaller_batches,
+                                   checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(SnapshotError, match="batch_size"):
+        second.resume()
+    longer = dataclasses.replace(cfg1, num_epochs=3, eval_max_edges=50)
+    third = LinkPredictionTrainer(lp_data, longer,
+                                  checkpoint_dir=tmp_path / "ckpt")
+    assert third.resume()["epoch"] == 1
+
+
+def test_racy_pipeline_rejects_mid_epoch_snapshot(lp_data, tmp_path):
+    """A mid-epoch cut is only replayable under per-batch seeding; the racy
+    pipeline must refuse it instead of resuming into divergence."""
+    first = PipelinedLinkPredictionTrainer(
+        lp_data, _one_epoch(LP_CFG), num_sample_workers=2, deterministic=True,
+        checkpoint_dir=tmp_path / "ckpt", checkpoint_every=5)
+    first._train_epoch(0, lp_data.split.train)   # leaves mid-epoch snapshots
+    racy = PipelinedLinkPredictionTrainer(
+        lp_data, LP_CFG, num_sample_workers=2,
+        checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(SnapshotError, match="deterministic"):
+        racy.resume()
+
+
+def test_resume_rejects_changed_dataset(lp_data, tmp_path):
+    """The in-memory trainers have no store fingerprints; the dataset
+    fingerprint must keep a resume from silently continuing on different
+    training data of compatible shape."""
+    cfg1 = _one_epoch(LP_CFG)
+    first = LinkPredictionTrainer(lp_data, cfg1,
+                                  checkpoint_dir=tmp_path / "ckpt",
+                                  checkpoint_every=1)
+    first.train()
+    other_data = load_fb15k237(scale=0.03, seed=7)
+    second = LinkPredictionTrainer(other_data, cfg1,
+                                   checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(SnapshotError, match="dataset"):
+        second.resume()
+
+
+def test_resume_rejects_changed_partitioning(lp_data, tmp_path):
+    cfg1 = _one_epoch(LP_CFG)
+    a = make_disk_lp(lp_data, tmp_path / "a", checkpoint_dir=tmp_path / "ckpt",
+                     checkpoint_every=1)
+    a.train()
+    other = DiskLinkPredictionTrainer(
+        lp_data, cfg1,
+        DiskConfig(workdir=tmp_path / "b", num_partitions=4, num_logical=2,
+                   buffer_capacity=4),
+        checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(SnapshotError, match="layout"):
+        other.resume()

@@ -5,8 +5,63 @@ import pytest
 
 from repro.graph import PartitionScheme, load_fb15k237, power_law_graph
 from repro.nn import RowAdagrad
-from repro.storage import EdgeBucketStore, NodeStore, PartitionBuffer
+from repro.storage import (EdgeBucketStore, NodeStore, PartitionBuffer,
+                           PrefetchError, PrefetchingBufferManager)
 from repro.train import DiskConfig, DiskLinkPredictionTrainer, LinkPredictionConfig
+
+
+class TestPrefetchWorkerFailures:
+    """Regression: prefetch-thread exceptions used to die silently inside
+    the daemon thread; they must surface at the next wait()/load_step/
+    finish() with the original error chained."""
+
+    def _store(self, tmp_path, boom_part=None):
+        scheme = PartitionScheme.uniform(40, 4)
+        store = NodeStore(tmp_path / "p.bin", scheme, dim=4, learnable=True)
+        store.initialize(rng=np.random.default_rng(0))
+        if boom_part is not None:
+            real = store.read_partition
+
+            def faulty(part):
+                if part == boom_part:
+                    raise OSError(f"disk gone while reading {part}")
+                return real(part)
+
+            store.read_partition = faulty
+        return store
+
+    def test_worker_error_surfaces_on_next_load_step(self, tmp_path):
+        store = self._store(tmp_path, boom_part=3)
+        manager = PrefetchingBufferManager(PartitionBuffer(store, 2))
+        manager.load_step([0, 1], next_partitions=[0, 3])
+        with pytest.raises(PrefetchError) as info:
+            manager.load_step([0, 3])
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_worker_error_surfaces_on_finish(self, tmp_path):
+        """Shutdown must not swallow a dead worker either."""
+        store = self._store(tmp_path, boom_part=2)
+        manager = PrefetchingBufferManager(PartitionBuffer(store, 2))
+        manager.load_step([0, 1], next_partitions=[2])
+        with pytest.raises(PrefetchError):
+            manager.finish()
+
+    def test_error_cleared_after_surfacing(self, tmp_path):
+        """One failure is reported once; the manager stays usable."""
+        store = self._store(tmp_path, boom_part=3)
+        manager = PrefetchingBufferManager(PartitionBuffer(store, 2))
+        manager.load_step([0, 1], next_partitions=[3])
+        with pytest.raises(PrefetchError):
+            manager.load_step([0, 1])
+        assert manager.load_step([0, 2]) == 2  # evict 1, admit 2
+
+    def test_reset_discards_pending_error(self, tmp_path):
+        """The resume path drops staged data and the moot worker error."""
+        store = self._store(tmp_path, boom_part=3)
+        manager = PrefetchingBufferManager(PartitionBuffer(store, 2))
+        manager.load_step([0, 1], next_partitions=[3])
+        manager.reset()
+        assert manager.load_step([0, 2]) == 2  # evict 1, admit 2
 
 
 class TestCrashConsistency:

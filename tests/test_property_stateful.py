@@ -5,6 +5,13 @@ corrupts training (a stale row, a lost write-back), so it gets a full model-
 based test: a reference in-memory table is updated in lockstep with the real
 memmap-backed buffer through random admit/evict/swap/update/flush sequences,
 and every gather must agree with the reference.
+
+The machine also interleaves **checkpoint/resume**: a checkpoint rule
+snapshots the flushed store through the real :class:`SnapshotManager` (and
+stashes the reference state alongside), and a resume rule scribbles NaNs
+into a random partition (simulated crash damage), restores the snapshot,
+and rolls the reference model back — after which every buffer-residency
+invariant must still hold and training-style updates must keep agreeing.
 """
 
 import numpy as np
@@ -17,6 +24,7 @@ from hypothesis.stateful import (RuleBasedStateMachine, initialize, invariant,
 from repro.graph import PartitionScheme
 from repro.nn import RowAdagrad
 from repro.storage import NodeStore, PartitionBuffer
+from repro.train import SnapshotManager
 
 NUM_NODES = 48
 NUM_PARTS = 6
@@ -25,7 +33,7 @@ DIM = 4
 
 
 class BufferMachine(RuleBasedStateMachine):
-    """Reference-model test of PartitionBuffer."""
+    """Reference-model test of PartitionBuffer (+ checkpoint/resume)."""
 
     def __init__(self):
         super().__init__()
@@ -43,6 +51,10 @@ class BufferMachine(RuleBasedStateMachine):
         self.ref_table = init.copy()
         self.ref_state = np.zeros_like(init)
         self.ref_opt = RowAdagrad(lr=0.1)
+        # Checkpoint/resume machinery (same subsystem the trainers use).
+        self.snapshots = SnapshotManager(f"{self._tmp.name}/ckpt", keep=1)
+        self._snap_id = 0
+        self._snap_ref = None   # (ref_table, ref_state, resident) at snapshot
 
     def teardown(self):
         self._tmp.cleanup()
@@ -81,6 +93,36 @@ class BufferMachine(RuleBasedStateMachine):
     def flush(self):
         self.buffer.flush()
 
+    @rule()
+    def checkpoint(self):
+        """Flush + atomic snapshot, exactly like the trainers do."""
+        self.buffer.flush()
+        self.store.flush()
+        self._snap_id += 1
+        self.snapshots.save(self._snap_id,
+                            {"resident": self.buffer.resident},
+                            {"table": self.store.read_all(),
+                             "state": self.store.read_all_state()})
+        self._snap_ref = (self.ref_table.copy(), self.ref_state.copy(),
+                          list(self.buffer.resident))
+
+    @precondition(lambda self: self._snap_ref is not None)
+    @rule(damage=st.integers(0, NUM_PARTS - 1))
+    def crash_and_resume(self, damage):
+        """Scribble NaNs into one partition (crash damage after the
+        snapshot), then recover: drop the buffer without write-back,
+        restore the store from the snapshot, re-admit the recorded
+        residency, and roll the reference model back in lockstep."""
+        junk = np.full((NUM_NODES // NUM_PARTS, DIM), np.nan, dtype=np.float32)
+        self.store.write_partition(damage, junk)
+        meta, arrays = self.snapshots.load()
+        self.buffer.drop_all()
+        self.store.restore(arrays["table"], arrays["state"])
+        self.buffer.set_partitions(meta["resident"])
+        self.ref_table, self.ref_state, _ = self._snap_ref
+        self.ref_table = self.ref_table.copy()
+        self.ref_state = self.ref_state.copy()
+
     # ------------------------------------------------------------------
     @invariant()
     def resident_rows_match_reference(self):
@@ -94,6 +136,23 @@ class BufferMachine(RuleBasedStateMachine):
     @invariant()
     def capacity_respected(self):
         assert len(self.buffer.resident) <= CAPACITY
+
+    @invariant()
+    def residency_bookkeeping_consistent(self):
+        """The slab row map, partition-of-row map, dirty set, and free-slot
+        list must all agree with the resident set — the buffer-residency
+        invariant checkpoint/resume is not allowed to violate."""
+        resident = self.buffer.resident
+        assert sorted(self.buffer._slot_of) == resident
+        assert sorted(self.buffer._dirty) == resident
+        assert set(self.buffer.dirty_partitions()) <= set(resident)
+        assert len(self.buffer._free_slots) == CAPACITY - len(resident)
+        mask = self.buffer.node_mask()
+        for part in range(NUM_PARTS):
+            lo = int(self.store.scheme.boundaries[part])
+            hi = int(self.store.scheme.boundaries[part + 1])
+            assert mask[lo:hi].all() == (part in resident)
+            assert mask[lo:hi].any() == (part in resident)
 
     @invariant()
     def evicted_rows_are_durable(self):
