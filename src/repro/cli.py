@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``)::
     python -m repro train-lp --dataset fb15k237 --disk --policy comet
     python -m repro train-nc --epochs 5
     python -m repro train-lp --config run.json   # JSON overrides CLI defaults
+    python -m repro serve --snapshot ckpt/ --topk 5 10
+    python -m repro serve --snapshot ckpt/ --bench 2000 --mix zipf
 """
 
 from __future__ import annotations
@@ -150,27 +152,143 @@ def cmd_train_nc(args: argparse.Namespace) -> int:
         hidden_dim=args.dim, num_layers=len(fanouts), fanouts=fanouts,
         batch_size=args.batch_size, num_epochs=args.epochs, eval_every=1,
         seed=args.seed)
+    ckpt = _checkpoint_args(args)
     if args.disk:
         workdir = Path(args.workdir) if args.workdir else Path(
             tempfile.mkdtemp(prefix="repro-nc-"))
         disk = DiskNodeClassificationConfig(workdir=workdir,
                                             num_partitions=args.partitions,
                                             buffer_capacity=args.buffer)
-        trainer = DiskNodeClassificationTrainer(data, config, disk,
-                                                **_checkpoint_args(args))
-        if args.resume_from:
-            meta = trainer.resume(Path(args.resume_from))
-            print(f"resumed from snapshot at epoch {meta['epoch']}, "
-                  f"step {meta['step']}")
+        trainer = DiskNodeClassificationTrainer(data, config, disk, **ckpt)
     else:
-        if args.resume_from or args.checkpoint_every or args.checkpoint_dir:
-            raise SystemExit("checkpoint/resume for train-nc requires --disk "
-                             "(the in-memory NC trainer is cheap to restart)")
-        trainer = NodeClassificationTrainer(data, config)
+        trainer = NodeClassificationTrainer(data, config, **ckpt)
+    if args.resume_from:
+        meta = trainer.resume(Path(args.resume_from))
+        print(f"resumed from snapshot at epoch {meta['epoch']}"
+              + (f", step {meta['step']}" if "step" in meta else ""))
     result = trainer.train(verbose=True)
     print(f"\nfinal accuracy {result.final_accuracy:.4f} "
           f"mean epoch {result.mean_epoch_seconds:.2f}s")
     return 0
+
+
+def _parse_ids(text: str) -> "np.ndarray":
+    import numpy as np
+    return np.array([int(x) for x in text.split(",") if x], dtype=np.int64)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Query a trained snapshot out-of-core (see docs/serving.md)."""
+    import json as _json
+    import numpy as np
+    from .serve import serve_link_prediction, serve_node_classification
+    from .train import SnapshotManager
+
+    args = _apply_config_file(args)
+    snap = Path(args.snapshot)
+    if not (snap / "manifest.json").is_file():
+        latest = SnapshotManager(snap).latest()
+        if latest is None:
+            raise SystemExit(f"no snapshots under {snap}")
+        snap = latest
+    meta = _json.loads((snap / "manifest.json").read_text())["meta"]
+    kind = meta["trainer"]
+    workdir = Path(args.workdir) if args.workdir else Path(
+        tempfile.mkdtemp(prefix="repro-serve-"))
+    if kind.startswith("nc"):
+        data = load_papers100m_mini(num_nodes=args.nc_nodes,
+                                    num_edges=args.nc_nodes * 9,
+                                    feat_dim=args.nc_dim, seed=args.nc_seed)
+        engine = serve_node_classification(snap, data, workdir,
+                                           num_partitions=args.partitions,
+                                           buffer_capacity=args.buffer)
+    else:
+        graph = None
+        if meta.get("config", {}).get("encoder", "none") != "none":
+            # Encoder snapshots sample neighborhoods on read; the CLI
+            # regenerates the training graph the same way train-lp does.
+            if not args.dataset:
+                raise SystemExit(
+                    "this snapshot has a GNN encoder: pass --dataset/--scale "
+                    "(the training data) so encode-on-read can sample "
+                    "neighborhoods")
+            if args.dataset not in LP_DATASETS:
+                raise SystemExit(f"unknown LP dataset {args.dataset!r}; "
+                                 f"choose from {sorted(LP_DATASETS)}")
+            from .graph import Graph
+            data = LP_DATASETS[args.dataset](args.scale)
+            edges = data.split.train
+            graph = Graph(num_nodes=data.graph.num_nodes, src=edges[:, 0],
+                          dst=edges[:, -1],
+                          rel=edges[:, 1] if edges.shape[1] == 3 else None,
+                          num_relations=data.graph.num_relations)
+        engine = serve_link_prediction(snap, workdir,
+                                       num_partitions=args.partitions,
+                                       buffer_capacity=args.buffer,
+                                       graph=graph)
+    print(f"serving {kind} snapshot {snap.name}: "
+          f"{engine.store.num_nodes:,} nodes x {engine.store.dim}, "
+          f"{engine.scheme.num_partitions} partitions, "
+          f"buffer {engine.buffer.capacity}")
+
+    if args.embed:
+        ids = _parse_ids(args.embed)
+        rows = engine.get_embeddings(ids)
+        for node, row in zip(ids, rows):
+            head = ", ".join(f"{v:+.4f}" for v in row[:6])
+            more = ", ..." if len(row) > 6 else ""
+            print(f"  node {node}: [{head}{more}]")
+    if args.score:
+        rows = []
+        for spec in args.score:
+            fields = [int(x) for x in spec.split(":")]
+            if len(fields) == 2:            # S:D — relation 0
+                fields = [fields[0], 0, fields[1]]
+            elif len(fields) != 3:
+                raise SystemExit(f"bad --score spec {spec!r}: expected "
+                                 f"SRC:DST or SRC:REL:DST")
+            rows.append(fields)
+        pairs = np.array(rows, dtype=np.int64)
+        for spec, score in zip(args.score, engine.score_edges(pairs)):
+            print(f"  score({spec}) = {score:.6f}")
+    if args.topk:
+        src, k = int(args.topk[0]), int(args.topk[1])
+        try:
+            ids, scores = engine.topk_targets(src, k, rel=args.rel,
+                                              exclude=[src])
+        except RuntimeError as exc:    # e.g. encoder snapshots refuse top-k
+            raise SystemExit(f"--topk: {exc}")
+        print(f"  top-{k} targets for source {src} (rel {args.rel}):")
+        for rank, (node, score) in enumerate(zip(ids, scores), 1):
+            print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
+    if args.classify:
+        preds = engine.classify(_parse_ids(args.classify), seed=0)
+        print("  predicted classes:", preds.tolist())
+    if args.bench:
+        _serve_bench(engine, args)
+    s = engine.stats
+    print(f"engine stats: {s.lookups} lookups, {s.edges_scored} edges scored, "
+          f"{s.topk_queries} topk, {s.swaps} partition swaps")
+    return 0
+
+
+def _serve_bench(engine, args: argparse.Namespace) -> None:
+    """Quick QPS probe over a random or Zipf-skewed single-lookup stream
+    (the same workload definition the committed benchmark baseline uses)."""
+    import time as _time
+    from .serve import make_query_stream
+    queries = make_query_stream(args.mix, args.bench, engine.store.num_nodes,
+                                seed=args.seed)
+    swaps0 = engine.stats.swaps
+    t0 = _time.perf_counter()
+    for start in range(0, len(queries), args.max_batch):
+        engine.get_embeddings(queries[start : start + args.max_batch])
+    seconds = _time.perf_counter() - t0
+    swaps = engine.stats.swaps - swaps0
+    print(f"  bench: {len(queries)} {args.mix} lookups in {seconds:.2f}s = "
+          f"{len(queries) / seconds:,.0f} QPS "
+          f"({1000 * swaps / len(queries):.1f} swaps/1k queries, "
+          f"batch {args.max_batch})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,6 +342,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume-from", default=None,
                    help="snapshot dir (or checkpoint root) to resume from")
 
+    p = sub.add_parser("serve", help="query a trained snapshot out-of-core")
+    p.add_argument("--config", help="JSON file overriding these options")
+    p.add_argument("--snapshot", required=True,
+                   help="snapshot dir (or checkpoint root; latest wins)")
+    p.add_argument("--workdir", default=None,
+                   help="serving workdir for the paged table (default: temp)")
+    p.add_argument("--dataset", default=None,
+                   help="LP training dataset (required for encoder "
+                        "snapshots: enables encode-on-read sampling)")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="dataset scale used at training time")
+    p.add_argument("--partitions", type=int, default=None,
+                   help="partition count (default: the snapshot's layout)")
+    p.add_argument("--buffer", type=int, default=4,
+                   help="partitions held in memory at once")
+    p.add_argument("--embed", default=None, metavar="IDS",
+                   help="comma-separated node ids to look up")
+    p.add_argument("--score", nargs="*", default=None, metavar="S:D|S:R:D",
+                   help="edges to score, e.g. 12:340 or 12:7:340")
+    p.add_argument("--topk", nargs=2, default=None, metavar=("SRC", "K"),
+                   help="best-K destinations for a source node")
+    p.add_argument("--rel", type=int, default=0, help="relation for --topk")
+    p.add_argument("--classify", default=None, metavar="IDS",
+                   help="comma-separated node ids to classify (NC snapshots)")
+    p.add_argument("--bench", type=int, default=0, metavar="N",
+                   help="run an N-query lookup throughput probe")
+    p.add_argument("--mix", default="zipf", choices=["zipf", "random"],
+                   help="query mix for --bench")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="micro-batch size for --bench")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nc-nodes", type=int, default=4000,
+                   help="NC snapshots: dataset size to regenerate (must "
+                        "match training)")
+    p.add_argument("--nc-dim", type=int, default=32)
+    p.add_argument("--nc-seed", type=int, default=0)
+
     p = sub.add_parser("train-nc", help="train node classification")
     p.add_argument("--config", help="JSON file overriding these options")
     p.add_argument("--nodes", type=int, default=4000)
@@ -237,7 +392,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer", type=int, default=8)
     p.add_argument("--workdir", default=None)
     p.add_argument("--checkpoint-every", type=int, default=0,
-                   help="snapshot cadence in epoch-plan steps (--disk only)")
+                   help="snapshot cadence: epochs (in-memory) or epoch-plan "
+                        "steps (--disk); 0 = off")
     p.add_argument("--checkpoint-dir", default=None,
                    help="snapshot root (default: <workdir>/checkpoints)")
     p.add_argument("--resume-from", default=None,
@@ -247,7 +403,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 COMMANDS = {"info": cmd_info, "autotune": cmd_autotune,
-            "train-lp": cmd_train_lp, "train-nc": cmd_train_nc}
+            "train-lp": cmd_train_lp, "train-nc": cmd_train_nc,
+            "serve": cmd_serve}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,83 @@
+"""Query-driven partition replacement for inference serving.
+
+Training knows its whole epoch plan up front, so COMET/BETA can precompute
+near-minimal swap schedules. A serving buffer only sees the live query
+stream — the online-caching setting — where the work-function-algorithm
+literature shows a bounded history of recent accesses is enough for a
+competitive replacement decision. :class:`QueryLRU` keeps exactly that
+bounded history per partition: the last-touch tick (recency) and an
+exponentially decayed hit counter (frequency), evicting the
+least-recently-used candidate and breaking recency ties by the colder
+frequency. Under a skewed (Zipf) query mix the hot partitions therefore
+pin themselves in the buffer without any offline analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+class QueryLRU:
+    """Recency/frequency replacement driven by the live query stream.
+
+    Parameters
+    ----------
+    num_partitions:
+        Physical partition count of the served node store.
+    decay:
+        Per-touch multiplier applied to every partition's frequency score
+        before the touched ones gain ``+1`` — the bounded history: a
+        partition untouched for ``~1/(1-decay)`` batches decays to noise.
+    """
+
+    name = "query-lru"
+
+    def __init__(self, num_partitions: int, decay: float = 0.95) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.num_partitions = int(num_partitions)
+        self.decay = float(decay)
+        self._tick = 0
+        self.last_used = np.full(self.num_partitions, -1, dtype=np.int64)
+        self.frequency = np.zeros(self.num_partitions, dtype=np.float64)
+        self.touches = 0
+
+    # ------------------------------------------------------------------
+    def touch(self, parts: Iterable[int]) -> None:
+        """Record one query batch referencing ``parts`` (resident or not)."""
+        parts = np.asarray(list(parts), dtype=np.int64)
+        if len(parts) == 0:
+            return
+        self._tick += 1
+        self.touches += 1
+        self.frequency *= self.decay
+        self.last_used[parts] = self._tick
+        self.frequency[parts] += 1.0
+
+    def choose_victims(self, candidates: Sequence[int], count: int) -> List[int]:
+        """Pick ``count`` partitions to evict, coldest first.
+
+        Primary key: least-recently-touched. Tie-break (same tick — e.g.
+        co-touched by one batch, or both never touched): lower decayed
+        frequency goes first.
+        """
+        cand = np.asarray(sorted(set(int(x) for x in candidates)), dtype=np.int64)
+        if count >= len(cand):
+            return [int(x) for x in cand]
+        order = np.lexsort((self.frequency[cand], self.last_used[cand]))
+        return [int(cand[i]) for i in order[:count]]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"tick": self._tick,
+                "last_used": self.last_used.tolist(),
+                "frequency": self.frequency.tolist()}
+
+    def load_state_dict(self, state: dict) -> None:
+        if not state:
+            return
+        self._tick = int(state["tick"])
+        self.last_used = np.asarray(state["last_used"], dtype=np.int64)
+        self.frequency = np.asarray(state["frequency"], dtype=np.float64)

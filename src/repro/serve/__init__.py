@@ -1,0 +1,18 @@
+"""Out-of-core inference serving over trained snapshots.
+
+The serving layer reuses the training stack's out-of-core machinery — the
+partitioned node store, the bounded partition buffer (read-only here), and
+the DENSE sampler — to answer embedding, link scoring, and encode-on-read
+queries against a :class:`~repro.train.checkpoint.SnapshotManager`
+snapshot without ever holding the full table in memory. See
+``docs/serving.md``.
+"""
+
+from .batcher import RequestBatcher, ServeRequest
+from .engine import ServingEngine
+from .loader import serve_link_prediction, serve_node_classification
+from .stats import ServeStats, latency_summary, make_query_stream
+
+__all__ = ["ServingEngine", "RequestBatcher", "ServeRequest", "ServeStats",
+           "latency_summary", "make_query_stream", "serve_link_prediction",
+           "serve_node_classification"]

@@ -1,0 +1,203 @@
+"""Micro-batching request queue in front of the serving engine.
+
+Individual queries are tiny; partition swaps are not. The batcher
+amortizes the swap cost by coalescing concurrent requests into one engine
+call: the worker drains the queue once ``max_batch`` requests are waiting
+or the oldest has waited ``max_wait_ms``, concatenates same-kind payloads,
+and lets the engine's partition-locality ordering make co-located queries
+share swaps. Each request records its own end-to-end latency (enqueue to
+result), so the tail cost of an unlucky swap is visible per request, not
+averaged away per batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from .engine import ServingEngine
+from .stats import latency_summary
+
+EMBED = "embed"
+SCORE = "score"
+
+
+class ServeRequest:
+    """One queued query with its own completion event and latency clock."""
+
+    __slots__ = ("kind", "payload", "result", "error", "t_enqueue", "t_done",
+                 "_event")
+
+    def __init__(self, kind: str, payload: np.ndarray) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.t_enqueue = time.perf_counter()
+        self.t_done: Optional[float] = None
+        self._event = threading.Event()
+
+    def wait(self) -> np.ndarray:
+        self._event.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def finish(self, result=None, error: Optional[BaseException] = None) -> None:
+        self.result = result
+        self.error = error
+        self.t_done = time.perf_counter()
+        self._event.set()
+
+    @property
+    def latency_ms(self) -> float:
+        if self.t_done is None:
+            return 0.0
+        return 1000.0 * (self.t_done - self.t_enqueue)
+
+
+class RequestBatcher:
+    """Coalesces embedding/scoring requests into batched engine calls.
+
+    Parameters
+    ----------
+    engine:
+        The serving engine; all execution happens on the batcher's single
+        worker thread, so the (thread-unsafe) engine is never entered
+        concurrently.
+    max_batch:
+        Drain the queue once this many requests are waiting.
+    max_wait_ms:
+        ... or once the oldest waiting request is this old — bounds the
+        latency a lonely query pays for batching.
+    """
+
+    def __init__(self, engine: ServingEngine, max_batch: int = 256,
+                 max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self._queue: Deque[ServeRequest] = deque()
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._worker: Optional[threading.Thread] = None
+        self.latencies_ms: List[float] = []
+        self.batch_sizes: List[int] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> "RequestBatcher":
+        if self._worker is not None:
+            raise RuntimeError("batcher already started")
+        self._stopping = False
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-batcher")
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding requests, then stop the worker."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+
+    def __enter__(self) -> "RequestBatcher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, payload: np.ndarray) -> ServeRequest:
+        if self._worker is None:
+            raise RuntimeError("batcher is not running (use start() or a "
+                               "with-block)")
+        payload = np.asarray(payload, dtype=np.int64)
+        if kind == EMBED:
+            # Normalize here, not in the worker: per-request result slicing
+            # counts payload entries, so a 2-d id array must become 1-d
+            # before it is measured against the merged result.
+            payload = payload.ravel()
+        request = ServeRequest(kind, payload)
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("batcher is stopping")
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request
+
+    def get_embeddings(self, node_ids) -> np.ndarray:
+        """Blocking embedding lookup through the micro-batching queue."""
+        ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        return self.submit(EMBED, ids).wait()
+
+    def score_edges(self, pairs) -> np.ndarray:
+        """Blocking edge scoring through the micro-batching queue."""
+        return self.submit(SCORE, np.asarray(pairs, dtype=np.int64)).wait()
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        return latency_summary(self.latencies_ms)
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> List[ServeRequest]:
+        """Wait for work, then coalesce up to max_batch requests."""
+        with self._cond:
+            while not self._queue and not self._stopping:
+                self._cond.wait()
+            if not self._queue:
+                return []                      # stopping, fully drained
+            deadline = self._queue[0].t_enqueue + self.max_wait_s
+            while (len(self._queue) < self.max_batch and not self._stopping):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch = []
+            while self._queue and len(batch) < self.max_batch:
+                batch.append(self._queue.popleft())
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return
+            self.batch_sizes.append(len(batch))
+            self._execute(batch)
+
+    def _execute(self, batch: List[ServeRequest]) -> None:
+        groups: Dict[tuple, List[ServeRequest]] = {}
+        for request in batch:
+            width = (request.payload.shape[1]
+                     if request.payload.ndim == 2 else 0)
+            groups.setdefault((request.kind, width), []).append(request)
+        for (kind, _), requests in groups.items():
+            try:
+                payloads = [r.payload for r in requests]
+                if kind == EMBED:
+                    merged = np.concatenate(payloads)
+                    result = self.engine.get_embeddings(merged)
+                elif kind == SCORE:
+                    merged = np.concatenate(payloads, axis=0)
+                    result = self.engine.score_edges(merged)
+                else:
+                    raise ValueError(f"unknown request kind {kind!r}")
+                offset = 0
+                for request in requests:
+                    n = len(request.payload)
+                    request.finish(result=result[offset : offset + n])
+                    offset += n
+            except Exception as exc:   # deliver, don't kill the worker
+                for request in requests:
+                    if not request._event.is_set():
+                        request.finish(error=exc)
+            for request in requests:
+                self.latencies_ms.append(request.latency_ms)

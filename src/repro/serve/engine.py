@@ -1,0 +1,333 @@
+"""The out-of-core query engine: batched inference over a partition buffer.
+
+The same machinery that makes training disk-friendly (partitioned node
+store, bounded :class:`~repro.storage.buffer.PartitionBuffer`, DENSE
+multi-hop sampling over the in-buffer subgraph) serves queries here, with
+three differences:
+
+* the buffer runs **read-only** — eviction never writes back and gradient
+  application is refused;
+* residency is driven by the live query stream through a
+  :class:`~repro.policies.query_lru.QueryLRU` replacement policy instead of
+  a precomputed epoch plan;
+* execution is **partition-locality ordered**: every batched entry point
+  groups its work by partition (resident partitions first), so co-located
+  queries share one swap instead of thrashing the buffer.
+
+Three query families (the full table is never materialized in memory —
+peak residency is ``buffer_capacity`` partitions):
+
+* :meth:`ServingEngine.get_embeddings` — paged row lookup.
+* :meth:`ServingEngine.score_edges` / :meth:`ServingEngine.topk_targets` —
+  decoder scoring; top-k streams candidate partitions through the buffer
+  blockwise and keeps a running best-k, without ever touching the
+  replacement policy (scan resistance: a sequential sweep must not evict
+  the query-hot partitions).
+* :meth:`ServingEngine.encode_nodes` / :meth:`ServingEngine.classify` —
+  GNN encode-on-read: multi-hop neighborhoods are sampled over the
+  in-buffer subgraph (exactly the restriction disk training applies) and
+  only the forward pass runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.sampler import DenseSampler
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..policies.query_lru import QueryLRU
+from ..storage.buffer import PartitionBuffer
+from ..storage.node_store import NodeStore
+from .stats import ServeStats
+
+
+class ServingEngine:
+    """Answers embedding / scoring / encode queries over a trained snapshot.
+
+    Parameters
+    ----------
+    model:
+        A restored :class:`~repro.train.link_prediction.LinkPredictionModel`
+        (decoder required for scoring queries) or
+        :class:`~repro.train.node_classification.NodeClassifier`
+        (``classify`` queries). Put into eval mode on construction.
+    store:
+        Read-only :class:`NodeStore` holding the served table (base
+        embeddings for LP, node features for NC).
+    buffer_capacity:
+        Physical partitions held in memory at once.
+    policy:
+        Replacement policy; defaults to a fresh :class:`QueryLRU`.
+    edge_source:
+        Optional ``(i, j) -> (src, dst)`` bucket source (e.g.
+        ``EdgeBucketStore.bucket_endpoints``) enabling encode-on-read; the
+        sampler's partition-aware index follows buffer swaps incrementally.
+    fanouts / directions:
+        Sampling shape for encode-on-read (ignored without ``edge_source``).
+    """
+
+    def __init__(self, model: Module, store: NodeStore, buffer_capacity: int,
+                 policy: Optional[QueryLRU] = None,
+                 edge_source: Optional[Callable] = None,
+                 fanouts: Sequence[int] = (), directions: str = "both",
+                 seed: int = 0) -> None:
+        self.model = model
+        self.model.eval()
+        self.store = store
+        self.scheme = store.scheme
+        self.policy = policy or QueryLRU(self.scheme.num_partitions)
+        self.buffer = PartitionBuffer(store, buffer_capacity, read_only=True,
+                                      replacement_policy=self.policy)
+        self.stats = ServeStats()
+        self.buffer.add_swap_listener(self._on_swap)
+        self.decoder = getattr(model, "decoder", None)
+        self.sampler: Optional[DenseSampler] = None
+        if edge_source is not None and len(fanouts) > 0:
+            self.sampler = DenseSampler.from_partitions(
+                self.scheme, edge_source, (), list(fanouts),
+                directions=directions, rng=np.random.default_rng(seed))
+            self.buffer.add_swap_listener(
+                lambda added, removed: self.sampler.update_graph(added, removed))
+
+    # ------------------------------------------------------------------
+    def _on_swap(self, added: List[int], removed: List[int]) -> None:
+        self.stats.swaps += len(added)
+
+    def _check_ids(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if len(ids) and ((ids < 0).any() or (ids >= self.store.num_nodes).any()):
+            bad = ids[(ids < 0) | (ids >= self.store.num_nodes)][:5]
+            raise KeyError(f"query node ids out of range: {bad.tolist()}")
+        return ids
+
+    def _partition_order(self, parts: np.ndarray) -> List[int]:
+        """Resident partitions first (free hits), then ascending admits."""
+        resident = [int(p) for p in parts if self.buffer.is_resident(int(p))]
+        absent = [int(p) for p in parts if not self.buffer.is_resident(int(p))]
+        return resident + absent
+
+    # ------------------------------------------------------------------
+    # Query family 1: embedding lookup
+    # ------------------------------------------------------------------
+    def _gather_rows(self, ids: np.ndarray) -> np.ndarray:
+        """The paging gather without stats accounting (internal fetches by
+        the scoring paths must not inflate the request/lookup counters)."""
+        out = np.empty((len(ids), self.store.dim), dtype=np.float32)
+        if len(ids) == 0:
+            return out
+        parts = self.scheme.partition_of(ids)
+        uniq = np.unique(parts)
+        self.policy.touch(uniq)
+        pending = set(int(p) for p in uniq)
+        for part in self._partition_order(uniq):
+            pending.discard(part)
+            self.buffer.ensure_resident([part], protect=list(pending))
+            mask = parts == part
+            out[mask] = self.buffer.gather(ids[mask])
+        return out
+
+    def get_embeddings(self, node_ids: np.ndarray) -> np.ndarray:
+        """Rows of the served table for ``node_ids`` (any order, dups ok).
+
+        Pages the needed partitions through the buffer in locality order —
+        one residency check per partition, one vectorized gather per
+        partition group — and returns rows aligned with the input.
+        """
+        out = self._gather_rows(self._check_ids(node_ids))
+        self.stats.requests += 1
+        self.stats.lookups += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Query family 2: decoder scoring
+    # ------------------------------------------------------------------
+    def _require_decoder(self):
+        if self.decoder is None:
+            raise RuntimeError("model has no decoder; scoring queries need a "
+                               "link prediction snapshot")
+        return self.decoder
+
+    @staticmethod
+    def _split_pairs(pairs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] not in (2, 3):
+            raise ValueError("pairs must be (n, 2) [src, dst] or "
+                             "(n, 3) [src, rel, dst]")
+        src, dst = pairs[:, 0], pairs[:, -1]
+        rel = (pairs[:, 1] if pairs.shape[1] == 3
+               else np.zeros(len(pairs), dtype=np.int64))
+        return src, rel, dst
+
+    def score_edges(self, pairs: np.ndarray) -> np.ndarray:
+        """Decoder scores for ``(src[, rel], dst)`` rows.
+
+        Decoder-only models (``encoder="none"``) run the exact offline math:
+        gather both endpoint embeddings in one locality-ordered pass, then
+        ``decoder.score_edges`` — bit-identical to
+        :func:`~repro.train.link_prediction.score_edges_offline` on the same
+        snapshot. Encoder models first encode-on-read both endpoint sets.
+        """
+        decoder = self._require_decoder()
+        src, rel, dst = self._split_pairs(pairs)
+        if len(src) == 0:
+            return np.empty(0, dtype=np.float32)
+        if getattr(self.model, "encoder", None) is None:
+            embs = self._gather_rows(self._check_ids(np.concatenate([src, dst])))
+            src_repr = Tensor(embs[: len(src)])
+            dst_repr = Tensor(embs[len(src):])
+        else:
+            targets = np.unique(np.concatenate([src, dst]))
+            reprs = self._encode_rows(targets, seed=None)
+            rows = np.searchsorted(targets, np.concatenate([src, dst]))
+            src_repr = Tensor(reprs[rows[: len(src)]])
+            dst_repr = Tensor(reprs[rows[len(src):]])
+        with no_grad():
+            scores = decoder.score_edges(src_repr, rel, dst_repr).data
+        self.stats.requests += 1
+        self.stats.edges_scored += len(src)
+        return scores
+
+    def topk_targets(self, src: int, k: int, rel: int = 0,
+                     exclude: Sequence[int] = ()) -> Tuple[np.ndarray, np.ndarray]:
+        """Best-``k`` destination nodes for ``(src, rel, ?)``, best first.
+
+        Streams every candidate partition through the buffer (resident ones
+        first), scores each block against the source with one dense
+        ``score_against``, and folds it into a running top-k — memory is
+        O(partition + k), independent of the table size. The sweep does not
+        touch the replacement policy, so a scan cannot evict query-hot
+        partitions (scan resistance). Decoder-only snapshots only: encoder
+        models would need every candidate encoded, which this blockwise
+        sweep (raw table rows) cannot provide — refused rather than ranking
+        inconsistently with :meth:`score_edges`.
+        """
+        decoder = self._require_decoder()
+        if getattr(self.model, "encoder", None) is not None:
+            raise RuntimeError(
+                "topk_targets serves decoder-only snapshots; an encoder "
+                "model would need every candidate encoded-on-read (use "
+                "score_edges over an explicit candidate set instead)")
+        src_emb = self._gather_rows(self._check_ids(np.array([int(src)])))
+        rel_arr = np.array([int(rel)], dtype=np.int64)
+        k = int(min(k, self.store.num_nodes))
+        if k <= 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32))
+        excluded = np.asarray(sorted(set(int(x) for x in exclude)), dtype=np.int64)
+        best_ids = np.empty(0, dtype=np.int64)
+        best_scores = np.empty(0, dtype=np.float32)
+        all_parts = np.arange(self.scheme.num_partitions)
+        with no_grad():
+            src_t = Tensor(src_emb)
+            for part in self._partition_order(all_parts):
+                self.buffer.ensure_resident([part])
+                lo = int(self.scheme.boundaries[part])
+                hi = int(self.scheme.boundaries[part + 1])
+                block = Tensor(self.buffer.partition_view(part))
+                scores = decoder.score_against(src_t, rel_arr, block).data[0]
+                ids = np.arange(lo, hi, dtype=np.int64)
+                if len(excluded):
+                    drop = excluded[(excluded >= lo) & (excluded < hi)] - lo
+                    if len(drop):        # remove, don't mask: an excluded id
+                        keep = np.ones(hi - lo, dtype=bool)   # must never be
+                        keep[drop] = False                    # returned
+                        scores, ids = scores[keep], ids[keep]
+                merged_scores = np.concatenate([best_scores, scores])
+                merged_ids = np.concatenate([best_ids, ids])
+                if len(merged_scores) > k:
+                    keep = np.argpartition(merged_scores, -k)[-k:]
+                    merged_scores, merged_ids = merged_scores[keep], merged_ids[keep]
+                best_scores, best_ids = merged_scores, merged_ids
+        order = np.argsort(-best_scores, kind="stable")
+        self.stats.requests += 1
+        self.stats.topk_queries += 1
+        return best_ids[order], best_scores[order].astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Query family 3: GNN encode-on-read
+    # ------------------------------------------------------------------
+    def _require_sampler(self) -> DenseSampler:
+        if self.sampler is None:
+            raise RuntimeError(
+                "engine was built without an edge source / fanouts; "
+                "encode-on-read queries need the neighborhood sampler")
+        return self.sampler
+
+    def _encoder_forward(self, h0: Tensor, batch) -> Tensor:
+        encode = getattr(self.model, "encode", None)
+        if encode is not None:                      # LinkPredictionModel
+            return encode(h0, batch)
+        return self.model.encoder(h0, batch)        # NodeClassifier
+
+    def encode_nodes(self, node_ids: np.ndarray,
+                     seed: Optional[int] = None) -> np.ndarray:
+        """Encoder outputs for ``node_ids`` via sampled neighborhoods.
+
+        Multi-hop neighborhoods are drawn from the in-buffer subgraph only
+        (both endpoints of every sampled edge are resident by construction
+        of the partitioned index), mirroring the neighborhood restriction
+        disk training applies. Query nodes spanning more partitions than
+        the buffer holds are processed in locality-ordered chunks.
+
+        With ``seed`` the result is a pure function of (snapshot, query,
+        seed): the draw stream is reseeded, chunks run in ascending
+        partition order, and each chunk swaps to an *exact* resident set —
+        otherwise leftover residency would change which neighbors exist in
+        the in-buffer subgraph between calls. Without a seed, execution is
+        locality-optimized (resident partitions first, leftovers kept).
+        """
+        out = self._encode_rows(self._check_ids(node_ids), seed)
+        self.stats.requests += 1
+        self.stats.nodes_encoded += len(out)
+        return out
+
+    def _encoder_out_dim(self) -> int:
+        encoder = getattr(self.model, "encoder", None)
+        return int(encoder.dims[-1]) if encoder is not None else self.store.dim
+
+    def _encode_rows(self, ids: np.ndarray, seed: Optional[int]) -> np.ndarray:
+        sampler = self._require_sampler()
+        deterministic = seed is not None
+        if deterministic:
+            sampler.reseed(np.random.default_rng(seed))
+        if len(ids) == 0:
+            return np.empty((0, self._encoder_out_dim()), dtype=np.float32)
+        parts = self.scheme.partition_of(ids)
+        uniq = np.unique(parts)
+        self.policy.touch(uniq)
+        order = ([int(p) for p in uniq] if deterministic
+                 else self._partition_order(uniq))
+        chunks = [order[i : i + self.buffer.capacity]
+                  for i in range(0, len(order), self.buffer.capacity)]
+        out: Optional[np.ndarray] = None
+        with no_grad():
+            for i, chunk in enumerate(chunks):
+                if deterministic:
+                    self.buffer.set_partitions(chunk)
+                else:
+                    protect = [p for c in chunks[i + 1 :] for p in c]
+                    self.buffer.ensure_resident(chunk, protect=protect)
+                mask = np.isin(parts, chunk)
+                targets = np.unique(ids[mask])
+                batch = sampler.sample(targets)
+                h0 = Tensor(self.buffer.gather(batch.node_ids))
+                reprs = self._encoder_forward(h0, batch).data
+                if out is None:
+                    out = np.empty((len(ids), reprs.shape[1]), dtype=reprs.dtype)
+                rows = np.searchsorted(targets, ids[mask])
+                out[mask] = reprs[rows]
+        return out
+
+    def classify(self, node_ids: np.ndarray,
+                 seed: Optional[int] = None) -> np.ndarray:
+        """Predicted class labels for ``node_ids`` (NC snapshots)."""
+        head = getattr(self.model, "head", None)
+        if head is None:
+            raise RuntimeError("model has no classification head; classify "
+                               "queries need a node classification snapshot")
+        reprs = self.encode_nodes(node_ids, seed=seed)
+        with no_grad():
+            logits = head(Tensor(reprs)).data
+        return logits.argmax(axis=1)

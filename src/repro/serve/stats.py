@@ -1,0 +1,69 @@
+"""Serving telemetry: engine counters and latency summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ServeStats:
+    """Counters accumulated by a :class:`~repro.serve.engine.ServingEngine`.
+
+    ``swaps`` counts partitions admitted into the read-only buffer — each is
+    one sequential partition read from the store, the serving analogue of
+    the trainer's partition-load IO metric.
+    """
+
+    requests: int = 0          # public engine calls served
+    lookups: int = 0           # individual node ids gathered
+    edges_scored: int = 0
+    topk_queries: int = 0
+    nodes_encoded: int = 0
+    swaps: int = 0             # partitions admitted (disk reads)
+
+    def swaps_per_1k(self, queries: int) -> float:
+        """Partition reads per thousand queries of the given stream."""
+        if queries <= 0:
+            return 0.0
+        return 1000.0 * self.swaps / queries
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"requests": self.requests, "lookups": self.lookups,
+                "edges_scored": self.edges_scored,
+                "topk_queries": self.topk_queries,
+                "nodes_encoded": self.nodes_encoded, "swaps": self.swaps}
+
+
+def make_query_stream(mix: str, num_queries: int, num_nodes: int,
+                      seed: int = 0) -> np.ndarray:
+    """Single-node lookup stream for benchmarks and probes.
+
+    ``"random"`` draws uniformly; ``"zipf"`` (exponent 1.3) skews over a
+    random node permutation, so the hot set is scattered across partitions
+    rather than clustered in the first one. One definition shared by the
+    ``repro serve --bench`` probe and ``benchmarks/test_serving_throughput``
+    keeps their reported workloads comparable.
+    """
+    rng = np.random.default_rng(seed + 17)
+    if mix == "zipf":
+        ranks = np.minimum(rng.zipf(1.3, size=num_queries), num_nodes) - 1
+        return rng.permutation(num_nodes)[ranks]
+    if mix != "random":
+        raise ValueError(f"unknown query mix {mix!r} (expected zipf/random)")
+    return rng.integers(0, num_nodes, size=num_queries)
+
+
+def latency_summary(latencies_ms: Sequence[float]) -> Dict[str, float]:
+    """p50/p99/mean/max of a per-request latency sample, in milliseconds."""
+    lat = np.asarray(latencies_ms, dtype=np.float64)
+    if lat.size == 0:
+        return {"n": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0,
+                "max_ms": 0.0}
+    return {"n": int(lat.size),
+            "p50_ms": float(np.percentile(lat, 50)),
+            "p99_ms": float(np.percentile(lat, 99)),
+            "mean_ms": float(lat.mean()),
+            "max_ms": float(lat.max())}

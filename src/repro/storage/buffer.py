@@ -18,6 +18,13 @@ partition swap per step under COMET (Steps A-D in Figure 2). Registered
 *swap listeners* receive that diff (``fn(added, removed)``) after every
 swap, which is how samplers keep their partition-aware adjacency index
 incremental instead of re-sorting the in-buffer edge list.
+
+Inference serving reuses the same buffer in **read-only mode**
+(``read_only=True``): gradient application is refused, eviction never
+writes back, and residency is driven by the live query stream through
+:meth:`ensure_resident` — victims are picked by a pluggable
+``replacement_policy`` (e.g. :class:`~repro.policies.query_lru.QueryLRU`)
+instead of a precomputed epoch plan.
 """
 
 from __future__ import annotations
@@ -37,16 +44,24 @@ class PartitionBuffer:
     """Holds up to ``capacity`` physical node partitions in memory."""
 
     def __init__(self, store: NodeStore, capacity: int,
-                 optimizer: Optional[RowAdagrad] = None) -> None:
+                 optimizer: Optional[RowAdagrad] = None,
+                 read_only: bool = False,
+                 replacement_policy=None) -> None:
         if capacity <= 0:
             raise ValueError("buffer capacity must be positive")
         if capacity > store.num_partitions:
             raise ValueError(
                 f"capacity {capacity} exceeds partition count {store.num_partitions}"
             )
+        if read_only and optimizer is not None:
+            raise ValueError("a read-only buffer cannot carry an optimizer")
         self.store = store
         self.capacity = capacity
         self.optimizer = optimizer
+        self.read_only = bool(read_only)
+        # Picks eviction victims for ensure_resident(); must expose
+        # choose_victims(candidates, count) -> list of partition ids.
+        self.replacement_policy = replacement_policy
         self.stats: IOStats = store.stats
         # One flat slab of `capacity` fixed-size slots; `_data[part]` values
         # are views into it so eviction write-back needs no extra copies.
@@ -150,7 +165,7 @@ class PartitionBuffer:
         """Write a partition back (if dirty) and drop it from the buffer."""
         if part not in self._data:
             raise KeyError(f"partition {part} is not resident")
-        if self._dirty[part]:
+        if self._dirty[part] and not self.read_only:
             self.store.write_partition(part, self._data[part], self._state[part])
         del self._data[part]
         del self._state[part]
@@ -181,6 +196,66 @@ class PartitionBuffer:
                 added.append(part)
         self.notify_swap(added, removed)
         return len(added) + len(removed)
+
+    def ensure_resident(self, parts: Sequence[int],
+                        protect: Sequence[int] = ()) -> int:
+        """Admit ``parts`` (if absent), evicting policy-chosen victims.
+
+        The query-driven counterpart of :meth:`set_partitions`: instead of
+        swapping to an exact plan step, the caller names only the partitions
+        the current query batch needs. Victims come from
+        ``replacement_policy.choose_victims(candidates, count)`` when one is
+        set (falling back to lowest-id-first), never from ``parts`` itself,
+        and partitions in ``protect`` (needed later in the same batch) are
+        spared while any other candidate remains. Returns the number of
+        partitions admitted; swap listeners see the usual diff.
+        """
+        wanted = sorted(set(int(x) for x in parts))
+        if len(wanted) > self.capacity:
+            raise ValueError(
+                f"query batch needs {len(wanted)} partitions at once, "
+                f"capacity {self.capacity}")
+        missing = [q for q in wanted if q not in self._data]
+        if not missing:
+            return 0
+        removed: List[int] = []
+        need = len(missing) - len(self._free_slots)
+        if need > 0:
+            keep = set(wanted)
+            shielded = set(protect)
+            candidates = [q for q in self._data if q not in keep]
+            spared = [q for q in candidates if q not in shielded]
+            fallback = [q for q in candidates if q in shielded]
+
+            def pick(pool: List[int], count: int) -> List[int]:
+                if self.replacement_policy is not None:
+                    return self.replacement_policy.choose_victims(pool, count)
+                return sorted(pool)[:count]
+
+            # Unprotected candidates go first, all of them if necessary;
+            # protected ones are touched only for the remainder.
+            victims = pick(spared, min(need, len(spared)))
+            if len(victims) < need:
+                victims += pick(fallback, need - len(victims))
+            for victim in victims[:need]:
+                self.evict(int(victim))
+                removed.append(int(victim))
+        for part in missing:
+            self.admit(part)
+        self.notify_swap(missing, removed)
+        return len(missing)
+
+    def partition_view(self, part: int) -> np.ndarray:
+        """Zero-copy view of a resident partition's rows in the slab.
+
+        Serving's blockwise scoring reads whole partitions; handing out the
+        slab view avoids a per-block copy of the candidate matrix. Callers
+        must treat it as read-only and not hold it across an eviction.
+        """
+        try:
+            return self._data[part]
+        except KeyError:
+            raise KeyError(f"partition {part} is not resident") from None
 
     def drop_all(self) -> None:
         """Discard every resident partition WITHOUT write-back.
@@ -216,6 +291,8 @@ class PartitionBuffer:
 
     def apply_gradients(self, node_ids: np.ndarray, grads: np.ndarray) -> None:
         """Row-sparse optimizer update for learnable representations (Step 6)."""
+        if self.read_only:
+            raise RuntimeError("buffer is read-only (inference serving mode)")
         if self.optimizer is None:
             raise RuntimeError("buffer was built without an embedding optimizer")
         node_ids = np.asarray(node_ids, dtype=np.int64)

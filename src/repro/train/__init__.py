@@ -1,14 +1,16 @@
 """Training harness: trainers, negative sampling, evaluation, pipelining."""
 
-from .checkpoint import (SnapshotError, SnapshotManager, load_checkpoint,
-                         open_snapshot, save_checkpoint)
+from .checkpoint import (InferenceRestore, SnapshotError, SnapshotManager,
+                         load_checkpoint, nc_dataset_fingerprint,
+                         open_snapshot, restore_for_inference,
+                         save_checkpoint)
 from .evaluation import (EpochRecord, RankingMetrics, TripleFilter,
                          filtered_ranks, multiclass_accuracy, ranking_metrics,
                          ranks_from_scores)
 from .link_prediction import (DiskConfig, DiskLinkPredictionTrainer,
                               LinkPredictionConfig, LinkPredictionModel,
                               LinkPredictionTrainer, TrainResult,
-                              evaluate_model)
+                              evaluate_model, score_edges_offline)
 from .negative_sampling import (DegreeWeightedNegativeSampler,
                                 NegativeSampleBatch, UniformNegativeSampler)
 from .node_classification import (DiskNodeClassificationConfig,
@@ -36,4 +38,6 @@ __all__ = [
     "PipelinedLinkPredictionTrainer", "PipelineStats",
     "TripleFilter", "filtered_ranks", "save_checkpoint", "load_checkpoint",
     "SnapshotManager", "SnapshotError", "open_snapshot",
+    "InferenceRestore", "restore_for_inference", "nc_dataset_fingerprint",
+    "score_edges_offline",
 ]

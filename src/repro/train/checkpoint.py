@@ -262,6 +262,49 @@ def open_snapshot(path: os.PathLike
     return SnapshotManager(path).load()
 
 
+@dataclasses.dataclass
+class InferenceRestore:
+    """A snapshot opened for read-only inference (no trainer round-trip).
+
+    Serving needs the model parameters, the node table (when the snapshot
+    carries one), and enough metadata to validate the store layout — and
+    nothing else. Optimizer moments, policy state, RNG stream positions and
+    training cursors stay untouched in the snapshot: they are replay state,
+    meaningful only to a resuming trainer, and an inference restore must
+    not require them to round-trip through trainer construction.
+    """
+
+    meta: Dict[str, Any]
+    model_state: Dict[str, np.ndarray]
+    node_table: Optional[np.ndarray]
+
+    @property
+    def trainer_kind(self) -> str:
+        return str(self.meta.get("trainer", ""))
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return dict(self.meta.get("config", {}))
+
+    def store_fingerprint(self, name: str) -> Optional[str]:
+        return self.meta.get("stores", {}).get(name)
+
+
+def restore_for_inference(path: os.PathLike) -> InferenceRestore:
+    """Open a snapshot read-only for serving: model params + node table.
+
+    Accepts either one ``snap-*`` directory or a checkpoint root (latest
+    snapshot wins). Works for every trainer kind — the LP trainers store
+    the table as ``node_table``/``emb_table``; NC snapshots carry no table
+    (features are immutable) and return ``node_table=None``.
+    """
+    meta, arrays = open_snapshot(path)
+    table = arrays.get("node_table", arrays.get("emb_table"))
+    return InferenceRestore(meta=meta,
+                            model_state=unflatten_arrays("model", arrays),
+                            node_table=table)
+
+
 def resolve_snapshot(path: Optional[os.PathLike],
                      manager: Optional[SnapshotManager]
                      ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
@@ -290,6 +333,22 @@ def dataset_fingerprint(dataset) -> str:
     crc = zlib.crc32(edges.tobytes())
     return (f"dataset:{dataset.graph.num_nodes}:{len(edges)}:"
             f"{edges.shape[1] if edges.ndim > 1 else 1}:{crc:08x}")
+
+
+def nc_dataset_fingerprint(dataset) -> str:
+    """Identity of a node classification dataset (features + splits).
+
+    The in-memory NC trainer has no disk stores to fingerprint; this pins
+    the graph shape, the feature/label contents, and the train split so a
+    resume against regenerated data is rejected instead of silently
+    continuing with mismatched cursors.
+    """
+    graph = dataset.graph
+    crc = zlib.crc32(np.ascontiguousarray(dataset.train_nodes).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(graph.node_labels).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(graph.node_features).tobytes(), crc)
+    return (f"nc-dataset:{graph.num_nodes}:{graph.num_edges}:"
+            f"{graph.node_features.shape[1]}:{crc:08x}")
 
 
 def pack_model(model: Module, arrays: Dict[str, np.ndarray]) -> None:

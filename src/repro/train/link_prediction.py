@@ -360,6 +360,44 @@ def evaluate_model(model: LinkPredictionModel, table: np.ndarray, graph: Graph,
     return ranking_metrics(np.concatenate(all_ranks) if all_ranks else np.empty(0))
 
 
+def score_edges_offline(model: LinkPredictionModel, table: np.ndarray,
+                        edges: np.ndarray, graph: Optional[Graph] = None,
+                        seed: int = 1234) -> np.ndarray:
+    """Offline decoder scores of ``edges`` against the full table.
+
+    The scoring math of :func:`evaluate_model`'s positive edges, returned
+    raw — the oracle the serving parity tests compare against. Decoder-only
+    models need no graph; encoder models sample full-graph neighborhoods
+    with a generator seeded by ``seed``.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    src = edges[:, 0]
+    dst = edges[:, -1]
+    rel = (edges[:, 1] if edges.shape[1] == 3
+           else np.zeros(len(edges), dtype=np.int64))
+    targets = np.unique(np.concatenate([src, dst]))
+    was_training = model.training
+    model.eval()
+    with no_grad():
+        if model.encoder is None:
+            out = Tensor(table[targets])
+        else:
+            if graph is None:
+                raise ValueError("encoder models need the graph to sample "
+                                 "neighborhoods offline")
+            sampler = DenseSampler(graph, list(model.config.fanouts),
+                                   directions=model.config.directions,
+                                   rng=np.random.default_rng(seed))
+            batch = sampler.sample(targets)
+            out = model.encode(Tensor(table[batch.node_ids]), batch)
+        rows = np.searchsorted(targets, np.concatenate([src, dst]))
+        src_repr = out.index_select(rows[: len(src)])
+        dst_repr = out.index_select(rows[len(src):])
+        scores = model.decoder.score_edges(src_repr, rel, dst_repr).data
+    model.train(was_training)   # a serving engine's model stays in eval
+    return scores
+
+
 # ---------------------------------------------------------------------------
 # Disk-based training
 # ---------------------------------------------------------------------------

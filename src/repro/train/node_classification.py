@@ -32,10 +32,10 @@ from ..storage.buffer import PartitionBuffer
 from ..storage.edge_store import EdgeBucketStore
 from ..storage.io_stats import IOStats
 from ..storage.node_store import NodeStore
-from .checkpoint import (SnapshotManager, _config_to_dict, pack_model,
-                         pack_optimizer, resolve_snapshot, rng_state,
-                         set_rng_state, unpack_model, unpack_optimizer,
-                         validate_meta)
+from .checkpoint import (SnapshotManager, _config_to_dict,
+                         nc_dataset_fingerprint, pack_model, pack_optimizer,
+                         resolve_snapshot, rng_state, set_rng_state,
+                         unpack_model, unpack_optimizer, validate_meta)
 from .evaluation import EpochRecord, multiclass_accuracy
 
 
@@ -89,10 +89,20 @@ class NodeClassifier(Module):
 
 
 class NodeClassificationTrainer:
-    """In-memory trainer (M-GNN_Mem for Table 3)."""
+    """In-memory trainer (M-GNN_Mem for Table 3).
+
+    ``checkpoint_dir``/``checkpoint_every`` (in epochs) enable the atomic
+    snapshot subsystem; :meth:`resume` restores the latest snapshot so a
+    continued :meth:`train` is bit-identical to an uninterrupted run (the
+    same epoch-granularity contract as :class:`LinkPredictionTrainer`).
+    """
+
+    KIND = "nc-mem"
 
     def __init__(self, dataset: NodeClassificationDataset,
-                 config: Optional[NodeClassificationConfig] = None) -> None:
+                 config: Optional[NodeClassificationConfig] = None,
+                 checkpoint_dir: Optional[Path] = None,
+                 checkpoint_every: int = 0) -> None:
         self.dataset = dataset
         self.config = config or NodeClassificationConfig()
         cfg = self.config
@@ -105,6 +115,40 @@ class NodeClassificationTrainer:
         self.optimizer = Adam(self.model.parameters(), lr=cfg.lr)
         self.sampler = DenseSampler(graph, list(cfg.fanouts),
                                     directions=cfg.directions, rng=self.rng)
+        self.snapshots = (SnapshotManager(checkpoint_dir)
+                          if checkpoint_dir is not None else None)
+        self.checkpoint_every = int(checkpoint_every)
+        self._start_epoch = 0
+
+    # ------------------------------------------------------------------
+    def save_snapshot(self, next_epoch: int) -> Path:
+        """Atomically snapshot model + optimizer + rng; resume at ``next_epoch``.
+
+        Features and labels are immutable dataset state, so — like the disk
+        NC trainer — the snapshot carries no table, only the dataset
+        fingerprint to validate the data on resume.
+        """
+        if self.snapshots is None:
+            raise RuntimeError("trainer was built without a checkpoint_dir")
+        arrays: dict = {}
+        pack_model(self.model, arrays)
+        pack_optimizer("gnn_opt", self.optimizer, arrays)
+        meta = {"trainer": self.KIND, "epoch": int(next_epoch),
+                "rng": rng_state(self.rng),
+                "stores": {"dataset": nc_dataset_fingerprint(self.dataset)},
+                "config": _config_to_dict(self.config)}
+        return self.snapshots.save(next_epoch, meta, arrays)
+
+    def resume(self, path: Optional[Path] = None) -> dict:
+        """Restore a snapshot (latest under the checkpoint dir by default)."""
+        meta, arrays = resolve_snapshot(path, self.snapshots)
+        validate_meta(meta, self.KIND, config=self.config,
+                      stores={"dataset": nc_dataset_fingerprint(self.dataset)})
+        unpack_model(self.model, arrays)
+        unpack_optimizer("gnn_opt", self.optimizer, arrays)
+        set_rng_state(self.rng, meta["rng"])
+        self._start_epoch = int(meta["epoch"])
+        return meta
 
     # ------------------------------------------------------------------
     def _train_batch(self, nodes: np.ndarray, sampler: DenseSampler,
@@ -129,7 +173,7 @@ class NodeClassificationTrainer:
         cfg = self.config
         graph = self.dataset.graph
         records: List[EpochRecord] = []
-        for epoch in range(cfg.num_epochs):
+        for epoch in range(self._start_epoch, cfg.num_epochs):
             t0 = time.perf_counter()
             record = EpochRecord(epoch=epoch, loss=0.0, seconds=0.0, metric=0.0)
             losses = []
@@ -144,9 +188,13 @@ class NodeClassificationTrainer:
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate(self.dataset.valid_nodes)
             records.append(record)
+            if (self.snapshots is not None and self.checkpoint_every
+                    and (epoch + 1) % self.checkpoint_every == 0):
+                self.save_snapshot(epoch + 1)
             if verbose:
                 print(f"[epoch {epoch}] loss={record.loss:.4f} "
                       f"time={record.seconds:.1f}s acc={record.metric:.4f}")
+        self._start_epoch = 0
         acc = self.evaluate(self.dataset.test_nodes)
         return NodeClassificationResult(epochs=records, final_accuracy=acc,
                                         model_name=f"{cfg.encoder}-mem")

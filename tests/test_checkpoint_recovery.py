@@ -21,6 +21,7 @@ from repro.train import (DiskConfig, DiskLinkPredictionTrainer,
                          DiskNodeClassificationConfig,
                          DiskNodeClassificationTrainer, LinkPredictionConfig,
                          LinkPredictionTrainer, NodeClassificationConfig,
+                         NodeClassificationTrainer,
                          PipelinedLinkPredictionTrainer, SnapshotError,
                          SnapshotManager)
 from tests.faultinject import (CrashPoint, FaultInjector, FaultyStorage,
@@ -406,6 +407,68 @@ def test_golden_pipelined_epoch_boundary(lp_data, tmp_path):
     np.testing.assert_array_equal(second.embeddings.table,
                                   straight.embeddings.table)
     assert _models_equal(second.model, straight.model)
+
+
+@pytest.fixture(scope="module")
+def nc_mem_baseline(nc_data):
+    trainer = NodeClassificationTrainer(nc_data, NC_CFG)
+    trainer.train()
+    return trainer.model
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("point", [CrashPoint.SNAPSHOT_BEGIN,
+                                   CrashPoint.SNAPSHOT_PRE_RENAME,
+                                   CrashPoint.SNAPSHOT_POST_RENAME])
+def test_in_memory_nc_crash_matrix(nc_data, nc_mem_baseline, tmp_path, point):
+    """The in-memory NC trainer (epoch-granularity snapshots, the last
+    trainer to join the subsystem) killed mid-save must recover
+    bit-identically: either from the surviving snapshot or — when the
+    crash landed before the first complete save — from scratch."""
+    injector = FaultInjector(point, after=1)
+    crashed = NodeClassificationTrainer(nc_data, NC_CFG,
+                                        checkpoint_dir=tmp_path / "ckpt",
+                                        checkpoint_every=1)
+    crashed.snapshots.fault_hook = injector.fire
+    with pytest.raises(SimulatedCrash):
+        crashed.train()
+    assert injector.fired, f"crash point {point} never hit"
+
+    resumed = _recover(lambda: NodeClassificationTrainer(
+        nc_data, NC_CFG, checkpoint_dir=tmp_path / "ckpt",
+        checkpoint_every=1))
+    assert _models_equal(resumed.model, nc_mem_baseline)
+
+
+def test_golden_in_memory_nc(nc_data, tmp_path):
+    """Epoch-boundary resume of the in-memory NC trainer is bit-identical
+    to the uninterrupted run (closes the ROADMAP NC-resume item)."""
+    cfg3, cfg1 = _three_epochs(NC_CFG), _one_epoch(NC_CFG)
+    straight = NodeClassificationTrainer(nc_data, cfg3)
+    straight.train()
+
+    first = NodeClassificationTrainer(nc_data, cfg1,
+                                      checkpoint_dir=tmp_path / "ckpt",
+                                      checkpoint_every=1)
+    first.train()
+    second = NodeClassificationTrainer(nc_data, cfg3,
+                                       checkpoint_dir=tmp_path / "ckpt")
+    assert second.resume()["epoch"] == 1
+    second.train()
+    assert _models_equal(second.model, straight.model)
+
+
+def test_nc_mem_resume_rejects_changed_dataset(nc_data, tmp_path):
+    first = NodeClassificationTrainer(nc_data, _one_epoch(NC_CFG),
+                                      checkpoint_dir=tmp_path / "ckpt",
+                                      checkpoint_every=1)
+    first.train()
+    other = load_papers100m_mini(num_nodes=800, num_edges=6400, feat_dim=8,
+                                 num_classes=5, seed=3)
+    second = NodeClassificationTrainer(other, _one_epoch(NC_CFG),
+                                       checkpoint_dir=tmp_path / "ckpt")
+    with pytest.raises(SnapshotError, match="dataset"):
+        second.resume()
 
 
 def test_golden_in_memory_lp(lp_data, tmp_path):
