@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     python -m repro train-lp --config run.json   # JSON overrides CLI defaults
     python -m repro serve --snapshot ckpt/ --topk 5 10
     python -m repro serve --snapshot ckpt/ --bench 2000 --mix zipf
+    python -m repro stream --events 20000 --compact-every 4000 --refresh
+    python -m repro stream --repl --verify
 """
 
 from __future__ import annotations
@@ -135,12 +137,15 @@ def _checkpoint_args(args: argparse.Namespace) -> dict:
         Path(args.workdir) / "checkpoints" if args.workdir else
         Path(tempfile.mkdtemp(prefix="repro-ckpt-")))
     if args.checkpoint_every:
-        print(f"checkpointing every {args.checkpoint_every} to {checkpoint_dir}")
+        compressed = " (compressed)" if args.checkpoint_compress else ""
+        print(f"checkpointing every {args.checkpoint_every} to "
+              f"{checkpoint_dir}{compressed}")
     else:
         print(f"checkpoint dir {checkpoint_dir} (no --checkpoint-every: "
               f"snapshots are read for resume but none will be written)")
     return {"checkpoint_dir": checkpoint_dir,
-            "checkpoint_every": args.checkpoint_every}
+            "checkpoint_every": args.checkpoint_every,
+            "checkpoint_compress": args.checkpoint_compress}
 
 
 def cmd_train_nc(args: argparse.Namespace) -> int:
@@ -291,6 +296,255 @@ def _serve_bench(engine, args: argparse.Namespace) -> None:
           f"batch {args.max_batch})")
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Live-graph streaming: ingest, compact, refresh, query (docs/streaming.md)."""
+    import numpy as np
+    from .graph import Graph
+    from .graph.partition import PartitionScheme
+    from .serve.engine import ServingEngine
+    from .storage.edge_store import EdgeBucketStore
+    from .storage.node_store import NodeStore
+    from .stream import Compactor, ContinualTrainer, LiveGraph, synth_events
+    from .train import LinkPredictionConfig
+
+    args = _apply_config_file(args)
+    if args.dataset not in LP_DATASETS:
+        raise SystemExit(f"unknown LP dataset {args.dataset!r}; "
+                         f"choose from {sorted(LP_DATASETS)}")
+    workdir = Path(args.workdir) if args.workdir else Path(
+        tempfile.mkdtemp(prefix="repro-stream-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    nodes_path, edges_path = workdir / "nodes.bin", workdir / "edges.bin"
+    if args.resume_from:
+        # Reattach to the workdir's existing stores: the snapshot's
+        # fingerprints pin the *compacted, grown* layout, which a rebuild
+        # from the dataset could never reproduce.
+        if not (nodes_path.exists() and edges_path.exists()):
+            raise SystemExit(
+                "--resume-from needs the original --workdir: its nodes.bin/"
+                "edges.bin hold the compacted base state the snapshot pins")
+        stream_meta = _stream_snapshot_meta(Path(args.resume_from))
+        base_nodes = stream_meta["num_nodes"] - stream_meta["nodes_added"]
+        scheme = PartitionScheme.uniform(
+            base_nodes, args.partitions).extended(stream_meta["nodes_added"])
+        # truncate=True: nodes appended after the snapshot are discarded
+        # (growth is append-only). Edge-bucket drift past the snapshot
+        # (a post-snapshot compaction) is caught by the fingerprint check.
+        store = NodeStore.open(nodes_path, scheme, args.dim, learnable=True,
+                               truncate=True)
+        edge_store = EdgeBucketStore.open(edges_path, scheme)
+        num_relations = edge_store.num_relations
+    else:
+        data = LP_DATASETS[args.dataset](args.scale)
+        edges = data.split.train
+        graph = Graph(num_nodes=data.graph.num_nodes, src=edges[:, 0],
+                      dst=edges[:, -1],
+                      rel=edges[:, 1] if edges.shape[1] == 3 else None,
+                      num_relations=data.graph.num_relations)
+        scheme = PartitionScheme.uniform(graph.num_nodes, args.partitions)
+        store = NodeStore(nodes_path, scheme, args.dim, learnable=True)
+        store.initialize(rng=np.random.default_rng(args.seed))
+        edge_store = EdgeBucketStore(edges_path, graph, scheme)
+        num_relations = graph.num_relations
+    live = LiveGraph(store, edge_store, seed=args.seed,
+                     spill_threshold=args.spill_threshold)
+    config = LinkPredictionConfig(
+        embedding_dim=args.dim, encoder="none", batch_size=args.batch_size,
+        num_negatives=args.negatives, num_epochs=1, seed=args.seed)
+    ckpt = _checkpoint_args(args)
+    trainer = ContinualTrainer(live, config, num_relations=num_relations,
+                               buffer_capacity=args.buffer, **ckpt)
+    engine = ServingEngine.over_live(live, trainer.model,
+                                     buffer_capacity=args.buffer)
+    compactor = Compactor(live)
+    print(f"streaming over {args.dataset}: {live.num_nodes:,} nodes, "
+          f"{edge_store.num_edges:,} base edges, p={args.partitions}, "
+          f"buffer {args.buffer}, workdir {workdir}")
+    if args.resume_from:
+        meta = trainer.resume(Path(args.resume_from))
+        live.nodes_added = int(meta["stream"]["nodes_added"])
+        print(f"resumed at stream position {meta['stream']}")
+    if args.events:
+        _stream_driver(live, compactor, trainer, engine, args)
+    if args.verify:
+        _stream_verify(live, workdir)
+    if args.repl:
+        _stream_repl(live, compactor, trainer, engine, args)
+    s = live.stats()
+    print(f"stream stats: {s['events_appended']} events "
+          f"({s['edges_inserted']} ins / {s['edges_deleted']} del), "
+          f"{s['nodes_added']} nodes added, {s['pending']} pending, "
+          f"{compactor.compactions} compactions, "
+          f"{trainer.refreshes} refreshes, {s['spills']} spills")
+    return 0
+
+
+def _stream_snapshot_meta(path: Path) -> dict:
+    """The ``stream`` block of a snapshot's manifest (snap dir or root)."""
+    import json as _json
+    from .train import SnapshotManager
+    if not (path / "manifest.json").is_file():
+        latest = SnapshotManager(path).latest()
+        if latest is None:
+            raise SystemExit(f"no snapshots under {path}")
+        path = latest
+    meta = _json.loads((path / "manifest.json").read_text())["meta"]
+    if "stream" not in meta:
+        raise SystemExit(f"snapshot {path.name} was not written by the "
+                         f"streaming trainer (trainer={meta.get('trainer')!r})")
+    return meta["stream"]
+
+
+def _stream_driver(live, compactor, trainer, engine, args) -> None:
+    """Synthetic event-stream driver: ingest on a cadence of compactions
+    and refreshes, reporting throughput and staleness."""
+    import time as _time
+    import numpy as np
+    from .stream import synth_events
+    rng = np.random.default_rng(args.seed + 23)
+    done = 0          # events actually appended (deletes can come up short
+    asked = 0         # when the sampled bucket is empty), vs requested
+    t_ingest = 0.0
+    staleness = []
+    batch_no = 0
+    while asked < args.events:
+        count = min(args.event_batch, args.events - asked)
+        if args.add_nodes_every and batch_no % args.add_nodes_every == 0:
+            live.add_nodes(max(1, count // 50))
+        ins, dels = synth_events(live, rng, count, args.delete_fraction)
+        t0 = _time.perf_counter()
+        lo, hi = live.insert_edges(ins)
+        done += hi - lo
+        if dels is not None and len(dels):
+            lo, hi = live.delete_edges(dels)
+            done += hi - lo
+        t_ingest += _time.perf_counter() - t0
+        asked += count
+        batch_no += 1
+        staleness.append(live.staleness())
+        if args.compact_every and live.staleness() >= args.compact_every:
+            report = compactor.compact()
+            print(f"  [{done:>8} events] compacted {report.merged_events} "
+                  f"events in {report.seconds * 1000:.0f}ms "
+                  f"-> {report.num_edges:,} base edges")
+            if args.refresh:
+                record = trainer.refresh()
+                print(f"  [{done:>8} events] refresh loss={record.loss:.4f} "
+                      f"({record.num_batches} batches, "
+                      f"{record.seconds:.2f}s)")
+    qps_ids = np.arange(min(64, live.num_nodes))
+    t0 = _time.perf_counter()
+    engine.get_embeddings(qps_ids)
+    q_ms = 1000 * (_time.perf_counter() - t0)
+    print(f"driver: {done} events in {t_ingest:.2f}s ingest time = "
+          f"{done / max(t_ingest, 1e-9):,.0f} events/s; staleness "
+          f"mean {np.mean(staleness):.0f} max {max(staleness)}; "
+          f"64-row lookup {q_ms:.1f}ms")
+
+
+def _stream_verify(live, workdir) -> None:
+    """Streamed-vs-rebuilt equivalence check over the current live state."""
+    import numpy as np
+    from .core.sampler import DenseSampler
+    from .storage.edge_store import EdgeBucketStore
+    final = live.materialize()
+    rebuilt = EdgeBucketStore(Path(workdir) / "verify-edges.bin", final,
+                              live.scheme)
+    p = live.num_partitions
+    for i in range(p):
+        for j in range(p):
+            a = live.bucket_edges(i, j, record_io=False)
+            b = rebuilt.read_bucket(i, j, record_io=False)
+            if not np.array_equal(a, b):
+                raise SystemExit(f"verify FAILED: bucket ({i}, {j}) of the "
+                                 f"live view differs from the offline rebuild")
+    parts = list(range(min(4, p)))
+    s_live = DenseSampler.from_partitions(live.scheme, live.bucket_endpoints,
+                                          parts, [5],
+                                          rng=np.random.default_rng(99))
+    s_built = DenseSampler.from_partitions(live.scheme,
+                                           rebuilt.bucket_endpoints, parts,
+                                           [5], rng=np.random.default_rng(99))
+    targets = np.arange(0, live.num_nodes, max(1, live.num_nodes // 64))
+    a, b = s_live.sample(targets), s_built.sample(targets)
+    if not np.array_equal(a.node_ids, b.node_ids):
+        raise SystemExit("verify FAILED: sampling diverged from the rebuild")
+    rebuilt.close()
+    print(f"verify OK: {final.num_edges:,} live edges match an offline "
+          f"rebuild bucket-for-bucket; seeded sampling identical")
+
+
+def _stream_repl(live, compactor, trainer, engine, args) -> None:
+    """Interactive ingest/compact/query loop over the live graph."""
+    import numpy as np
+    from .stream import synth_events
+    rng = np.random.default_rng(args.seed + 31)
+    print("stream REPL - commands: ingest N | delete N | add-nodes N | "
+          "compact | refresh | embed IDS | topk SRC K | stats | verify | quit")
+    while True:
+        try:
+            line = input("stream> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        cmd, *rest = line.split()
+        try:
+            if cmd == "quit" or cmd == "exit":
+                break
+            elif cmd == "ingest":
+                ins, _ = synth_events(live, rng, int(rest[0]), 0.0)
+                lo, hi = live.insert_edges(ins)
+                print(f"  inserted {hi - lo} edges (seq [{lo}, {hi}))")
+            elif cmd == "delete":
+                _, dels = synth_events(live, rng, int(rest[0]), 1.0)
+                if dels is None or not len(dels):
+                    print("  nothing to delete")
+                else:
+                    lo, hi = live.delete_edges(dels)
+                    print(f"  deleted {hi - lo} edge keys (seq [{lo}, {hi}))")
+            elif cmd == "add-nodes":
+                ids = live.add_nodes(int(rest[0]))
+                print(f"  added nodes [{ids[0]}, {ids[-1]}]")
+            elif cmd == "compact":
+                report = compactor.compact()
+                print(f"  merged {report.merged_events} events in "
+                      f"{report.seconds * 1000:.0f}ms -> "
+                      f"{report.num_edges:,} base edges")
+            elif cmd == "refresh":
+                record = trainer.refresh()
+                print(f"  loss={record.loss:.4f} "
+                      f"({record.num_batches} batches)")
+            elif cmd == "embed":
+                ids = _parse_ids(rest[0])
+                for node, row in zip(ids, engine.get_embeddings(ids)):
+                    head = ", ".join(f"{v:+.4f}" for v in row[:6])
+                    print(f"  node {node}: [{head}, ...]")
+            elif cmd == "topk":
+                ids, scores = engine.topk_targets(int(rest[0]), int(rest[1]))
+                for rank, (node, score) in enumerate(zip(ids, scores), 1):
+                    print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
+            elif cmd == "stats":
+                print(f"  {live.stats()}")
+            elif cmd == "verify":
+                _stream_verify(live, tempfile.mkdtemp(prefix="repro-verify-"))
+            else:
+                print(f"  unknown command {cmd!r}")
+        except Exception as exc:   # REPL survives bad input
+            print(f"  error: {exc}")
+
+
+def _add_checkpoint_flags(p: argparse.ArgumentParser, every_help: str) -> None:
+    """The snapshot flags shared by every training-ish subcommand."""
+    p.add_argument("--checkpoint-every", type=int, default=0, help=every_help)
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="snapshot root (default: <workdir>/checkpoints)")
+    p.add_argument("--checkpoint-compress", action="store_true",
+                   help="zlib-compress snapshot array payloads")
+    p.add_argument("--resume-from", default=None,
+                   help="snapshot dir (or checkpoint root) to resume from")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MariusGNN reproduction CLI")
@@ -332,15 +586,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pipeline-depth", type=int, default=4)
     p.add_argument("--deterministic", action="store_true",
                    help="ordered, replayable pipeline (bit-exact resume)")
-    p.add_argument("--checkpoint-every", type=int, default=0,
-                   help="snapshot cadence: epochs (in-memory), plan steps "
-                        "(--disk), or consumed batches (--pipelined "
-                        "--deterministic; without --deterministic the racy "
-                        "pipeline only snapshots at epoch boundaries); 0 = off")
-    p.add_argument("--checkpoint-dir", default=None,
-                   help="snapshot root (default: <workdir>/checkpoints)")
-    p.add_argument("--resume-from", default=None,
-                   help="snapshot dir (or checkpoint root) to resume from")
+    _add_checkpoint_flags(
+        p, every_help="snapshot cadence: epochs (in-memory), plan steps "
+                      "(--disk), or consumed batches (--pipelined "
+                      "--deterministic; without --deterministic the racy "
+                      "pipeline only snapshots at epoch boundaries); 0 = off")
+
+    p = sub.add_parser("stream", help="live-graph streaming: ingest, "
+                                      "compact, refresh, query")
+    p.add_argument("--config", help="JSON file overriding these options")
+    p.add_argument("--dataset", default="freebase86m-mini")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--partitions", type=int, default=16)
+    p.add_argument("--buffer", type=int, default=4)
+    p.add_argument("--batch-size", type=int, default=512)
+    p.add_argument("--negatives", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workdir", default=None,
+                   help="stream workdir for the live stores (default: temp)")
+    p.add_argument("--events", type=int, default=0, metavar="N",
+                   help="run the synthetic event-stream driver for N events")
+    p.add_argument("--event-batch", type=int, default=500,
+                   help="events ingested per driver batch")
+    p.add_argument("--delete-fraction", type=float, default=0.1,
+                   help="fraction of driver events that are deletions")
+    p.add_argument("--add-nodes-every", type=int, default=8,
+                   help="driver batches between node additions (0 = never)")
+    p.add_argument("--compact-every", type=int, default=4000,
+                   help="compact when this many events are pending (0 = never)")
+    p.add_argument("--refresh", action="store_true",
+                   help="fine-tune delta-touched partitions after each compaction")
+    p.add_argument("--spill-threshold", type=int, default=1 << 20,
+                   help="in-memory delta events before the log spills to disk")
+    p.add_argument("--verify", action="store_true",
+                   help="check the live view against an offline rebuild")
+    p.add_argument("--repl", action="store_true",
+                   help="interactive ingest/compact/query loop")
+    _add_checkpoint_flags(p, every_help="snapshot cadence in refreshes; "
+                                        "0 = off")
 
     p = sub.add_parser("serve", help="query a trained snapshot out-of-core")
     p.add_argument("--config", help="JSON file overriding these options")
@@ -391,20 +675,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partitions", type=int, default=16)
     p.add_argument("--buffer", type=int, default=8)
     p.add_argument("--workdir", default=None)
-    p.add_argument("--checkpoint-every", type=int, default=0,
-                   help="snapshot cadence: epochs (in-memory) or epoch-plan "
-                        "steps (--disk); 0 = off")
-    p.add_argument("--checkpoint-dir", default=None,
-                   help="snapshot root (default: <workdir>/checkpoints)")
-    p.add_argument("--resume-from", default=None,
-                   help="snapshot dir (or checkpoint root) to resume from")
+    _add_checkpoint_flags(
+        p, every_help="snapshot cadence: epochs (in-memory) or epoch-plan "
+                      "steps (--disk); 0 = off")
 
     return parser
 
 
 COMMANDS = {"info": cmd_info, "autotune": cmd_autotune,
             "train-lp": cmd_train_lp, "train-nc": cmd_train_nc,
-            "serve": cmd_serve}
+            "serve": cmd_serve, "stream": cmd_stream}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

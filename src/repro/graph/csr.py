@@ -474,6 +474,76 @@ class PartitionedAdjacencyIndex(_OneHopSamplerBase):
             np.add(self._total_deg, view.deg, out=self._total_deg)
 
     # ------------------------------------------------------------------
+    def refresh_buckets(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Re-fetch + re-sort the given edge buckets; recompose their owners.
+
+        The streaming ingest hook: when a live graph appends (or tombstones)
+        edges in bucket ``(i, j)``, only that bucket's sub-runs are stale —
+        the rest of the index is reused untouched, exactly like a buffer
+        swap. Pairs whose sub-runs are not currently held (neither resident
+        nor cached) cost nothing: they will be fetched fresh — and therefore
+        delta-aware — whenever their partitions next enter the buffer.
+        """
+        changed = sorted({(int(i), int(j)) for i, j in pairs})
+        resident = set(self._resident)
+        touched_parts = set()
+        for key in changed:
+            if key not in self._buckets:
+                continue
+            del self._buckets[key]
+            i, j = key
+            if i in resident and j in resident:
+                self._buckets[key] = self._build_bucket(i, j)
+                if self.directions in ("out", "both"):
+                    touched_parts.add(i)
+                if self.directions in ("in", "both"):
+                    touched_parts.add(j)
+        if not touched_parts:
+            return
+        for view in self._views:
+            for part in sorted(touched_parts):
+                self._compose_partition(view, part)
+        self._total_deg.fill(0)
+        for view in self._views:
+            np.add(self._total_deg, view.deg, out=self._total_deg)
+
+    def extend_nodes(self, new_scheme: PartitionScheme) -> None:
+        """Follow a node-table growth: new IDs joined the last partition.
+
+        Grows the per-node degree arrays with zero-degree entries and, if
+        the last partition is resident, re-sorts its buckets (their per-node
+        offset tables are sized by the partition) and recomposes it. Only
+        the streaming growth rule of :meth:`PartitionScheme.extended` is
+        supported — interior boundaries must be unchanged.
+        """
+        old = self.scheme
+        if new_scheme.num_partitions != old.num_partitions or not np.array_equal(
+                new_scheme.boundaries[:-1], old.boundaries[:-1]):
+            raise ValueError("extend_nodes supports only growth of the last "
+                             "partition (PartitionScheme.extended)")
+        extra = new_scheme.num_nodes - old.num_nodes
+        if extra < 0:
+            raise ValueError("node count cannot shrink")
+        self.scheme = new_scheme
+        if extra == 0:
+            return
+        self.num_nodes = new_scheme.num_nodes
+        pad = np.zeros(extra, dtype=np.int64)
+        for view in self._views:
+            view.deg = np.concatenate([view.deg, pad])
+        self._total_deg = np.concatenate([self._total_deg, pad])
+        # Every held sub-run keyed by the last partition is stale (its
+        # per-node offset table is sized by the old partition) — including
+        # evicted-cache entries whose partitions are not resident right
+        # now. refresh_buckets drops them all and rebuilds only the
+        # resident ones; dropped cache entries are refetched on their next
+        # admission, sized by the new bounds.
+        last = old.num_partitions - 1
+        p = old.num_partitions
+        self.refresh_buckets([(last, q) for q in range(p)]
+                             + [(q, last) for q in range(p)])
+
+    # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
         """Bytes used by the resident sorted sub-runs (the 2x edge factor)."""
         return int(sum(r.offsets.nbytes + r.neighbors.nbytes

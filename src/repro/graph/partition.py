@@ -62,6 +62,26 @@ class PartitionScheme:
     def sizes(self) -> np.ndarray:
         return np.diff(self.boundaries)
 
+    def extended(self, extra_nodes: int) -> "PartitionScheme":
+        """The scheme after appending ``extra_nodes`` new node IDs.
+
+        Streaming growth rule: new nodes always join the *last* partition
+        (its ID range is extended; every other boundary is untouched), so
+        the assignment of every pre-existing node — and therefore every
+        edge's bucket — is stable under growth. An offline rebuild of a
+        streamed graph must use this same rule (not a fresh ``uniform``
+        split, which would re-balance the boundaries) for the streamed and
+        rebuilt structures to be comparable.
+        """
+        if extra_nodes < 0:
+            raise ValueError("extra_nodes must be non-negative")
+        if extra_nodes == 0:
+            return self
+        bounds = self.boundaries.copy()
+        bounds[-1] += extra_nodes
+        return PartitionScheme(self.num_nodes + extra_nodes,
+                               self.num_partitions, bounds)
+
 
 class EdgeBuckets:
     """Edges grouped by (source partition, destination partition).

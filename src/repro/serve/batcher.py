@@ -24,6 +24,7 @@ from .stats import latency_summary
 
 EMBED = "embed"
 SCORE = "score"
+TOPK = "topk"
 
 
 class ServeRequest:
@@ -143,6 +144,17 @@ class RequestBatcher:
         """Blocking edge scoring through the micro-batching queue."""
         return self.submit(SCORE, np.asarray(pairs, dtype=np.int64)).wait()
 
+    def topk_targets(self, src: int, k: int, rel: int = 0):
+        """Blocking top-k query through the micro-batching queue.
+
+        Concurrent top-k requests with the same ``k`` are coalesced into
+        one :meth:`ServingEngine.topk_targets_batch` call, so n waiting
+        queries share a single partition sweep instead of paying n sweeps.
+        Returns ``(ids, scores)`` for this source, best first.
+        """
+        payload = np.array([int(src), int(rel), int(k)], dtype=np.int64)
+        return self.submit(TOPK, payload).wait()
+
     def latency_percentiles(self) -> Dict[str, float]:
         return latency_summary(self.latencies_ms)
 
@@ -176,10 +188,16 @@ class RequestBatcher:
     def _execute(self, batch: List[ServeRequest]) -> None:
         groups: Dict[tuple, List[ServeRequest]] = {}
         for request in batch:
-            width = (request.payload.shape[1]
-                     if request.payload.ndim == 2 else 0)
-            groups.setdefault((request.kind, width), []).append(request)
-        for (kind, _), requests in groups.items():
+            if request.kind == TOPK:
+                # Top-k requests coalesce per k: one multi-source partition
+                # sweep answers the whole group, row i per request i.
+                key = (TOPK, int(request.payload[2]))
+            else:
+                width = (request.payload.shape[1]
+                         if request.payload.ndim == 2 else 0)
+                key = (request.kind, width)
+            groups.setdefault(key, []).append(request)
+        for (kind, extra), requests in groups.items():
             try:
                 payloads = [r.payload for r in requests]
                 if kind == EMBED:
@@ -188,13 +206,22 @@ class RequestBatcher:
                 elif kind == SCORE:
                     merged = np.concatenate(payloads, axis=0)
                     result = self.engine.score_edges(merged)
+                elif kind == TOPK:
+                    srcs = np.array([p[0] for p in payloads], dtype=np.int64)
+                    rels = np.array([p[1] for p in payloads], dtype=np.int64)
+                    ids, scores = self.engine.topk_targets_batch(
+                        srcs, extra, rel=rels)
+                    for row, request in enumerate(requests):
+                        request.finish(result=(ids[row], scores[row]))
+                    result = None
                 else:
                     raise ValueError(f"unknown request kind {kind!r}")
-                offset = 0
-                for request in requests:
-                    n = len(request.payload)
-                    request.finish(result=result[offset : offset + n])
-                    offset += n
+                if result is not None:
+                    offset = 0
+                    for request in requests:
+                        n = len(request.payload)
+                        request.finish(result=result[offset : offset + n])
+                        offset += n
             except Exception as exc:   # deliver, don't kill the worker
                 for request in requests:
                     if not request._event.is_set():

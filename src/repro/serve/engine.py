@@ -31,6 +31,7 @@ peak residency is ``buffer_capacity`` partitions):
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -77,7 +78,9 @@ class ServingEngine:
         self.model = model
         self.model.eval()
         self.store = store
-        self.scheme = store.scheme
+        # Serializes queries against live-stream listener mutations; see
+        # the listener block below. Re-entrant: classify -> encode_nodes.
+        self._live_lock = threading.RLock()
         self.policy = policy or QueryLRU(self.scheme.num_partitions)
         self.buffer = PartitionBuffer(store, buffer_capacity, read_only=True,
                                       replacement_policy=self.policy)
@@ -93,6 +96,67 @@ class ServingEngine:
                 lambda added, removed: self.sampler.update_graph(added, removed))
 
     # ------------------------------------------------------------------
+    @property
+    def scheme(self):
+        """The served store's partition scheme — read dynamically, because a
+        live graph's node table grows (last partition extends) mid-stream."""
+        return self.store.scheme
+
+    @classmethod
+    def over_live(cls, live, model: Module, buffer_capacity: int,
+                  policy: Optional[QueryLRU] = None,
+                  fanouts: Sequence[int] = (), directions: str = "both",
+                  seed: int = 0) -> "ServingEngine":
+        """A serving engine over a :class:`~repro.stream.live.LiveGraph`.
+
+        The engine queries the live view, not a frozen snapshot: its
+        sampler's bucket source is the composed base+delta read, and the
+        registered stream listeners keep it coherent — ingests refresh
+        exactly the touched resident buckets, node additions extend the
+        index and re-sync the buffer, compactions re-read the (identical)
+        rewritten base. Embedding lookups need no overlay handling at all,
+        because streamed nodes grow the node table at ingest time.
+        """
+        engine = cls(model, live.node_store, buffer_capacity, policy=policy,
+                     edge_source=live.bucket_endpoints, fanouts=fanouts,
+                     directions=directions, seed=seed)
+        # Share the live graph's mutation lock: a query then excludes the
+        # whole ingest/compaction/refresh-write-back, not merely the
+        # listener callbacks — a mid-sweep query can never observe a grown
+        # scheme over an ungrown buffer or a renamed edge file under stale
+        # offsets.
+        engine._live_lock = live.lock
+        live.add_bucket_listener(engine._on_live_buckets)
+        live.add_growth_listener(engine._on_live_growth)
+        live.add_compact_listener(engine._on_live_compact)
+        live.add_table_listener(engine._on_live_table)
+        return engine
+
+    # The stream listeners run on the *ingest* thread (inside the live
+    # graph's locked mutation) while queries run under the same shared
+    # lock on a RequestBatcher worker. Plain (non-live) engines keep a
+    # private lock and pay one uncontended acquire per query.
+    def _on_live_buckets(self, pairs: List[tuple]) -> None:
+        with self._live_lock:
+            if self.sampler is not None:
+                self.sampler.index.refresh_buckets(pairs)
+
+    def _on_live_growth(self, new_scheme) -> None:
+        with self._live_lock:
+            if self.sampler is not None:
+                self.sampler.index.extend_nodes(new_scheme)
+            # Only the last partition's rows changed (the growth rule).
+            self.buffer.refresh_from_store(
+                parts=[new_scheme.num_partitions - 1])
+
+    def _on_live_compact(self) -> None:
+        with self._live_lock:
+            self.buffer.refresh_from_store()
+
+    def _on_live_table(self, parts: List[int]) -> None:
+        with self._live_lock:
+            self.buffer.refresh_from_store(parts=parts)
+
     def _on_swap(self, added: List[int], removed: List[int]) -> None:
         self.stats.swaps += len(added)
 
@@ -136,7 +200,8 @@ class ServingEngine:
         one residency check per partition, one vectorized gather per
         partition group — and returns rows aligned with the input.
         """
-        out = self._gather_rows(self._check_ids(node_ids))
+        with self._live_lock:
+            out = self._gather_rows(self._check_ids(node_ids))
         self.stats.requests += 1
         self.stats.lookups += len(out)
         return out
@@ -174,16 +239,18 @@ class ServingEngine:
         src, rel, dst = self._split_pairs(pairs)
         if len(src) == 0:
             return np.empty(0, dtype=np.float32)
-        if getattr(self.model, "encoder", None) is None:
-            embs = self._gather_rows(self._check_ids(np.concatenate([src, dst])))
-            src_repr = Tensor(embs[: len(src)])
-            dst_repr = Tensor(embs[len(src):])
-        else:
-            targets = np.unique(np.concatenate([src, dst]))
-            reprs = self._encode_rows(targets, seed=None)
-            rows = np.searchsorted(targets, np.concatenate([src, dst]))
-            src_repr = Tensor(reprs[rows[: len(src)]])
-            dst_repr = Tensor(reprs[rows[len(src):]])
+        with self._live_lock:
+            if getattr(self.model, "encoder", None) is None:
+                embs = self._gather_rows(
+                    self._check_ids(np.concatenate([src, dst])))
+                src_repr = Tensor(embs[: len(src)])
+                dst_repr = Tensor(embs[len(src):])
+            else:
+                targets = np.unique(np.concatenate([src, dst]))
+                reprs = self._encode_rows(targets, seed=None)
+                rows = np.searchsorted(targets, np.concatenate([src, dst]))
+                src_repr = Tensor(reprs[rows[: len(src)]])
+                dst_repr = Tensor(reprs[rows[len(src):]])
         with no_grad():
             scores = decoder.score_edges(src_repr, rel, dst_repr).data
         self.stats.requests += 1
@@ -194,56 +261,76 @@ class ServingEngine:
                      exclude: Sequence[int] = ()) -> Tuple[np.ndarray, np.ndarray]:
         """Best-``k`` destination nodes for ``(src, rel, ?)``, best first.
 
-        Streams every candidate partition through the buffer (resident ones
-        first), scores each block against the source with one dense
-        ``score_against``, and folds it into a running top-k — memory is
-        O(partition + k), independent of the table size. The sweep does not
-        touch the replacement policy, so a scan cannot evict query-hot
-        partitions (scan resistance). Decoder-only snapshots only: encoder
-        models would need every candidate encoded, which this blockwise
-        sweep (raw table rows) cannot provide — refused rather than ranking
-        inconsistently with :meth:`score_edges`.
+        The single-source form of :meth:`topk_targets_batch` (exactly its
+        ``n = 1`` case — one implementation, no drift): the sweep streams
+        every candidate partition through the buffer with a running
+        best-k, memory O(partition + k), never touching the replacement
+        policy (scan resistance), decoder-only snapshots only.
+        """
+        ids, scores = self.topk_targets_batch([int(src)], k, rel=rel,
+                                              exclude=exclude)
+        return ids[0], scores[0]
+
+    def topk_targets_batch(self, srcs: Sequence[int], k: int,
+                           rel=0, exclude: Sequence[int] = ()
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Best-``k`` destinations for *many* sources in one partition sweep.
+
+        The multi-source form of :meth:`topk_targets`: every candidate
+        partition is paged in **once** and scored against all sources with
+        a single dense ``score_against`` — n queries cost one sweep's IO
+        instead of n. ``rel`` is a scalar or a per-source array; ``exclude``
+        is a shared candidate blacklist applied to every source. Returns
+        ``(ids, scores)`` of shape ``(len(srcs), k)``, each row best-first.
+        Same scan-resistance and decoder-only restrictions as the
+        single-source query.
         """
         decoder = self._require_decoder()
         if getattr(self.model, "encoder", None) is not None:
             raise RuntimeError(
-                "topk_targets serves decoder-only snapshots; an encoder "
-                "model would need every candidate encoded-on-read (use "
-                "score_edges over an explicit candidate set instead)")
-        src_emb = self._gather_rows(self._check_ids(np.array([int(src)])))
-        rel_arr = np.array([int(rel)], dtype=np.int64)
+                "topk_targets_batch serves decoder-only snapshots; an "
+                "encoder model would need every candidate encoded-on-read "
+                "(use score_edges over an explicit candidate set instead)")
+        srcs = self._check_ids(np.asarray(srcs, dtype=np.int64))
+        n = len(srcs)
+        rel_arr = np.broadcast_to(np.asarray(rel, dtype=np.int64), (n,))
         k = int(min(k, self.store.num_nodes))
-        if k <= 0:
-            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32))
+        if n == 0 or k <= 0:
+            return (np.empty((n, 0), dtype=np.int64),
+                    np.empty((n, 0), dtype=np.float32))
         excluded = np.asarray(sorted(set(int(x) for x in exclude)), dtype=np.int64)
-        best_ids = np.empty(0, dtype=np.int64)
-        best_scores = np.empty(0, dtype=np.float32)
+        best_ids = np.empty((n, 0), dtype=np.int64)
+        best_scores = np.empty((n, 0), dtype=np.float32)
         all_parts = np.arange(self.scheme.num_partitions)
-        with no_grad():
-            src_t = Tensor(src_emb)
+        with self._live_lock, no_grad():
+            src_t = Tensor(self._gather_rows(srcs))
             for part in self._partition_order(all_parts):
                 self.buffer.ensure_resident([part])
                 lo = int(self.scheme.boundaries[part])
                 hi = int(self.scheme.boundaries[part + 1])
                 block = Tensor(self.buffer.partition_view(part))
-                scores = decoder.score_against(src_t, rel_arr, block).data[0]
+                scores = decoder.score_against(src_t, rel_arr, block).data
                 ids = np.arange(lo, hi, dtype=np.int64)
                 if len(excluded):
                     drop = excluded[(excluded >= lo) & (excluded < hi)] - lo
                     if len(drop):        # remove, don't mask: an excluded id
                         keep = np.ones(hi - lo, dtype=bool)   # must never be
                         keep[drop] = False                    # returned
-                        scores, ids = scores[keep], ids[keep]
-                merged_scores = np.concatenate([best_scores, scores])
-                merged_ids = np.concatenate([best_ids, ids])
-                if len(merged_scores) > k:
-                    keep = np.argpartition(merged_scores, -k)[-k:]
-                    merged_scores, merged_ids = merged_scores[keep], merged_ids[keep]
+                        scores, ids = scores[:, keep], ids[keep]
+                merged_scores = np.concatenate(
+                    [best_scores, scores.astype(np.float32)], axis=1)
+                merged_ids = np.concatenate(
+                    [best_ids, np.broadcast_to(ids, (n, len(ids)))], axis=1)
+                if merged_scores.shape[1] > k:
+                    keep = np.argpartition(merged_scores, -k, axis=1)[:, -k:]
+                    merged_scores = np.take_along_axis(merged_scores, keep, axis=1)
+                    merged_ids = np.take_along_axis(merged_ids, keep, axis=1)
                 best_scores, best_ids = merged_scores, merged_ids
-        order = np.argsort(-best_scores, kind="stable")
+        order = np.argsort(-best_scores, axis=1, kind="stable")
         self.stats.requests += 1
-        self.stats.topk_queries += 1
-        return best_ids[order], best_scores[order].astype(np.float32)
+        self.stats.topk_queries += n
+        return (np.take_along_axis(best_ids, order, axis=1),
+                np.take_along_axis(best_scores, order, axis=1))
 
     # ------------------------------------------------------------------
     # Query family 3: GNN encode-on-read
@@ -278,7 +365,8 @@ class ServingEngine:
         the in-buffer subgraph between calls. Without a seed, execution is
         locality-optimized (resident partitions first, leftovers kept).
         """
-        out = self._encode_rows(self._check_ids(node_ids), seed)
+        with self._live_lock:
+            out = self._encode_rows(self._check_ids(node_ids), seed)
         self.stats.requests += 1
         self.stats.nodes_encoded += len(out)
         return out

@@ -279,6 +279,55 @@ class PartitionBuffer:
                 self.store.write_partition(part, self._data[part], self._state[part])
                 self._dirty[part] = False
 
+    def refresh_from_store(self, parts: Optional[Sequence[int]] = None) -> None:
+        """Re-sync with a store whose table changed underneath the buffer.
+
+        The invalidate-on-compact/growth listener of the streaming
+        subsystem: after the node table grows (new streamed nodes extend
+        the last partition) or a compaction rewrites rows, resident
+        in-buffer copies are stale. ``parts`` names the partitions whose
+        contents changed (``None`` = all of them — the conservative
+        compaction default); only resident ones among them are re-read.
+        Dirty partitions are written back *first* (row-span writes, since
+        a grown partition's in-buffer copy covers only its old rows), the
+        node-to-slab maps are extended to the store's current
+        ``num_nodes``, and the slab is reallocated — with every resident
+        partition reinstalled — only if the largest partition outgrew the
+        slot size. Swap listeners are not notified: residency is
+        unchanged, only contents.
+        """
+        new_slot = int(self.store.scheme.sizes().max())
+        stale = sorted(self._data) if parts is None else sorted(
+            int(q) for q in parts if int(q) in self._data)
+        if new_slot > self._slot_size:
+            # Slot geometry changed: every view into the slab moves.
+            stale = sorted(self._data)
+        for part in stale:
+            if self._dirty[part] and not self.read_only:
+                lo = int(self.store.scheme.boundaries[part])
+                self.store.write_span(lo, self._data[part], self._state[part])
+            self._dirty[part] = False
+            self.evict(part)
+        num_nodes = self.store.num_nodes
+        if num_nodes > len(self._slab_row):
+            pad = num_nodes - len(self._slab_row)
+            self._slab_row = np.concatenate(
+                [self._slab_row, np.full(pad, -1, dtype=np.int64)])
+            self._partition_of_row = np.concatenate(
+                [self._partition_of_row, np.full(pad, -1, dtype=np.int32)])
+        if new_slot > self._slot_size:
+            self._slot_size = new_slot
+            self._slab = np.empty((self.capacity * new_slot, self.store.dim),
+                                  dtype=np.float32)
+            if self._state_slab is not None:
+                self._state_slab = np.zeros_like(self._slab)
+            self._slab_row.fill(-1)
+            self._partition_of_row.fill(-1)
+            self._free_slots = list(range(self.capacity - 1, -1, -1))
+            self._slot_of.clear()
+        for part in stale:
+            self.admit(part)
+
     # ------------------------------------------------------------------
     def gather(self, node_ids: np.ndarray) -> np.ndarray:
         """Copy the rows of ``node_ids`` (global IDs; must all be resident)."""

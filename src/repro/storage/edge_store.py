@@ -12,13 +12,25 @@ from __future__ import annotations
 import os
 import zlib
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graph.edge_list import Graph
 from ..graph.partition import EdgeBuckets, PartitionScheme
-from .io_stats import IOStats
+from .io_stats import IOStats, crc_file
+
+
+def _crc_chunks(arrays) -> int:
+    """Streamed CRC-32 over int64 array chunks (never the whole file at
+    once — bucket files can be table-sized)."""
+    crc = 0
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        step = max(1, (1 << 20) // max(arr.shape[-1] * 8, 1))
+        for start in range(0, len(arr), step):
+            crc = zlib.crc32(arr[start : start + step].tobytes(), crc)
+    return crc
 
 
 class EdgeBucketStore:
@@ -45,6 +57,69 @@ class EdgeBucketStore:
         self._edges[:] = flat
         self._edges.flush()
         self.num_edges = len(flat)
+        self._file_crc = _crc_chunks(iter([flat]))
+        self._write_layout()
+
+    def _layout_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".layout.npz")
+
+    def _write_layout(self) -> None:
+        """Persist the bucket offsets (they live only in memory otherwise)
+        so :meth:`open` can reattach to the file after a process restart.
+
+        The layout also records a CRC of the bucket file's bytes:
+        compaction renames the bucket file and *then* the sidecar, so a
+        crash between the two leaves a sidecar describing the previous
+        file — :meth:`open` detects the mismatch via this CRC instead of
+        serving the new bytes under the old offsets.
+        """
+        tmp = self._layout_path().with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, bucket_offsets=self.bucket_offsets,
+                     width=np.int64(self.width),
+                     num_relations=np.int64(self.num_relations),
+                     has_relations=np.int64(1 if self.has_relations else 0),
+                     file_crc=np.int64(self._file_crc))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.rename(tmp, self._layout_path())
+
+    @classmethod
+    def open(cls, path: os.PathLike, scheme: PartitionScheme,
+             stats: Optional[IOStats] = None) -> "EdgeBucketStore":
+        """Reattach to an existing bucket file (stream-workdir resume).
+
+        Reads the layout sidecar written at construction and after every
+        compaction, and verifies the sidecar's recorded CRC against the
+        bucket file's actual bytes: a crash between a compaction's
+        bucket-file rename and its sidecar update leaves a sidecar
+        describing the *previous* file, and serving the new bytes under
+        the old offsets would silently return garbage edges — the CRC
+        check turns that into a loud error instead.
+        """
+        self = cls.__new__(cls)
+        self.path = Path(path)
+        self.scheme = scheme
+        self.stats = stats if stats is not None else IOStats()
+        with np.load(self._layout_path()) as layout:
+            self.bucket_offsets = layout["bucket_offsets"]
+            self.width = int(layout["width"])
+            self.num_relations = int(layout["num_relations"])
+            self.has_relations = bool(layout["has_relations"])
+            self._file_crc = int(layout["file_crc"])
+        if scheme.num_partitions ** 2 + 1 != len(self.bucket_offsets):
+            raise ValueError(
+                f"bucket file has {len(self.bucket_offsets) - 1} buckets, "
+                f"scheme expects {scheme.num_partitions ** 2}")
+        if crc_file(self.path) != self._file_crc:
+            raise ValueError(
+                f"bucket file {self.path} does not match its layout sidecar "
+                f"(likely a crash between a compaction's rename and the "
+                f"sidecar update); re-preprocess the stream workdir")
+        self.num_edges = int(self.bucket_offsets[-1])
+        self._edges = np.memmap(self.path, dtype=np.int64, mode="r+",
+                                shape=(max(self.num_edges, 1), self.width))
+        return self
 
     @property
     def num_partitions(self) -> int:
@@ -111,12 +186,79 @@ class EdgeBucketStore:
             num_relations=self.num_relations,
         )
 
+    def rewrite_buckets(self, bucket_arrays: Iterable[np.ndarray],
+                        scheme: Optional[PartitionScheme] = None) -> None:
+        """Atomically replace the whole bucket-major file (compaction).
+
+        ``bucket_arrays`` yields one ``(n, width)`` int64 array per bucket
+        in ascending bucket-major ``(i, j)`` order — p*p arrays in total,
+        which are **streamed** to the staging file one bucket at a time
+        (peak extra memory is one composed bucket, never the edge set —
+        compaction must not defeat the out-of-core design it serves). The
+        new file follows the snapshot subsystem's atomicity discipline:
+        staged as ``<path>.tmp``, flushed and fsynced, then renamed over
+        the live file in one atomic ``os.rename`` (the directory is
+        fsynced too), so a crash mid-compaction leaves either the old or
+        the new bucket layout — never a torn mix. The in-memory offsets
+        (and therefore :meth:`fingerprint`) are updated to the new layout.
+
+        ``scheme`` replaces the store's partition scheme (node growth since
+        construction); the partition *count* must be unchanged — buckets
+        are identified by partition pair, not by node ranges.
+        """
+        if scheme is not None:
+            if scheme.num_partitions != self.num_partitions:
+                raise ValueError("compaction cannot change the partition count")
+            self.scheme = scheme
+        p = self.num_partitions
+        offsets = np.zeros(p * p + 1, dtype=np.int64)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        count = 0
+        crc = 0
+        with open(tmp, "wb") as fh:
+            for b, arr in enumerate(bucket_arrays):
+                arr = np.ascontiguousarray(arr, dtype=np.int64)
+                if arr.ndim != 2 or arr.shape[1] != self.width:
+                    raise ValueError(f"bucket {b} has shape {arr.shape}, "
+                                     f"expected (n, {self.width})")
+                offsets[b + 1] = offsets[b] + len(arr)
+                payload = arr.tobytes()
+                fh.write(payload)
+                crc = zlib.crc32(payload, crc)
+                count += 1
+            if count != p * p:
+                raise ValueError(f"expected {p * p} buckets, got {count}")
+            total = int(offsets[-1])
+            if total == 0:     # keep the file mappable (one zero row)
+                pad = np.zeros((1, self.width), dtype=np.int64).tobytes()
+                fh.write(pad)
+                crc = zlib.crc32(pad, crc)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.stats.record_write(total * self.width * 8)
+        self._edges.flush()
+        del self._edges
+        os.rename(tmp, self.path)
+        dfd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
+        self._edges = np.memmap(self.path, dtype=np.int64, mode="r+",
+                                shape=(max(total, 1), self.width))
+        self.bucket_offsets = offsets
+        self.num_edges = total
+        self._file_crc = crc
+        self._write_layout()
+
     def fingerprint(self) -> str:
         """Layout identity: bucket offsets + edge width.
 
-        The edge store is immutable after construction, so the fingerprint
+        The edge store is immutable between compactions, so the fingerprint
         also pins its contents' shape — a snapshot taken against one bucket
-        layout refuses to resume against another.
+        layout refuses to resume against another, and a compaction (which
+        changes the offsets) deliberately invalidates older snapshots'
+        store pins.
         """
         crc = zlib.crc32(np.ascontiguousarray(self.bucket_offsets).tobytes())
         return f"edge:{self.num_edges}:{self.width}:{crc:08x}"

@@ -9,8 +9,24 @@ traffic our storage layer performs.
 
 from __future__ import annotations
 
+import os
+import zlib
 from dataclasses import dataclass, field
 from typing import List
+
+
+def crc_file(path: os.PathLike, chunk: int = 1 << 20) -> int:
+    """CRC-32 of a file, streamed in 1 MiB chunks — the payloads this
+    layer validates (snapshot archives, bucket files) can be table-sized,
+    so neither side may hold the whole file in memory. Shared by the
+    checkpoint subsystem and the edge store's layout sidecar."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                return crc
+            crc = zlib.crc32(block, crc)
 
 
 @dataclass

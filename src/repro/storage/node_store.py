@@ -57,6 +57,46 @@ class NodeStore:
             state_path = self.path.with_suffix(self.path.suffix + ".state")
             self._state = np.memmap(state_path, dtype=np.float32, mode="w+", shape=shape)
 
+    @classmethod
+    def open(cls, path: os.PathLike, scheme: PartitionScheme, dim: int,
+             learnable: bool = True, stats: Optional[IOStats] = None,
+             truncate: bool = False) -> "NodeStore":
+        """Reattach to an existing table file without overwriting it
+        (stream-workdir resume). The file must match ``scheme`` x ``dim``;
+        with ``truncate=True`` a *larger* file is cut back to the scheme's
+        size — node growth is append-only, so rows past the target are
+        exactly the post-snapshot additions a resume discards. Contents
+        are validated downstream by the resuming trainer's snapshot
+        fingerprints."""
+        self = cls.__new__(cls)
+        self.path = Path(path)
+        self.scheme = scheme
+        self.dim = int(dim)
+        self.learnable = learnable
+        self.stats = stats if stats is not None else IOStats()
+        shape = (scheme.num_nodes, self.dim)
+        expected = shape[0] * shape[1] * 4
+        paths = [self.path]
+        state_path = self.path.with_suffix(self.path.suffix + ".state")
+        if learnable:
+            paths.append(state_path)
+        for target in paths:
+            actual = target.stat().st_size
+            if actual > expected and truncate:
+                with open(target, "r+b") as fh:
+                    fh.truncate(expected)
+                actual = expected
+            if actual != expected:
+                raise ValueError(f"table file {target} is {actual} bytes, "
+                                 f"scheme x dim expects {expected}")
+        self._table = np.memmap(self.path, dtype=np.float32, mode="r+",
+                                shape=shape)
+        self._state = None
+        if learnable:
+            self._state = np.memmap(state_path, dtype=np.float32, mode="r+",
+                                    shape=shape)
+        return self
+
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
@@ -117,6 +157,21 @@ class NodeStore:
             self._state[lo:hi] = state
             self.stats.record_write(state.nbytes)
 
+    def write_span(self, start_row: int, data: np.ndarray,
+                   state: Optional[np.ndarray] = None) -> None:
+        """Write a contiguous row span (buffer re-sync after table growth:
+        the in-buffer copy of a grown partition covers only its old rows)."""
+        stop = start_row + len(data)
+        if start_row < 0 or stop > self.num_nodes:
+            raise ValueError(f"span [{start_row}, {stop}) outside the table")
+        self._table[start_row:stop] = data
+        self.stats.record_write(data.nbytes)
+        if state is not None:
+            if self._state is None:
+                raise ValueError("store has no optimizer state file")
+            self._state[start_row:stop] = state
+            self.stats.record_write(state.nbytes)
+
     # ------------------------------------------------------------------
     def read_rows(self, rows: np.ndarray) -> np.ndarray:
         """Direct (unbuffered) row gather — used only for evaluation."""
@@ -161,6 +216,55 @@ class NodeStore:
             self._state[:] = state
             self.stats.record_write(self._state.nbytes)
         self.flush()
+
+    def grow(self, new_scheme: "PartitionScheme", values: np.ndarray,
+             state: Optional[np.ndarray] = None) -> None:
+        """Append new node rows: the streaming node-table growth path.
+
+        ``new_scheme`` must extend this store's scheme by exactly
+        ``len(values)`` nodes under the last-partition growth rule
+        (:meth:`PartitionScheme.extended`), so existing rows keep their
+        offsets and the append is a pure file extension: flush, release the
+        memmap, ``truncate`` the backing file to the new size, remap, and
+        write the new rows. Callers holding views into the old memmap (the
+        partition buffer) must re-sync afterwards.
+        """
+        extra = new_scheme.num_nodes - self.num_nodes
+        if extra != len(values):
+            raise ValueError(f"scheme grows by {extra} nodes but {len(values)} "
+                             f"rows were supplied")
+        if (new_scheme.num_partitions != self.scheme.num_partitions
+                or not np.array_equal(new_scheme.boundaries[:-1],
+                                      self.scheme.boundaries[:-1])):
+            raise ValueError("grow supports only last-partition extension")
+        if values.shape != (extra, self.dim):
+            raise ValueError(f"new rows must be ({extra}, {self.dim}), "
+                             f"got {values.shape}")
+        if extra == 0:
+            return
+        lo = self.num_nodes
+        self.scheme = new_scheme
+        shape = (new_scheme.num_nodes, self.dim)
+        self._table = self._extend_memmap(self.path, self._table, shape)
+        self._table[lo:] = values.astype(np.float32)
+        self.stats.record_write(values.nbytes)
+        if self._state is not None:
+            state_path = self.path.with_suffix(self.path.suffix + ".state")
+            self._state = self._extend_memmap(state_path, self._state, shape)
+            self._state[lo:] = (state.astype(np.float32) if state is not None
+                                else 0.0)
+        self.flush()
+
+    @staticmethod
+    def _extend_memmap(path: Path, mm: np.memmap,
+                       shape: Tuple[int, int]) -> np.memmap:
+        mm.flush()
+        del mm
+        with open(path, "r+b") as fh:
+            fh.truncate(shape[0] * shape[1] * 4)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return np.memmap(path, dtype=np.float32, mode="r+", shape=shape)
 
     def fingerprint(self) -> str:
         """Layout identity (not contents): partition boundaries + dim.

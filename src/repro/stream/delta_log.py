@@ -1,0 +1,302 @@
+"""The append-only graph delta log: edge events bucketed by partition pair.
+
+Streamed edge insertions and deletions land here before compaction merges
+them into the base :class:`~repro.storage.edge_store.EdgeBucketStore`. The
+log is the write-path analogue of the edge buckets — and it is *physically*
+bucketed: every append groups its events by the partition pair ``(i, j)``
+of their endpoints (stable under node growth, because streamed nodes only
+ever extend the *last* partition), so reading one bucket's events touches
+only that bucket's arrays, never the whole log. Events carry a monotone
+sequence number and their operation, so the overlay composition — and the
+compactor — can replay exactly one bucket's events in arrival order.
+
+Two disciplines keep the log bounded:
+
+* **Spill** — once more than ``spill_threshold`` events are buffered in
+  memory, the in-memory segments are written to ``spill-<n>.npz`` files
+  under ``spill_dir`` (one archive member per bucket and column, so a
+  later per-bucket read decompresses only its own members) and dropped
+  from RAM. Ingest throughput therefore never depends on how long
+  compaction has been deferred.
+* **Forgetting** — :meth:`mark_compacted` discards every event below the
+  compaction horizon (memory and spill files alike). This is the
+  bounded-history principle of the online-caching literature behind
+  :class:`~repro.policies.query_lru.QueryLRU` (Colussi: the work function
+  algorithm can forget history): once deltas are merged into the base
+  structures, replaying them can never change observable behaviour, so
+  they need not be retained.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+OP_INSERT = 0
+OP_DELETE = 1
+
+_COLUMNS = ("op", "src", "dst", "rel", "seq")
+
+Pair = Tuple[int, int]
+# One bucket's events within a segment: columnar, arrival-ordered.
+PairEvents = Dict[str, np.ndarray]
+# One segment: events grouped by bucket.
+Segment = Dict[Pair, PairEvents]
+
+
+def _empty_events() -> PairEvents:
+    return {"op": np.empty(0, dtype=np.uint8),
+            "src": np.empty(0, dtype=np.int64),
+            "dst": np.empty(0, dtype=np.int64),
+            "rel": np.empty(0, dtype=np.int64),
+            "seq": np.empty(0, dtype=np.int64)}
+
+
+def _concat_events(parts: List[PairEvents]) -> PairEvents:
+    if not parts:
+        return _empty_events()
+    if len(parts) == 1:
+        return parts[0]
+    return {col: np.concatenate([p[col] for p in parts]) for col in _COLUMNS}
+
+
+class _SpillFile:
+    """One spilled segment: the archive plus its in-memory pair index."""
+
+    def __init__(self, path: Path, pair_max_seq: Dict[Pair, int],
+                 max_seq: int) -> None:
+        self.path = path
+        self.pair_max_seq = pair_max_seq   # last seq per bucket in the file
+        self.max_seq = max_seq
+
+    def load_pair(self, pair: Pair) -> PairEvents:
+        # npz members are decompressed lazily on access: only this
+        # bucket's five arrays are read, not the whole archive.
+        i, j = pair
+        with np.load(self.path) as archive:
+            return {col: archive[f"{i}:{j}:{col}"] for col in _COLUMNS}
+
+
+class GraphDeltaLog:
+    """Append-only, spillable log of edge insert/delete events.
+
+    Parameters
+    ----------
+    num_partitions:
+        Bucket grid size ``p`` (fixed for the lifetime of the stream; node
+        growth extends the last partition, never the grid).
+    has_relations:
+        Whether events carry a relation column.
+    spill_dir:
+        Directory for spilled segments; created on first spill. ``None``
+        disables spilling (the log stays purely in-memory).
+    spill_threshold:
+        Soft cap on in-memory events before the segments spill.
+    """
+
+    def __init__(self, num_partitions: int, has_relations: bool = False,
+                 spill_dir: Optional[os.PathLike] = None,
+                 spill_threshold: int = 1 << 20) -> None:
+        self.num_partitions = int(num_partitions)
+        self.has_relations = bool(has_relations)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.spill_threshold = int(spill_threshold)
+        self.seq = 0               # next sequence number to assign
+        self.compacted_seq = 0     # events below this are merged into base
+        self._segments: List[Segment] = []
+        self._spilled: List[_SpillFile] = []       # oldest first
+        self._mem_events = 0
+        self._spill_counter = 0
+        # Telemetry for the benchmark / CLI stats.
+        self.events_appended = 0
+        self.edges_inserted = 0
+        self.edges_deleted = 0
+        self.spills = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Events not yet merged into the base structures (the staleness
+        the compaction cadence trades against)."""
+        return self.seq - self.compacted_seq
+
+    @property
+    def memory_events(self) -> int:
+        return self._mem_events
+
+    # ------------------------------------------------------------------
+    def append(self, op: int, src: np.ndarray, dst: np.ndarray,
+               rel: Optional[np.ndarray], bi: np.ndarray,
+               bj: np.ndarray) -> Tuple[int, int]:
+        """Append one batch of same-op events; returns its ``[lo, hi)`` seq
+        range. Endpoint validation and bucket assignment are the caller's
+        (the :class:`~repro.stream.live.LiveGraph`'s) responsibility."""
+        n = len(src)
+        if n == 0:
+            return self.seq, self.seq
+        lo = self.seq
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        rel = (np.asarray(rel, dtype=np.int64) if rel is not None
+               else np.zeros(n, dtype=np.int64))
+        seq = np.arange(lo, lo + n, dtype=np.int64)
+        ops = np.full(n, op, dtype=np.uint8)
+        # Group the batch by bucket once, at append time: every later read
+        # of bucket (i, j) then touches only (i, j)'s arrays.
+        codes = (np.asarray(bi, dtype=np.int64) * self.num_partitions
+                 + np.asarray(bj, dtype=np.int64))
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        starts = np.concatenate(
+            [[0], np.nonzero(np.diff(sorted_codes))[0] + 1, [n]])
+        segment: Segment = {}
+        for s, e in zip(starts[:-1], starts[1:]):
+            rows = order[s:e]
+            code = int(sorted_codes[s])
+            pair = (code // self.num_partitions, code % self.num_partitions)
+            segment[pair] = {"op": ops[rows], "src": src[rows],
+                             "dst": dst[rows], "rel": rel[rows],
+                             "seq": seq[rows]}
+        self._segments.append(segment)
+        self._mem_events += n
+        self.seq += n
+        self.events_appended += n
+        if op == OP_INSERT:
+            self.edges_inserted += n
+        else:
+            self.edges_deleted += n
+        if (self.spill_dir is not None
+                and self._mem_events > self.spill_threshold):
+            self._spill()
+        return lo, self.seq
+
+    def _spill(self) -> None:
+        """Move the in-memory segments to one on-disk npz segment."""
+        if not self._segments:
+            return
+        merged: Segment = {}
+        for segment in self._segments:
+            for pair, events in segment.items():
+                merged.setdefault(pair, []).append(events)
+        arrays = {}
+        pair_max_seq: Dict[Pair, int] = {}
+        for pair, parts in merged.items():
+            events = _concat_events(parts)
+            i, j = pair
+            for col in _COLUMNS:
+                arrays[f"{i}:{j}:{col}"] = events[col]
+            pair_max_seq[pair] = int(events["seq"][-1])
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self.spill_dir / f"spill-{self._spill_counter:08d}.npz"
+        self._spill_counter += 1
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._spilled.append(_SpillFile(path, pair_max_seq,
+                                        max(pair_max_seq.values())))
+        self._segments = []
+        self._mem_events = 0
+        self.spills += 1
+
+    # ------------------------------------------------------------------
+    def events_for_bucket(self, i: int, j: int,
+                          upto_seq: Optional[int] = None) -> PairEvents:
+        """Live events of bucket ``(i, j)`` with ``compacted_seq <= seq <
+        upto_seq``, in arrival order, as columnar arrays."""
+        upto = self.seq if upto_seq is None else int(upto_seq)
+        pair = (int(i), int(j))
+        picked: List[PairEvents] = []
+        for spill in self._spilled:
+            last = spill.pair_max_seq.get(pair)
+            if last is None or last < self.compacted_seq:
+                continue
+            picked.append(spill.load_pair(pair))
+        for segment in self._segments:
+            events = segment.get(pair)
+            if events is not None:
+                picked.append(events)
+        out = _concat_events(picked)
+        if len(out["seq"]) == 0:
+            return out
+        # Per-pair seqs are appended in order, so the live window is one
+        # contiguous slice.
+        lo = int(np.searchsorted(out["seq"], self.compacted_seq, side="left"))
+        hi = int(np.searchsorted(out["seq"], upto, side="left"))
+        if lo == 0 and hi == len(out["seq"]):
+            return out
+        return {col: out[col][lo:hi] for col in _COLUMNS}
+
+    def touched_pairs(self, since_seq: Optional[int] = None) -> Set[Pair]:
+        """Partition pairs with at least one live event at or past
+        ``since_seq`` (default: the compaction horizon)."""
+        floor = self.compacted_seq if since_seq is None else int(since_seq)
+        pairs: Set[Pair] = set()
+        for spill in self._spilled:
+            for pair, last in spill.pair_max_seq.items():
+                if last >= floor:
+                    pairs.add(pair)
+        for segment in self._segments:
+            for pair, events in segment.items():
+                if int(events["seq"][-1]) >= floor:
+                    pairs.add(pair)
+        return pairs
+
+    # ------------------------------------------------------------------
+    def mark_compacted(self, upto_seq: int) -> None:
+        """Forget every event below ``upto_seq`` (now merged into base).
+
+        Segments entirely below the horizon are dropped (spill files
+        deleted); a segment straddling it is filtered in place. Observable
+        behaviour is unchanged by construction: composition already ignores
+        events below ``compacted_seq``.
+        """
+        upto = int(upto_seq)
+        if upto < self.compacted_seq:
+            raise ValueError("compaction horizon cannot move backwards")
+        self.compacted_seq = upto
+        kept_spills: List[_SpillFile] = []
+        for spill in self._spilled:
+            if spill.max_seq >= upto:
+                kept_spills.append(spill)
+            else:
+                spill.path.unlink(missing_ok=True)
+        self._spilled = kept_spills
+        kept: List[Segment] = []
+        removed = 0
+        for segment in self._segments:
+            filtered: Segment = {}
+            for pair, events in segment.items():
+                cut = int(np.searchsorted(events["seq"], upto, side="left"))
+                removed += cut
+                if cut == 0:
+                    filtered[pair] = events
+                elif cut < len(events["seq"]):
+                    filtered[pair] = {col: events[col][cut:]
+                                      for col in _COLUMNS}
+            if filtered:
+                kept.append(filtered)
+        self._segments = kept
+        self._mem_events -= removed
+
+    def clear_spill(self) -> None:
+        """Delete any remaining spill files (stream shutdown)."""
+        for spill in self._spilled:
+            spill.path.unlink(missing_ok=True)
+        self._spilled = []
+        if self.spill_dir is not None and self.spill_dir.is_dir():
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
+
+    def stats(self) -> Dict[str, int]:
+        return {"seq": self.seq, "compacted_seq": self.compacted_seq,
+                "pending": self.pending_events,
+                "memory_events": self._mem_events,
+                "spilled_segments": len(self._spilled),
+                "events_appended": self.events_appended,
+                "edges_inserted": self.edges_inserted,
+                "edges_deleted": self.edges_deleted,
+                "spills": self.spills}

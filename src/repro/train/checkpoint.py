@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..nn.module import Module
+from ..storage.io_stats import crc_file as _crc_file
 
 SNAPSHOT_VERSION = 1
 _SNAP_PREFIX = "snap-"
@@ -49,18 +50,6 @@ FaultHook = Callable[[str], None]
 # ---------------------------------------------------------------------------
 # RNG stream state
 # ---------------------------------------------------------------------------
-
-def _crc_file(path: Path, chunk: int = 1 << 20) -> int:
-    """CRC-32 of a file, streamed — snapshot payloads can be table-sized,
-    so neither save nor load may hold the whole archive in memory."""
-    crc = 0
-    with open(path, "rb") as fh:
-        while True:
-            block = fh.read(chunk)
-            if not block:
-                return crc
-            crc = zlib.crc32(block, crc)
-
 
 def rng_state(rng: np.random.Generator) -> Dict[str, Any]:
     """JSON-able state of a numpy Generator (PCG64 ints serialize fine)."""
@@ -111,15 +100,25 @@ class SnapshotManager:
         I/O boundaries of :meth:`save` (``snapshot-begin``,
         ``snapshot-pre-rename``, ``snapshot-post-rename``). Production code
         leaves it ``None``.
+    compress:
+        Write ``arrays.npz`` with zlib compression (``savez_compressed``).
+        Purely a storage-format choice: the CRC covers the compressed
+        payload, :meth:`load` reads both formats transparently, and a
+        manager may load snapshots written with either setting — so runs
+        can toggle compression between saves without invalidating history.
+        Embedding tables compress modestly; Adagrad state and sparse
+        policy arrays compress well.
     """
 
     def __init__(self, root: os.PathLike, keep: int = 2,
-                 fault_hook: Optional[FaultHook] = None) -> None:
+                 fault_hook: Optional[FaultHook] = None,
+                 compress: bool = False) -> None:
         self.root = Path(root)
         if keep < 1:
             raise ValueError("must keep at least one snapshot")
         self.keep = keep
         self.fault_hook = fault_hook
+        self.compress = bool(compress)
 
     # ------------------------------------------------------------------
     def _fire(self, point: str) -> None:
@@ -170,8 +169,9 @@ class SnapshotManager:
         tmp.mkdir()
         self._fire("snapshot-begin")
 
+        writer = np.savez_compressed if self.compress else np.savez
         with open(tmp / "arrays.npz", "wb") as fh:
-            np.savez(fh, **arrays)
+            writer(fh, **arrays)
             fh.flush()
             os.fsync(fh.fileno())
         crc = _crc_file(tmp / "arrays.npz")

@@ -209,7 +209,8 @@ class LinkPredictionTrainer:
     def __init__(self, dataset: LinkPredictionDataset,
                  config: Optional[LinkPredictionConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
-                 checkpoint_every: int = 0) -> None:
+                 checkpoint_every: int = 0,
+                 checkpoint_compress: bool = False) -> None:
         self.dataset = dataset
         self.config = config or LinkPredictionConfig()
         cfg = self.config
@@ -223,7 +224,8 @@ class LinkPredictionTrainer:
         self.negatives = UniformNegativeSampler(graph.num_nodes, cfg.num_negatives,
                                                 rng=self.rng)
         self.step = _BatchStep(self.model, cfg, self.rng)
-        self.snapshots = (SnapshotManager(checkpoint_dir)
+        self.snapshots = (SnapshotManager(checkpoint_dir,
+                                          compress=checkpoint_compress)
                           if checkpoint_dir is not None else None)
         self.checkpoint_every = int(checkpoint_every)
         self._start_epoch = 0
@@ -432,7 +434,8 @@ class DiskLinkPredictionTrainer:
                  config: Optional[LinkPredictionConfig] = None,
                  disk: Optional[DiskConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
-                 checkpoint_every: int = 0) -> None:
+                 checkpoint_every: int = 0,
+                 checkpoint_compress: bool = False) -> None:
         self.dataset = dataset
         self.config = config or LinkPredictionConfig()
         self.disk = disk or DiskConfig(workdir=Path("/tmp/repro-disk"))
@@ -465,7 +468,8 @@ class DiskLinkPredictionTrainer:
         self.negatives = UniformNegativeSampler(graph.num_nodes, cfg.num_negatives,
                                                 rng=self.rng)
         self.step_runner = _BatchStep(self.model, cfg, self.rng)
-        self.snapshots = (SnapshotManager(checkpoint_dir)
+        self.snapshots = (SnapshotManager(checkpoint_dir,
+                                          compress=checkpoint_compress)
                           if checkpoint_dir is not None else None)
         self.checkpoint_every = int(checkpoint_every)  # in epoch-plan steps
         self._start_epoch = 0

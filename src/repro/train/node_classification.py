@@ -102,7 +102,8 @@ class NodeClassificationTrainer:
     def __init__(self, dataset: NodeClassificationDataset,
                  config: Optional[NodeClassificationConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
-                 checkpoint_every: int = 0) -> None:
+                 checkpoint_every: int = 0,
+                 checkpoint_compress: bool = False) -> None:
         self.dataset = dataset
         self.config = config or NodeClassificationConfig()
         cfg = self.config
@@ -115,7 +116,8 @@ class NodeClassificationTrainer:
         self.optimizer = Adam(self.model.parameters(), lr=cfg.lr)
         self.sampler = DenseSampler(graph, list(cfg.fanouts),
                                     directions=cfg.directions, rng=self.rng)
-        self.snapshots = (SnapshotManager(checkpoint_dir)
+        self.snapshots = (SnapshotManager(checkpoint_dir,
+                                          compress=checkpoint_compress)
                           if checkpoint_dir is not None else None)
         self.checkpoint_every = int(checkpoint_every)
         self._start_epoch = 0
@@ -299,7 +301,8 @@ class DiskNodeClassificationTrainer:
                  config: Optional[NodeClassificationConfig] = None,
                  disk: Optional[DiskNodeClassificationConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
-                 checkpoint_every: int = 0) -> None:
+                 checkpoint_every: int = 0,
+                 checkpoint_compress: bool = False) -> None:
         self.config = config or NodeClassificationConfig()
         self.disk = disk or DiskNodeClassificationConfig(workdir=Path("/tmp/repro-nc"))
         cfg, dsk = self.config, self.disk
@@ -330,7 +333,8 @@ class DiskNodeClassificationTrainer:
         self.model = NodeClassifier(cfg, graph.node_features.shape[1],
                                     self.dataset.num_classes, rng=self.rng)
         self.optimizer = Adam(self.model.parameters(), lr=cfg.lr)
-        self.snapshots = (SnapshotManager(checkpoint_dir)
+        self.snapshots = (SnapshotManager(checkpoint_dir,
+                                          compress=checkpoint_compress)
                           if checkpoint_dir is not None else None)
         self.checkpoint_every = int(checkpoint_every)  # in epoch-plan steps
         self._start_epoch = 0

@@ -87,7 +87,8 @@ class PipelinedLinkPredictionTrainer:
                  num_sample_workers: int = 2, pipeline_depth: int = 4,
                  deterministic: bool = False,
                  checkpoint_dir: Optional[Path] = None,
-                 checkpoint_every: int = 0) -> None:
+                 checkpoint_every: int = 0,
+                 checkpoint_compress: bool = False) -> None:
         if num_sample_workers < 1:
             raise ValueError("need at least one sampling worker")
         if pipeline_depth < 1:
@@ -111,7 +112,8 @@ class PipelinedLinkPredictionTrainer:
         # once and shared read-only by every sampler worker across epochs,
         # instead of each worker re-sorting the edge list per epoch.
         self._shared_index = AdjacencyIndex(graph, directions=cfg.directions)
-        self.snapshots = (SnapshotManager(checkpoint_dir)
+        self.snapshots = (SnapshotManager(checkpoint_dir,
+                                          compress=checkpoint_compress)
                           if checkpoint_dir is not None else None)
         self.checkpoint_every = int(checkpoint_every)  # in consumed batches
         self._start_epoch = 0

@@ -1,0 +1,747 @@
+"""Streaming subsystem tests: the streamed-vs-rebuilt equivalence property.
+
+The contract under test (docs/streaming.md): after **any** interleaving of
+edge insertions, deletions, node additions, and compactions, the live view
+must answer queries, sample neighborhoods, and train **bit-identically** to
+an offline preprocess of the final edge list (bucketed with the same
+partition scheme, including the last-partition growth rule). A python-side
+reference edge list is maintained alongside every randomized stream and the
+two worlds are compared structure-for-structure.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import DenseSampler
+from repro.graph.edge_list import Graph
+from repro.graph.partition import PartitionScheme
+from repro.serve.engine import ServingEngine
+from repro.storage.edge_store import EdgeBucketStore
+from repro.storage.node_store import NodeStore
+from repro.stream import (Compactor, ContinualTrainer, GraphDeltaLog,
+                          LiveGraph, pack_pairs)
+from repro.train import LinkPredictionConfig, SnapshotManager
+from repro.train.link_prediction import LinkPredictionModel
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+def make_live(tmp_path, num_nodes=120, num_edges=600, p=6, dim=8,
+              with_rel=False, seed=0, spill_threshold=1 << 20,
+              name="live") -> LiveGraph:
+    rng = np.random.default_rng(seed)
+    graph = Graph(num_nodes=num_nodes,
+                  src=rng.integers(0, num_nodes, num_edges),
+                  dst=rng.integers(0, num_nodes, num_edges),
+                  rel=rng.integers(0, 4, num_edges) if with_rel else None,
+                  num_relations=4 if with_rel else 1)
+    scheme = PartitionScheme.uniform(num_nodes, p)
+    store = NodeStore(tmp_path / f"{name}-nodes.bin", scheme, dim,
+                      learnable=True)
+    store.initialize(rng=np.random.default_rng(seed + 1))
+    edges = EdgeBucketStore(tmp_path / f"{name}-edges.bin", graph, scheme)
+    return LiveGraph(store, edges, seed=seed + 7,
+                     spill_threshold=spill_threshold)
+
+
+def base_order_edges(live: LiveGraph) -> np.ndarray:
+    """The base file's bucket-major edge array — the reference list's seed."""
+    p = live.num_partitions
+    chunks = [live.edge_store.read_bucket(i, j, record_io=False)
+              for i in range(p) for j in range(p)]
+    return np.concatenate(chunks, axis=0)
+
+
+def apply_delete(ref: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Reference deletion semantics: remove every matching occurrence."""
+    keep = np.ones(len(ref), dtype=bool)
+    for row in rows:
+        keep &= ~(ref == row).all(axis=1)
+    return ref[keep]
+
+
+def drive_random_stream(live: LiveGraph, compactor: Compactor,
+                        rng: np.random.Generator, steps: int,
+                        compact_prob: float = 0.15) -> np.ndarray:
+    """Random ingest/compact interleaving; returns the reference final edge
+    list (maintained independently of the code under test)."""
+    ref = base_order_edges(live)
+    width = live.width
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.50:
+            n = int(rng.integers(1, 40))
+            ins = np.empty((n, width), dtype=np.int64)
+            ins[:, 0] = rng.integers(0, live.num_nodes, n)
+            ins[:, -1] = rng.integers(0, live.num_nodes, n)
+            if width == 3:
+                ins[:, 1] = rng.integers(0, 4, n)
+            live.insert_edges(ins)
+            ref = np.concatenate([ref, ins], axis=0)
+        elif roll < 0.70 and len(ref):
+            n = int(rng.integers(1, 10))
+            rows = ref[rng.integers(0, len(ref), n)]
+            live.delete_edges(rows)
+            ref = apply_delete(ref, rows)
+        elif roll < 0.70 + compact_prob:
+            compactor.compact()
+        else:
+            live.add_nodes(int(rng.integers(1, 8)))
+    return ref
+
+
+def rebuild_offline(tmp_path, live: LiveGraph, ref: np.ndarray,
+                    name="rebuilt") -> EdgeBucketStore:
+    """Offline preprocess of the final edge list under the live scheme."""
+    graph = Graph(num_nodes=live.num_nodes, src=ref[:, 0], dst=ref[:, -1],
+                  rel=ref[:, 1] if live.width == 3 else None,
+                  num_relations=live.edge_store.num_relations)
+    return EdgeBucketStore(tmp_path / f"{name}-edges.bin", graph, live.scheme)
+
+
+# ---------------------------------------------------------------------------
+# Delta log
+# ---------------------------------------------------------------------------
+
+class TestDeltaLog:
+    def test_spill_roundtrip(self, tmp_path):
+        """Spilled segments serve bucket reads identically to memory."""
+        rng = np.random.default_rng(0)
+        kwargs = dict(num_partitions=4, has_relations=False)
+        spilly = GraphDeltaLog(spill_dir=tmp_path / "spill",
+                               spill_threshold=25, **kwargs)
+        memory = GraphDeltaLog(spill_dir=None, **kwargs)
+        for _ in range(10):
+            n = int(rng.integers(5, 20))
+            src = rng.integers(0, 100, n)
+            dst = rng.integers(0, 100, n)
+            bi, bj = src % 4, dst % 4
+            for log in (spilly, memory):
+                log.append(0, src, dst, None, bi, bj)
+        assert spilly.spills > 0
+        for i in range(4):
+            for j in range(4):
+                a = spilly.events_for_bucket(i, j)
+                b = memory.events_for_bucket(i, j)
+                for col in ("op", "src", "dst", "seq"):
+                    assert np.array_equal(a[col], b[col])
+
+    def test_mark_compacted_forgets(self, tmp_path):
+        log = GraphDeltaLog(4, spill_dir=tmp_path / "spill", spill_threshold=5)
+        ids = np.arange(20)
+        log.append(0, ids, ids, None, ids % 4, ids % 4)
+        assert log.spills >= 1 and log.pending_events == 20
+        log.mark_compacted(log.seq)
+        assert log.pending_events == 0
+        assert len(list((tmp_path / "spill").glob("*.npz"))) == 0
+        for i in range(4):
+            assert len(log.events_for_bucket(i, i)["seq"]) == 0
+
+    def test_horizon_cannot_move_backwards(self):
+        log = GraphDeltaLog(2)
+        log.append(0, np.array([1]), np.array([1]), None,
+                   np.array([0]), np.array([0]))
+        log.mark_compacted(1)
+        with pytest.raises(ValueError):
+            log.mark_compacted(0)
+
+
+# ---------------------------------------------------------------------------
+# The equivalence property
+# ---------------------------------------------------------------------------
+
+class TestStreamedVsRebuilt:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("with_rel", [False, True])
+    def test_buckets_match_offline_rebuild(self, tmp_path, seed, with_rel):
+        """Property: every composed bucket equals the offline rebuild's,
+        for random ingest/delete/add-node/compact interleavings."""
+        live = make_live(tmp_path, with_rel=with_rel, seed=seed)
+        rng = np.random.default_rng(100 + seed)
+        ref = drive_random_stream(live, Compactor(live), rng, steps=40)
+        rebuilt = rebuild_offline(tmp_path, live, ref)
+        p = live.num_partitions
+        for i in range(p):
+            for j in range(p):
+                assert np.array_equal(
+                    live.bucket_edges(i, j, record_io=False),
+                    rebuilt.read_bucket(i, j, record_io=False)), (i, j)
+        assert live.num_live_edges() == len(ref)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_sampling_bit_identical(self, tmp_path, seed):
+        """The partition-aware index over the live view draws the same
+        neighbors as one over the rebuild, bit for bit."""
+        live = make_live(tmp_path, seed=seed)
+        rng = np.random.default_rng(200 + seed)
+        ref = drive_random_stream(live, Compactor(live), rng, steps=30)
+        rebuilt = rebuild_offline(tmp_path, live, ref)
+        parts = [0, 2, 5]
+        for replace in (True, False):
+            s_live = DenseSampler.from_partitions(
+                live.scheme, live.bucket_endpoints, parts, [5, 3],
+                rng=np.random.default_rng(42))
+            s_built = DenseSampler.from_partitions(
+                live.scheme, rebuilt.bucket_endpoints, parts, [5, 3],
+                rng=np.random.default_rng(42))
+            targets = np.unique(rng.integers(0, live.num_nodes, 40))
+            nbrs_a, off_a = s_live.index.sample_one_hop(
+                targets, 4, np.random.default_rng(7), replace=replace)
+            nbrs_b, off_b = s_built.index.sample_one_hop(
+                targets, 4, np.random.default_rng(7), replace=replace)
+            assert np.array_equal(nbrs_a, nbrs_b)
+            assert np.array_equal(off_a, off_b)
+            a, b = s_live.sample(targets), s_built.sample(targets)
+            assert np.array_equal(a.node_ids, b.node_ids)
+
+    def test_compaction_preserves_view_and_updates_fingerprints(self, tmp_path):
+        live = make_live(tmp_path, seed=3)
+        rng = np.random.default_rng(33)
+        drive_random_stream(live, Compactor(live), rng, steps=15,
+                            compact_prob=0.0)
+        p = live.num_partitions
+        pre = [live.bucket_edges(i, j, record_io=False)
+               for i in range(p) for j in range(p)]
+        fp_before = live.edge_store.fingerprint()
+        report = Compactor(live).compact()
+        post = [live.bucket_edges(i, j, record_io=False)
+                for i in range(p) for j in range(p)]
+        for a, b in zip(pre, post):
+            assert np.array_equal(a, b)
+        assert live.log.pending_events == 0
+        assert report.merged_events > 0
+        assert report.fingerprints["edge"] != fp_before
+        # Atomicity: no staging debris next to the bucket file.
+        assert not live.edge_store.path.with_suffix(
+            live.edge_store.path.suffix + ".tmp").exists()
+
+    def test_growth_drops_stale_evicted_bucket_cache(self, tmp_path):
+        """cache_evicted=True: sub-runs of the last partition cached across
+        an eviction are sized by the old partition — growth must drop them
+        or readmission reuses stale offset tables."""
+        from repro.graph.csr import PartitionedAdjacencyIndex
+        live = make_live(tmp_path, seed=8)
+        last = live.num_partitions - 1
+        index = PartitionedAdjacencyIndex(live.scheme, live.bucket_endpoints,
+                                          [0, last], cache_evicted=True)
+        live.add_growth_listener(index.extend_nodes)
+        live.add_bucket_listener(index.refresh_buckets)
+        index.update_partitions([1], [last])   # evict last; cache keeps it
+        ids = live.add_nodes(9)                # last partition grows
+        index.update_partitions([last], [1])   # readmit from (dropped) cache
+        fresh = PartitionedAdjacencyIndex(live.scheme, live.bucket_endpoints,
+                                          [0, last])
+        assert np.array_equal(index._total_deg, fresh._total_deg)
+        for node in ids:
+            assert np.array_equal(index.neighbors_of(int(node)),
+                                  fresh.neighbors_of(int(node)))
+
+    def test_index_follows_stream_while_resident(self, tmp_path):
+        """An index attached before ingest (resident partitions) sees the
+        same virtual runs as one built fresh afterwards."""
+        live = make_live(tmp_path, seed=4)
+        parts = [1, 3, 4]
+        attached = DenseSampler.from_partitions(
+            live.scheme, live.bucket_endpoints, parts, [4],
+            rng=np.random.default_rng(0))
+        live.add_bucket_listener(attached.index.refresh_buckets)
+        live.add_growth_listener(attached.index.extend_nodes)
+        rng = np.random.default_rng(44)
+        drive_random_stream(live, Compactor(live), rng, steps=25)
+        fresh = DenseSampler.from_partitions(
+            live.scheme, live.bucket_endpoints, parts, [4],
+            rng=np.random.default_rng(0))
+        for node in range(live.num_nodes):
+            assert np.array_equal(attached.index.neighbors_of(node),
+                                  fresh.index.neighbors_of(node)), node
+        assert np.array_equal(attached.index._total_deg,
+                              fresh.index._total_deg)
+
+
+# ---------------------------------------------------------------------------
+# Deletion / growth semantics
+# ---------------------------------------------------------------------------
+
+class TestSemantics:
+    def test_delete_removes_all_occurrences_and_reinsert_readds(self, tmp_path):
+        live = make_live(tmp_path, num_edges=0, seed=9)
+        edge = np.array([[5, 17]])
+        live.insert_edges(np.repeat(edge, 3, axis=0))   # three copies
+        i, j = live.scheme.partition_of(np.array([5, 17]))
+        assert len(live.bucket_edges(int(i), int(j), record_io=False)) == 3
+        live.delete_edges(edge)
+        assert len(live.bucket_edges(int(i), int(j), record_io=False)) == 0
+        live.insert_edges(edge)                          # re-add after delete
+        assert len(live.bucket_edges(int(i), int(j), record_io=False)) == 1
+
+    def test_new_node_rows_are_batching_independent(self, tmp_path):
+        a = make_live(tmp_path, seed=2, name="a")
+        b = make_live(tmp_path, seed=2, name="b")
+        a.add_nodes(5)
+        a.add_nodes(3)
+        b.add_nodes(8)
+        assert a.num_nodes == b.num_nodes
+        assert np.array_equal(a.node_store.read_all(), b.node_store.read_all())
+        assert np.array_equal(a.scheme.boundaries, b.scheme.boundaries)
+
+    def test_edge_to_unknown_node_rejected(self, tmp_path):
+        live = make_live(tmp_path, seed=1)
+        with pytest.raises(ValueError, match="node ID space"):
+            live.insert_edges(np.array([[0, live.num_nodes]]))
+        ids = live.add_nodes(1)
+        live.insert_edges(np.array([[0, ids[0]]]))       # now legal
+
+    def test_buffer_refresh_preserves_dirty_updates_across_growth(self, tmp_path):
+        from repro.nn.optim import RowAdagrad
+        from repro.storage.buffer import PartitionBuffer
+        live = make_live(tmp_path, seed=6)
+        buf = PartitionBuffer(live.node_store, 2, optimizer=RowAdagrad(lr=0.5))
+        live.add_growth_listener(lambda scheme: buf.refresh_from_store())
+        last = live.num_partitions - 1
+        buf.set_partitions([0, last])
+        rows = live.scheme.partition_nodes(last)[:4]
+        grads = np.ones((4, live.node_store.dim), dtype=np.float32)
+        before = buf.gather(rows).copy()
+        buf.apply_gradients(rows, grads)
+        updated = buf.gather(rows).copy()
+        assert not np.array_equal(before, updated)
+        ids = live.add_nodes(10)                 # grows the dirty partition
+        assert buf.resident == [0, last]
+        assert np.array_equal(buf.gather(rows), updated)   # update survived
+        assert buf.gather(ids).shape == (10, live.node_store.dim)
+
+
+# ---------------------------------------------------------------------------
+# Serving over the live view
+# ---------------------------------------------------------------------------
+
+class TestLiveServing:
+    def test_engine_queries_match_offline_engine(self, tmp_path):
+        live = make_live(tmp_path, seed=11)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none", seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        engine = ServingEngine.over_live(live, model, buffer_capacity=3)
+        rng = np.random.default_rng(55)
+        ref = drive_random_stream(live, Compactor(live), rng, steps=25)
+        rebuilt = rebuild_offline(tmp_path, live, ref)
+
+        # Offline engine: same table served from a separate read-only store.
+        scheme = live.scheme
+        store2 = NodeStore(tmp_path / "offline-nodes.bin", scheme,
+                           live.node_store.dim, learnable=False)
+        store2.initialize(values=live.node_store.read_all())
+        offline = ServingEngine(model, store2, buffer_capacity=3,
+                                edge_source=rebuilt.bucket_endpoints)
+
+        ids = rng.integers(0, live.num_nodes, 50)
+        assert np.array_equal(engine.get_embeddings(ids),
+                              offline.get_embeddings(ids))
+        pairs = np.stack([rng.integers(0, live.num_nodes, 30),
+                          rng.integers(0, live.num_nodes, 30)], axis=1)
+        assert np.array_equal(engine.score_edges(pairs),
+                              offline.score_edges(pairs))
+        ids_a, sc_a = engine.topk_targets(7, 5)
+        ids_b, sc_b = offline.topk_targets(7, 5)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(sc_a, sc_b)
+
+    def test_encode_on_read_matches_offline_engine(self, tmp_path):
+        live = make_live(tmp_path, num_nodes=80, num_edges=400, p=4, seed=12)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="graphsage",
+                                   num_layers=1, fanouts=(4,), seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        engine = ServingEngine.over_live(live, model, buffer_capacity=2,
+                                         fanouts=cfg.fanouts)
+        rng = np.random.default_rng(66)
+        ref = drive_random_stream(live, Compactor(live), rng, steps=15)
+        rebuilt = rebuild_offline(tmp_path, live, ref)
+        store2 = NodeStore(tmp_path / "offline-nodes.bin", live.scheme,
+                           live.node_store.dim, learnable=False)
+        store2.initialize(values=live.node_store.read_all())
+        offline = ServingEngine(model, store2, buffer_capacity=2,
+                                edge_source=rebuilt.bucket_endpoints,
+                                fanouts=cfg.fanouts)
+        ids = rng.integers(0, live.num_nodes, 20)
+        assert np.array_equal(engine.encode_nodes(ids, seed=9),
+                              offline.encode_nodes(ids, seed=9))
+
+    def test_concurrent_ingest_and_batched_queries(self, tmp_path):
+        """Ingest/compact/grow on one thread while a RequestBatcher worker
+        serves queries: the shared live lock must keep every result
+        well-formed (no torn scheme/buffer views, no spurious errors)."""
+        import threading
+        from repro.serve.batcher import RequestBatcher
+        live = make_live(tmp_path, num_nodes=240, num_edges=1200, p=6,
+                         seed=14)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none", seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        engine = ServingEngine.over_live(live, model, buffer_capacity=3)
+        errors = []
+
+        def mutate():
+            rng = np.random.default_rng(7)
+            try:
+                for step in range(30):
+                    ins = np.stack([rng.integers(0, live.num_nodes, 40),
+                                    rng.integers(0, live.num_nodes, 40)],
+                                   axis=1)
+                    live.insert_edges(ins)
+                    if step % 7 == 3:
+                        live.add_nodes(5)
+                    if step % 10 == 9:
+                        Compactor(live).compact()
+            except Exception as exc:       # pragma: no cover - failure path
+                errors.append(exc)
+
+        with RequestBatcher(engine, max_batch=8, max_wait_ms=1.0) as batcher:
+            writer = threading.Thread(target=mutate)
+            writer.start()
+            while writer.is_alive():
+                rows = batcher.get_embeddings(np.arange(0, 200, 5))
+                assert rows.shape == (40, live.node_store.dim)
+                assert np.isfinite(rows).all()
+                ids, scores = batcher.topk_targets(3, 5)
+                assert len(ids) == 5
+                assert (ids < live.num_nodes).all()
+            writer.join()
+        assert not errors
+
+    def test_new_nodes_queryable_immediately(self, tmp_path):
+        live = make_live(tmp_path, seed=13)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none", seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        engine = ServingEngine.over_live(live, model, buffer_capacity=3)
+        engine.get_embeddings(np.arange(40))             # warm the buffer
+        ids = live.add_nodes(6)
+        rows = engine.get_embeddings(ids)
+        scale = 1.0 / live.node_store.dim
+        for k, node in enumerate(ids):
+            expected = np.random.default_rng(
+                [live.seed, int(node)]).uniform(-scale, scale,
+                                                live.node_store.dim)
+            assert np.allclose(rows[k], expected.astype(np.float32))
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-source top-k (satellite)
+# ---------------------------------------------------------------------------
+
+class TestBatchedTopK:
+    def _engine(self, tmp_path, seed=21):
+        live = make_live(tmp_path, seed=seed)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none", seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        return ServingEngine.over_live(live, model, buffer_capacity=3)
+
+    def test_matches_per_source_queries(self, tmp_path):
+        engine = self._engine(tmp_path)
+        srcs = [3, 50, 99, 117]
+        ids_b, sc_b = engine.topk_targets_batch(srcs, 6, exclude=srcs)
+        assert ids_b.shape == sc_b.shape == (4, 6)
+        for row, src in enumerate(srcs):
+            ids_1, sc_1 = engine.topk_targets(src, 6, exclude=srcs)
+            assert np.array_equal(ids_b[row], ids_1)
+            assert np.allclose(sc_b[row], sc_1, rtol=1e-5)
+
+    def test_one_sweep_for_many_sources(self, tmp_path):
+        srcs = [1, 40, 80, 110]
+        batch_engine = self._engine(tmp_path / "batch")
+        batch_engine.topk_targets_batch(srcs, 5)
+        batch_swaps = batch_engine.stats.swaps
+        loop_engine = self._engine(tmp_path / "loop")
+        for src in srcs:
+            loop_engine.topk_targets(src, 5)
+        # One shared sweep (plus the source gathers) vs one sweep per query.
+        p = batch_engine.scheme.num_partitions
+        assert batch_swaps <= p + batch_engine.buffer.capacity
+        assert batch_swaps < loop_engine.stats.swaps
+
+    def test_through_request_batcher(self, tmp_path):
+        from repro.serve.batcher import RequestBatcher
+        engine = self._engine(tmp_path)
+        with RequestBatcher(engine, max_batch=8, max_wait_ms=20.0) as batcher:
+            requests = [batcher.submit(
+                "topk", np.array([s, 0, 5], dtype=np.int64))
+                for s in (2, 30, 60)]
+            results = [r.wait() for r in requests]
+        for (ids, scores), src in zip(results, (2, 30, 60)):
+            ids_1, sc_1 = engine.topk_targets(src, 5)
+            assert np.array_equal(ids, ids_1)
+            assert np.allclose(scores, sc_1, rtol=1e-5)
+
+    def test_blocking_helper(self, tmp_path):
+        from repro.serve.batcher import RequestBatcher
+        engine = self._engine(tmp_path)
+        with RequestBatcher(engine, max_batch=4, max_wait_ms=1.0) as batcher:
+            ids, scores = batcher.topk_targets(11, 4)
+        assert len(ids) == len(scores) == 4
+
+
+# ---------------------------------------------------------------------------
+# Continual refresh
+# ---------------------------------------------------------------------------
+
+class TestContinualTrainer:
+    CFG = dict(embedding_dim=8, encoder="none", batch_size=64,
+               num_negatives=16, seed=3)
+
+    def test_refresh_bit_identical_to_offline(self, tmp_path):
+        """A refresh over the streamed graph equals the same refresh over
+        an offline rebuild of the final edge list, bit for bit."""
+        cfg = LinkPredictionConfig(**self.CFG)
+        live = make_live(tmp_path, seed=30, name="stream")
+        trainer = ContinualTrainer(live, cfg, buffer_capacity=3)
+        rng = np.random.default_rng(77)
+        ref = drive_random_stream(live, Compactor(live), rng, steps=20)
+
+        # Offline world: rebuilt stores seeded with the streamed table.
+        rebuilt = rebuild_offline(tmp_path, live, ref)
+        store2 = NodeStore(tmp_path / "off-nodes.bin", live.scheme,
+                           live.node_store.dim, learnable=True)
+        store2.initialize(values=live.node_store.read_all())
+        store2._state[:] = live.node_store.read_all_state()
+        off_live = LiveGraph(store2, rebuilt, seed=live.seed)
+        off_trainer = ContinualTrainer(off_live, cfg, buffer_capacity=3)
+        # Align: same model/optimizer/rng state on both sides.
+        off_trainer.model.load_state_dict(trainer.model.state_dict())
+        off_trainer.rng.bit_generator.state = trainer.rng.bit_generator.state
+
+        pairs = [(0, 0), (1, 2), (3, 3), (4, 5), (2, 1)]
+        trainer.refresh(pairs=pairs)
+        off_trainer.refresh(pairs=pairs)
+        trainer.buffer.flush()
+        off_trainer.buffer.flush()
+        assert np.array_equal(live.node_store.read_all(),
+                              store2.read_all())
+        assert np.array_equal(live.node_store.read_all_state(),
+                              store2.read_all_state())
+        sd_a, sd_b = trainer.model.state_dict(), off_trainer.model.state_dict()
+        assert set(sd_a) == set(sd_b)
+        for key in sd_a:
+            assert np.array_equal(sd_a[key], sd_b[key]), key
+
+    def test_refresh_covers_touched_buckets_across_compaction(self, tmp_path):
+        cfg = LinkPredictionConfig(**self.CFG)
+        live = make_live(tmp_path, seed=31)
+        trainer = ContinualTrainer(live, cfg, buffer_capacity=3)
+        rng = np.random.default_rng(88)
+        ins = np.stack([rng.integers(0, live.num_nodes, 100),
+                        rng.integers(0, live.num_nodes, 100)], axis=1)
+        live.insert_edges(ins)
+        touched = set(trainer._pending_pairs)
+        assert touched
+        Compactor(live).compact()                 # log forgets; trainer must not
+        assert trainer._pending_pairs == touched
+        record = trainer.refresh()
+        assert record.num_batches > 0
+        assert not trainer._pending_pairs
+
+    def test_refresh_updates_are_served_immediately(self, tmp_path):
+        """A serving engine over the same live graph must see post-refresh
+        embeddings: refresh flushes and the engine's buffer re-reads the
+        retrained partitions."""
+        cfg = LinkPredictionConfig(**self.CFG)
+        live = make_live(tmp_path, seed=34)
+        trainer = ContinualTrainer(live, cfg, buffer_capacity=3)
+        engine = ServingEngine.over_live(live, trainer.model,
+                                         buffer_capacity=3)
+        probe = np.arange(0, live.num_nodes, 7)
+        before = engine.get_embeddings(probe).copy()   # warm + snapshot
+        rng = np.random.default_rng(101)
+        ins = np.stack([rng.integers(0, live.num_nodes, 200),
+                        rng.integers(0, live.num_nodes, 200)], axis=1)
+        live.insert_edges(ins)
+        record = trainer.refresh()
+        assert record.num_batches > 0
+        served = engine.get_embeddings(probe)
+        assert not np.array_equal(served, before)      # training moved rows
+        assert np.array_equal(served, live.node_store.read_all()[probe])
+
+    def test_explicit_pairs_refresh_keeps_cursor_and_pending(self, tmp_path):
+        """refresh(pairs=[A]) must not record untouched buckets as trained:
+        the seq cursor and the pending accumulator stay put."""
+        cfg = LinkPredictionConfig(**self.CFG)
+        live = make_live(tmp_path, seed=35)
+        trainer = ContinualTrainer(live, cfg, buffer_capacity=3)
+        rng = np.random.default_rng(102)
+        ins = np.stack([rng.integers(0, live.num_nodes, 80),
+                        rng.integers(0, live.num_nodes, 80)], axis=1)
+        live.insert_edges(ins)
+        pending_before = set(trainer._pending_pairs)
+        cursor_before = trainer.refreshed_seq
+        trainer.refresh(pairs=[sorted(pending_before)[0]])
+        assert trainer.refreshed_seq == cursor_before
+        assert trainer._pending_pairs == pending_before
+        trainer.refresh()                              # full pass advances
+        assert trainer.refreshed_seq == live.log.seq
+        assert not trainer._pending_pairs
+
+    def test_snapshot_records_log_position_and_resumes(self, tmp_path):
+        cfg = LinkPredictionConfig(**self.CFG)
+        live = make_live(tmp_path, seed=32)
+        trainer = ContinualTrainer(live, cfg, buffer_capacity=3,
+                                   checkpoint_dir=tmp_path / "ckpt")
+        rng = np.random.default_rng(99)
+        ins = np.stack([rng.integers(0, live.num_nodes, 50),
+                        rng.integers(0, live.num_nodes, 50)], axis=1)
+        live.insert_edges(ins)
+        Compactor(live).compact()
+        trainer.refresh()
+        path = trainer.save_snapshot()     # flushes the buffer first
+        table_at_snap = live.node_store.read_all()
+        assert path.is_dir()
+        # Damage the table, then resume: state comes back from the snapshot
+        # and the recorded stream position tells the caller what to replay.
+        live.node_store._table[:] = -1.0
+        meta = trainer.resume()
+        assert np.array_equal(live.node_store.read_all(), table_at_snap)
+        assert meta["stream"]["seq"] == live.log.seq
+        assert meta["stream"]["compacted_seq"] == live.log.compacted_seq
+        assert meta["stream"]["refreshed_seq"] == trainer.refreshed_seq
+        # The bucket listener must keep feeding the accumulator after a
+        # resume (resume replaces the contents, not the subscribed set).
+        ins2 = np.stack([rng.integers(0, live.num_nodes, 20),
+                         rng.integers(0, live.num_nodes, 20)], axis=1)
+        live.insert_edges(ins2)
+        assert trainer._pending_pairs
+
+    def test_reopened_stores_match_originals(self, tmp_path):
+        """NodeStore.open / EdgeBucketStore.open reattach to a compacted,
+        grown workdir bit-for-bit (the CLI --resume-from path)."""
+        live = make_live(tmp_path, seed=36, with_rel=True)
+        rng = np.random.default_rng(103)
+        drive_random_stream(live, Compactor(live), rng, steps=15)
+        Compactor(live).compact()
+        live.node_store.flush()
+        node2 = NodeStore.open(live.node_store.path, live.scheme,
+                               live.node_store.dim, learnable=True)
+        edge2 = EdgeBucketStore.open(live.edge_store.path, live.scheme)
+        assert np.array_equal(node2.read_all(), live.node_store.read_all())
+        assert edge2.fingerprint() == live.edge_store.fingerprint()
+        assert node2.fingerprint() == live.node_store.fingerprint()
+        p = live.num_partitions
+        for i in range(p):
+            for j in range(p):
+                assert np.array_equal(
+                    edge2.read_bucket(i, j, record_io=False),
+                    live.edge_store.read_bucket(i, j, record_io=False))
+
+    def test_pack_pairs_covers_every_pair_within_capacity(self):
+        rng = np.random.default_rng(5)
+        pairs = {(int(i), int(j)) for i, j in rng.integers(0, 10, (30, 2))}
+        for capacity in (2, 3, 5):
+            groups = pack_pairs(sorted(pairs), capacity)
+            seen = [pair for _, batch in groups for pair in batch]
+            assert sorted(seen) == sorted(pairs)       # exactly once each
+            for parts, batch in groups:
+                assert len(parts) <= capacity
+                assert all(i in parts and j in parts for i, j in batch)
+        with pytest.raises(ValueError):
+            pack_pairs([(0, 1)], 1)
+
+
+# ---------------------------------------------------------------------------
+# Compressed snapshots (satellite)
+# ---------------------------------------------------------------------------
+
+class TestCompressedSnapshots:
+    def test_roundtrip_bit_identical_and_smaller(self, tmp_path):
+        rng = np.random.default_rng(0)
+        # Highly compressible payload (zeros + repeats) to make the size
+        # comparison robust.
+        arrays = {"table": rng.uniform(size=(400, 16)).astype(np.float32),
+                  "state": np.zeros((400, 16), dtype=np.float32),
+                  "cursor": np.arange(1000)}
+        meta = {"trainer": "test", "epoch": 1}
+        plain = SnapshotManager(tmp_path / "plain")
+        packed = SnapshotManager(tmp_path / "packed", compress=True)
+        p1 = plain.save(1, meta, arrays)
+        p2 = packed.save(1, meta, arrays)
+        size1 = (p1 / "arrays.npz").stat().st_size
+        size2 = (p2 / "arrays.npz").stat().st_size
+        assert size2 < size1
+        meta2, arrays2 = packed.load()
+        assert meta2 == meta
+        for name in arrays:
+            assert np.array_equal(arrays[name], arrays2[name])
+
+    def test_formats_interchangeable(self, tmp_path):
+        """A manager can load snapshots written with either setting."""
+        arrays = {"x": np.arange(100, dtype=np.float32)}
+        SnapshotManager(tmp_path / "r", compress=True).save(1, {"a": 1}, arrays)
+        meta, loaded = SnapshotManager(tmp_path / "r").load()
+        assert meta == {"a": 1}
+        assert np.array_equal(loaded["x"], arrays["x"])
+
+    def test_trainer_resume_from_compressed_snapshot(self, tmp_path):
+        from repro.graph.datasets import load_fb15k237
+        from repro.train import LinkPredictionTrainer
+        data = load_fb15k237(scale=0.02)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none",
+                                   num_epochs=2, batch_size=256,
+                                   num_negatives=8, seed=0)
+        kwargs = dict(checkpoint_dir=tmp_path / "c", checkpoint_every=1)
+        one = LinkPredictionTrainer(data, cfg, checkpoint_compress=True,
+                                    **kwargs)
+        one.train()
+        two = LinkPredictionTrainer(data, cfg, **kwargs)
+        two.resume()                       # plain manager reads compressed
+        assert np.array_equal(one.embeddings.table, two.embeddings.table)
+
+
+# ---------------------------------------------------------------------------
+# CLI driver (subprocess)
+# ---------------------------------------------------------------------------
+
+class TestStreamCLI:
+    def test_driver_with_verify(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "stream", "--scale", "0.02",
+             "--partitions", "4", "--buffer", "2", "--dim", "8",
+             "--events", "600", "--event-batch", "200",
+             "--compact-every", "300", "--refresh", "--verify",
+             "--workdir", str(tmp_path / "wd")],
+            capture_output=True, text=True, timeout=300,
+            cwd=REPO, env=_cli_env())
+        assert result.returncode == 0, result.stderr
+        assert "verify OK" in result.stdout
+        assert "compacted" in result.stdout
+        assert "stream stats:" in result.stdout
+
+    def test_resume_from_stream_snapshot(self, tmp_path):
+        """The CLI can resume the snapshots it writes: the workdir's
+        compacted, grown stores are reopened, not rebuilt."""
+        base = [sys.executable, "-m", "repro", "stream", "--scale", "0.02",
+                "--partitions", "4", "--buffer", "2", "--dim", "8",
+                "--event-batch", "200", "--compact-every", "300",
+                "--refresh", "--workdir", str(tmp_path / "wd"),
+                "--checkpoint-dir", str(tmp_path / "ck")]
+        first = subprocess.run(base + ["--events", "600",
+                                       "--checkpoint-every", "1"],
+                               capture_output=True, text=True, timeout=300,
+                               cwd=REPO, env=_cli_env())
+        assert first.returncode == 0, first.stderr
+        second = subprocess.run(
+            base + ["--events", "300", "--verify",
+                    "--resume-from", str(tmp_path / "ck")],
+            capture_output=True, text=True, timeout=300,
+            cwd=REPO, env=_cli_env())
+        assert second.returncode == 0, second.stderr
+        assert "resumed at stream position" in second.stdout
+        assert "verify OK" in second.stdout
+
+
+def _cli_env():
+    import os
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
