@@ -2,28 +2,38 @@
 """Node classification with training-node caching (paper Section 5.2).
 
 Trains a 3-layer GraphSage classifier on a Papers100M-style citation graph
-(1% labeled nodes, class-correlated features and edges), twice:
+(1% labeled nodes, class-correlated features and edges), twice through the
+unified job API:
 
-* fully in memory, and
-* disk-based, with node features in a memmap store and the Section 5.2
-  policy — training nodes relabeled into the first partitions, pinned in the
-  buffer all epoch, zero intra-epoch partition swaps.
+* fully in memory (kind ``nc-mem``), and
+* disk-based (kind ``nc-disk``), with node features in a memmap store and
+  the Section 5.2 policy — training nodes relabeled into the first
+  partitions, pinned in the buffer all epoch, zero intra-epoch swaps.
+
+The two specs differ only in ``kind`` and the ``storage`` section.
 
 Run:  python examples/node_classification_papers.py
 """
 
+import dataclasses
 import tempfile
-from pathlib import Path
 
-from repro.graph import load_papers100m_mini
-from repro.train import (DiskNodeClassificationConfig,
-                         DiskNodeClassificationTrainer,
-                         NodeClassificationConfig, NodeClassificationTrainer)
+from repro import api
+from repro.api import DataSpec, JobSpec, ModelSpec, StorageSpec, TrainSpec
+
+MEM_SPEC = JobSpec(
+    kind="nc-mem",
+    # feat_dim set explicitly: features stay 32-wide while the GNN's
+    # hidden dimension (model.dim) is 64.
+    data=DataSpec(nodes=8000, edges=80000, feat_dim=32, classes=16, seed=0),
+    model=ModelSpec(dim=64,
+                    fanouts=(15, 10, 5)),   # ordered away from the targets
+    train=TrainSpec(batch_size=256, epochs=10, eval_every=2, seed=0))
 
 
 def main() -> None:
-    data = load_papers100m_mini(num_nodes=8000, num_edges=80000, feat_dim=32,
-                                num_classes=16, seed=0)
+    job = api.build_job(MEM_SPEC)
+    data = job.dataset
     graph = data.graph
     print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges, "
           f"{data.num_classes} classes")
@@ -31,28 +41,17 @@ def main() -> None:
           f"({len(data.train_nodes) / graph.num_nodes:.1%} of the graph — "
           "the sparsity the caching policy exploits)\n")
 
-    config = NodeClassificationConfig(
-        hidden_dim=64,
-        num_layers=3,
-        fanouts=(15, 10, 5),   # ordered away from the target nodes
-        batch_size=256,
-        num_epochs=10,
-        eval_every=2,
-        seed=0,
-    )
-
     print("=== in-memory training ===")
-    mem = NodeClassificationTrainer(data, config).train(verbose=True)
+    mem = job.run(verbose=True)
     print(f"test accuracy: {mem.final_accuracy:.4f} "
           f"({mem.mean_epoch_seconds:.2f}s/epoch)\n")
 
     print("=== disk-based training (features on disk, training nodes cached) ===")
     with tempfile.TemporaryDirectory() as tmp:
-        disk = DiskNodeClassificationConfig(workdir=Path(tmp),
-                                            num_partitions=16,
-                                            buffer_capacity=8)
-        trainer = DiskNodeClassificationTrainer(data, config, disk)
-        result = trainer.train(verbose=True)
+        disk_spec = dataclasses.replace(
+            MEM_SPEC, kind="nc-disk",
+            storage=StorageSpec(workdir=tmp, partitions=16, buffer=8))
+        result = api.run(disk_spec, verbose=True)
     print(f"test accuracy: {result.final_accuracy:.4f} "
           f"({result.mean_epoch_seconds:.2f}s/epoch)")
     print(f"IO per epoch: {result.epochs[-1].io_bytes >> 20} MiB in "

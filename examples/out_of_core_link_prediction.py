@@ -5,48 +5,52 @@ This example exercises the paper's headline scenario (Sections 3, 5, 7.5):
 node embeddings and edge buckets live in memmap files on disk, a partition
 buffer holds only 1/4 of the partitions in memory, and a replacement policy
 schedules which partitions (and which training-example buckets) are processed
-while each set is resident. It trains the same GraphSage model under both
-COMET and BETA, then reports MRR, IO traffic, and the Edge Permutation Bias
-of each policy's schedule.
+while each set is resident. Everything runs through the unified job API —
+the in-memory reference is an ``lp-mem`` job, the two disk runs are
+``lp-disk`` jobs differing only in ``storage.policy`` — then reports MRR,
+IO traffic, and the Edge Permutation Bias of each policy's schedule.
 
 Run:  python examples/out_of_core_link_prediction.py
 """
 
+import dataclasses
 import tempfile
-from pathlib import Path
 
 import numpy as np
 
-from repro.graph import EdgeBuckets, Graph, PartitionScheme, load_fb15k237
+from repro import api
+from repro.api import (DataSpec, JobSpec, ModelSpec, StorageSpec, TrainSpec)
+from repro.graph import EdgeBuckets, Graph, PartitionScheme
 from repro.policies import (BetaPolicy, CometPolicy, edge_permutation_bias,
                             workload_balance)
-from repro.train import (DiskConfig, DiskLinkPredictionTrainer,
-                         LinkPredictionConfig, LinkPredictionTrainer)
 
 P, L, C = 16, 8, 4  # physical partitions, logical partitions, buffer capacity
 
+BASE_SPEC = JobSpec(
+    kind="lp-mem",
+    data=DataSpec(dataset="fb15k237", scale=0.25, seed=1),
+    model=ModelSpec(dim=32, encoder="graphsage", fanouts=(10,)),
+    train=TrainSpec(batch_size=512, negatives=64, epochs=4, eval_every=0,
+                    eval_negatives=100, eval_max_edges=1000, seed=0))
+
 
 def main() -> None:
-    data = load_fb15k237(scale=0.25, seed=1)
+    # In-memory reference: the accuracy target disk-based training chases.
+    mem_job = api.build_job(BASE_SPEC)
+    data = mem_job.dataset
     print(f"graph: {data.graph.num_nodes:,} nodes, {data.graph.num_edges:,} edges")
     print(f"storage: {P} physical partitions, buffer holds {C} (25% resident)\n")
-
-    config = LinkPredictionConfig(
-        embedding_dim=32, encoder="graphsage", num_layers=1, fanouts=(10,),
-        batch_size=512, num_negatives=64, num_epochs=4,
-        eval_negatives=100, eval_max_edges=1000, seed=0)
-
-    # In-memory reference: the accuracy target disk-based training chases.
-    mem = LinkPredictionTrainer(data, config).train()
+    mem = mem_job.run()
     print(f"in-memory reference MRR: {mem.final_mrr:.4f} "
           f"({mem.mean_epoch_seconds:.1f}s/epoch)\n")
 
     for policy in ("comet", "beta"):
         with tempfile.TemporaryDirectory() as tmp:
-            disk = DiskConfig(workdir=Path(tmp), num_partitions=P,
-                              num_logical=L, buffer_capacity=C, policy=policy)
-            trainer = DiskLinkPredictionTrainer(data, config, disk)
-            result = trainer.train()
+            spec = dataclasses.replace(
+                BASE_SPEC, kind="lp-disk",
+                storage=StorageSpec(workdir=tmp, partitions=P, logical=L,
+                                    buffer=C, policy=policy))
+            result = api.run(spec)
             epoch = result.epochs[-1]
             print(f"{policy.upper():6s} disk MRR {result.final_mrr:.4f} "
                   f"({result.final_mrr / mem.final_mrr:.0%} of in-memory) | "

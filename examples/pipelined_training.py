@@ -3,41 +3,46 @@
 
 MariusGNN's throughput comes from overlap: sampler workers prepare batches
 i+1..i+d while the device computes batch i and a background writer applies
-base-representation updates. This example runs the same workload through the
-synchronous and the pipelined trainer and reports the pipeline's health
-metrics (compute starvation, write-back backlog) plus model-quality parity
-under bounded staleness.
+base-representation updates. This example runs the same declarative job
+spec through the synchronous (``lp-mem``) and the pipelined
+(``lp-pipelined``) kinds — only the ``kind`` and the pipeline knobs differ
+— and reports the pipeline's health metrics (compute starvation,
+write-back backlog) plus model-quality parity under bounded staleness.
 
 Run:  python examples/pipelined_training.py
 """
 
-from repro.graph import load_fb15k237
-from repro.train import (LinkPredictionConfig, LinkPredictionTrainer,
-                         PipelinedLinkPredictionTrainer)
+import dataclasses
+
+from repro import api
+from repro.api import DataSpec, JobSpec, ModelSpec, TrainSpec
+
+SYNC_SPEC = JobSpec(
+    kind="lp-mem",
+    data=DataSpec(dataset="fb15k237", scale=0.2),
+    model=ModelSpec(dim=32, encoder="graphsage", fanouts=(10, 5)),
+    train=TrainSpec(batch_size=512, negatives=64, epochs=3, eval_every=0,
+                    eval_negatives=100, eval_max_edges=800, seed=0))
 
 
 def main() -> None:
-    data = load_fb15k237(scale=0.2, seed=0)
-    config = LinkPredictionConfig(
-        embedding_dim=32, encoder="graphsage", num_layers=2, fanouts=(10, 5),
-        batch_size=512, num_negatives=64, num_epochs=3,
-        eval_negatives=100, eval_max_edges=800, seed=0)
-
     print("=== synchronous (one batch at a time) ===")
-    sync = LinkPredictionTrainer(data, config).train(verbose=True)
+    sync = api.run(SYNC_SPEC, verbose=True)
 
     print("\n=== pipelined (2 sampler workers, depth-4 queue, async updates) ===")
-    trainer = PipelinedLinkPredictionTrainer(data, config,
-                                             num_sample_workers=2,
-                                             pipeline_depth=4)
-    piped = trainer.train(verbose=True)
+    piped_spec = dataclasses.replace(
+        SYNC_SPEC, kind="lp-pipelined",
+        train=dataclasses.replace(SYNC_SPEC.train, workers=2,
+                                  pipeline_depth=4))
+    job = api.build_job(piped_spec)
+    piped = job.run(verbose=True)
 
     print("\nsummary:")
     print(f"  sync      MRR {sync.final_mrr:.4f}  "
           f"{sync.mean_epoch_seconds:.2f}s/epoch")
     print(f"  pipelined MRR {piped.final_mrr:.4f}  "
           f"{piped.mean_epoch_seconds:.2f}s/epoch")
-    stats = trainer.pipeline_stats[-1]
+    stats = job.trainer.pipeline_stats[-1]
     starved = stats.sample_wait_seconds / max(piped.epochs[-1].seconds, 1e-9)
     print(f"  pipeline: compute starved {starved:.0%} of the epoch, "
           f"max write-back backlog {stats.update_backlog_max} batches")

@@ -1,48 +1,48 @@
 #!/usr/bin/env python
 """Quickstart: train a GraphSage link prediction model in memory.
 
-Covers the minimal MariusGNN workflow on an FB15k-237-style knowledge graph:
-load a dataset, configure a 1-layer GraphSage encoder with a DistMult
-decoder, train for a few epochs, and evaluate MRR / Hits@K.
+Covers the minimal MariusGNN workflow on an FB15k-237-style knowledge graph
+through the unified job API: declare a typed ``JobSpec`` (kind ``lp-mem``),
+build it, train for a few epochs, and evaluate MRR / Hits@K. The same spec
+serialized to JSON runs via ``python -m repro run``
+(see examples/specs/quickstart_lp_mem.json and docs/api.md).
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.graph import load_fb15k237
-from repro.train import LinkPredictionConfig, LinkPredictionTrainer
+from repro import api
+from repro.api import DataSpec, JobSpec, ModelSpec, TrainSpec
 
 
 def main() -> None:
     # FB15k-237 at 20% scale keeps this example under a minute on a laptop.
-    data = load_fb15k237(scale=0.2, seed=0)
+    spec = JobSpec(
+        kind="lp-mem",
+        data=DataSpec(dataset="fb15k237", scale=0.2),
+        model=ModelSpec(
+            dim=50,                # learnable base representations
+            encoder="graphsage",   # 1-layer GNN on top (paper Section 7.1)
+            fanouts=(20,),         # 20 neighbors sampled per target node
+            decoder="distmult"),
+        train=TrainSpec(batch_size=1000,
+                        negatives=100,  # shared negative pool per batch
+                        epochs=5, seed=0))
+
+    # build_job exposes the underlying trainer for anything run() doesn't
+    # cover — here, an untrained baseline evaluation before training.
+    job = api.build_job(spec)
+    data = job.dataset
     graph = data.graph
     print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges, "
           f"{graph.num_relations} relation types")
     print(f"split: {len(data.split.train):,} train / "
           f"{len(data.split.valid):,} valid / {len(data.split.test):,} test edges")
 
-    config = LinkPredictionConfig(
-        embedding_dim=50,          # learnable base representations
-        encoder="graphsage",       # 1-layer GNN on top (paper Section 7.1)
-        num_layers=1,
-        fanouts=(20,),             # 20 neighbors sampled per target node
-        directions="both",         # incoming and outgoing edges
-        decoder="distmult",
-        batch_size=1000,
-        num_negatives=100,         # shared negative pool per batch
-        num_epochs=5,
-        eval_every=1,
-        seed=0,
-    )
-
-    trainer = LinkPredictionTrainer(data, config)
-    untrained = trainer.evaluate()
+    untrained = job.trainer.evaluate()
     print(f"\nuntrained MRR: {untrained.mrr:.4f} (chance-level baseline)")
 
     print("\ntraining...")
-    result = trainer.train(verbose=True)
+    result = job.run(verbose=True)
 
     metrics = result.final_metrics
     print(f"\nfinal test metrics over {metrics.num_examples} edges:")

@@ -2,8 +2,10 @@
 """Serve queries from a trained snapshot, out-of-core.
 
 Trains a small decoder-only link prediction model on disk (the paper's
-out-of-core setup), snapshots it, then serves three query families through
-a read-only partition buffer holding 25% of the partitions:
+out-of-core setup) as an ``lp-disk`` job, snapshots it through the job
+protocol, then serves three query families through a read-only partition
+buffer holding 25% of the partitions — a ``serve`` job over the same
+unified API:
 
 * embedding lookups, paged through the buffer (bit-equal to the table),
 * edge scoring, bit-identical to offline evaluation scoring,
@@ -20,43 +22,48 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.graph import load_fb15k237
-from repro.serve import RequestBatcher, serve_link_prediction
-from repro.train import (DiskConfig, DiskLinkPredictionTrainer,
-                         LinkPredictionConfig, score_edges_offline)
+from repro import api
+from repro.api import (DataSpec, JobSpec, ModelSpec, ServeSpec, StorageSpec,
+                       TrainSpec)
+from repro.serve import RequestBatcher
+from repro.train import score_edges_offline
 
 P, C = 16, 4  # physical partitions; buffer capacity (25% resident)
 
 
 def main() -> None:
     tmp = Path(tempfile.mkdtemp(prefix="repro-serve-example-"))
-    data = load_fb15k237(scale=0.25, seed=1)
-    print(f"graph: {data.graph.num_nodes:,} nodes, "
-          f"{data.graph.num_edges:,} edges")
 
     # --- train out-of-core and snapshot -------------------------------
-    config = LinkPredictionConfig(embedding_dim=32, encoder="none",
-                                  decoder="distmult", batch_size=512,
-                                  num_negatives=64, num_epochs=2, seed=0)
-    disk = DiskConfig(workdir=tmp / "train", num_partitions=P,
-                      num_logical=8, buffer_capacity=C)
-    trainer = DiskLinkPredictionTrainer(data, config, disk,
-                                        checkpoint_dir=tmp / "ckpt")
-    result = trainer.train()
-    trainer.save_snapshot(config.num_epochs, 0, 1)
-    print(f"trained: MRR {result.final_mrr:.4f}; "
-          f"snapshot {trainer.snapshots.latest().name}\n")
+    train_spec = JobSpec(
+        kind="lp-disk",
+        data=DataSpec(dataset="fb15k237", scale=0.25, seed=1),
+        model=ModelSpec(dim=32, encoder="none", decoder="distmult"),
+        train=TrainSpec(batch_size=512, negatives=64, epochs=2, eval_every=0,
+                        seed=0),
+        storage=StorageSpec(workdir=str(tmp / "train"), partitions=P,
+                            logical=8, buffer=C))
+    train_job = api.build_job(train_spec)
+    data = train_job.dataset
+    print(f"graph: {data.graph.num_nodes:,} nodes, "
+          f"{data.graph.num_edges:,} edges")
+    result = train_job.run()
+    snapshot = train_job.snapshot()
+    print(f"trained: MRR {result.final_mrr:.4f}; snapshot {snapshot.name}\n")
 
     # --- serve it ------------------------------------------------------
-    engine = serve_link_prediction(trainer.snapshots.latest(), tmp / "serve",
-                                   buffer_capacity=C)
+    serve_job = api.build_job(JobSpec(
+        kind="serve",
+        serve=ServeSpec(snapshot=str(snapshot)),
+        storage=StorageSpec(workdir=str(tmp / "serve"), buffer=C)))
+    engine = serve_job.engine
     print(f"serving with buffer {C}/{P} partitions "
           f"({C / P:.0%} resident), QueryLRU replacement")
 
     # 1. Paged embedding lookups equal the full table.
     ids = np.random.default_rng(0).integers(0, data.graph.num_nodes, 1000)
     embs = engine.get_embeddings(ids)
-    table = trainer.node_store.read_all()
+    table = train_job.trainer.node_store.read_all()
     assert np.array_equal(embs, table[ids])
     print(f"lookups: {len(ids)} rows served, "
           f"{engine.stats.swaps} partition swaps, bit-equal to the table")
@@ -64,7 +71,7 @@ def main() -> None:
     # 2. Served scores are bit-identical to offline evaluation scoring.
     held_out = data.split.test[:500]
     served = engine.score_edges(held_out)
-    offline = score_edges_offline(trainer.model, table, held_out)
+    offline = score_edges_offline(train_job.trainer.model, table, held_out)
     assert np.array_equal(served, offline)
     print(f"scoring: {len(held_out)} held-out edges, "
           f"bit-identical to offline evaluation")

@@ -1,0 +1,72 @@
+"""The unified job API: typed specs, a kind registry, one ``run()``.
+
+Every workload in the reproduction — six trainers, the serving engine,
+the streaming driver — is described by a declarative, JSON-serializable
+:class:`~repro.api.specs.JobSpec` and executed through one entrypoint::
+
+    from repro.api import JobSpec, DataSpec, ModelSpec, TrainSpec, run
+
+    spec = JobSpec(kind="lp-mem",
+                   data=DataSpec(dataset="fb15k237", scale=0.2),
+                   model=ModelSpec(dim=50, fanouts=(20,)),
+                   train=TrainSpec(epochs=5))
+    result = run(spec)             # TrainResult
+    print(result.final_mrr)
+
+``repro run spec.json`` is the CLI face of the same call, and the legacy
+``train-lp``/``train-nc``/``serve``/``stream`` subcommands are thin
+shims that build a spec from flags and delegate here. See
+``docs/api.md`` for the spec schema, the registry, and migration notes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import registry
+from .registry import (JOB_KINDS, JobError, KindInfo, get_factory,
+                       job_kinds, kind_info)
+from .specs import (CheckpointSpec, DataSpec, JobSpec, ModelSpec, ServeSpec,
+                    StorageSpec, StreamSpec, TrainSpec, default_checkpoint_dir,
+                    load_spec, save_spec, schema_lines)
+
+__all__ = [
+    "JobSpec", "DataSpec", "ModelSpec", "TrainSpec", "StorageSpec",
+    "CheckpointSpec", "ServeSpec", "StreamSpec",
+    "load_spec", "save_spec", "schema_lines",
+    "JOB_KINDS", "JobError", "KindInfo", "job_kinds", "kind_info",
+    "get_factory", "default_checkpoint_dir",
+    "build_job", "run", "registry",
+]
+
+
+def build_job(spec: JobSpec, verbose: bool = False, on_event=None):
+    """Resolve ``spec`` and construct (but not run) its job.
+
+    Returns the built :class:`~repro.api.jobs.Job`, whose underlying
+    trainer/engine is reachable (``job.trainer`` / ``job.engine``) for
+    callers that need more than :func:`run`'s result object. ``on_event``
+    is an optional ``fn(event, payload)`` progress/checkpoint listener
+    (see :mod:`repro.train.hooks`).
+    """
+    spec = spec.resolve()
+    listeners = [on_event] if on_event is not None else []
+    job = get_factory(spec.kind)(spec)
+    job.build(verbose=verbose, listeners=listeners)
+    return job
+
+
+def run(spec: JobSpec, verbose: bool = False, on_event=None) -> Any:
+    """The single programmatic entrypoint: build, resume, run ``spec``.
+
+    Resolves and validates the spec, builds the job, restores
+    ``checkpoint.resume_from`` when set, and executes the job — returning
+    the kind's result object (a ``TrainResult``,
+    ``NodeClassificationResult``, or a results dict for serve/stream
+    jobs). ``verbose=True`` reproduces the legacy CLI output.
+    """
+    job = build_job(spec, verbose=verbose, on_event=on_event)
+    if ("checkpoint" in job.spec.sections
+            and job.spec.checkpoint.resume_from):
+        job.resume(verbose=verbose)
+    return job.run(verbose=verbose)

@@ -1,0 +1,719 @@
+"""Job implementations: one factory per registered kind.
+
+A *job* wraps one workload behind the common protocol the unified API
+promises::
+
+    job = build_job(spec)     # construct trainers / engines / stores
+    job.resume(path)          # optional: restore a snapshot
+    result = job.run()        # execute; returns the kind's result object
+    job.snapshot()            # optional: persist the final state
+
+Every factory here consumes a **resolved** :class:`~repro.api.specs.
+JobSpec` and is the single place the spec's declarative fields meet the
+constructors of the underlying subsystems — the CLI subcommands are thin
+shims over these factories, so programmatic ``repro.api.run(spec)`` and
+``repro run spec.json`` and the legacy flag spellings all execute
+identical code. User-facing configuration errors raise
+:class:`~repro.api.registry.JobError` (a ``ValueError`` subclass the CLI
+converts to clean exits — anything else propagates with a traceback);
+``verbose=True`` reproduces the legacy CLI's progress output
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+import numpy as np
+
+from ..graph import (load_fb15k237, load_freebase86m_mini,
+                     load_papers100m_mini, load_wikikg90m_mini,
+                     training_graph)
+from ..train import (DiskConfig, DiskLinkPredictionTrainer,
+                     DiskNodeClassificationConfig,
+                     DiskNodeClassificationTrainer, LinkPredictionConfig,
+                     LinkPredictionTrainer, NodeClassificationConfig,
+                     NodeClassificationTrainer,
+                     PipelinedLinkPredictionTrainer, SnapshotManager)
+from ..train.hooks import ProgressListener
+from . import registry
+from .registry import JobError
+from .specs import CheckpointSpec, JobSpec, default_checkpoint_dir
+
+LP_DATASETS = {
+    "fb15k237": lambda scale, seed=0: load_fb15k237(scale=scale, seed=seed),
+    "freebase86m-mini": lambda scale, seed=0: load_freebase86m_mini(
+        num_nodes=max(500, int(20000 * scale * 5)), seed=seed),
+    "wikikg90m-mini": lambda scale, seed=0: load_wikikg90m_mini(
+        num_nodes=max(500, int(24000 * scale * 5)), seed=seed),
+}
+
+
+def _lp_dataset(spec: JobSpec):
+    name = spec.data.dataset
+    if name not in LP_DATASETS:
+        raise JobError(f"unknown LP dataset {name!r}; "
+                         f"choose from {sorted(LP_DATASETS)}")
+    return LP_DATASETS[name](spec.data.scale, spec.data.seed or 0)
+
+
+def _nc_dataset(spec: JobSpec):
+    data = spec.data
+    if data.dataset not in (None, "papers100m-mini"):
+        raise JobError(f"unknown NC dataset {data.dataset!r}; the NC kinds "
+                       f"regenerate 'papers100m-mini' (sized by data.nodes/"
+                       f"edges/feat_dim/classes)")
+    kwargs: Dict[str, Any] = {}
+    if data.classes is not None:
+        kwargs["num_classes"] = data.classes
+    return load_papers100m_mini(
+        num_nodes=data.nodes,
+        num_edges=data.edges if data.edges is not None else data.nodes * 9,
+        feat_dim=data.feat_dim, seed=data.seed, **kwargs)
+
+
+def _parse_ids(text: str) -> np.ndarray:
+    return np.array([int(x) for x in text.split(",") if x], dtype=np.int64)
+
+
+def _checkpoint_kwargs(ck: CheckpointSpec, workdir: Optional[str],
+                       verbose: bool) -> Dict[str, Any]:
+    """Shared checkpoint plumbing for every trainer kind (legacy
+    ``_checkpoint_args`` semantics: a cadence or an explicit dir enables
+    the snapshot subsystem; the dir falls back to ``<workdir>/checkpoints``
+    and then to a temp dir)."""
+    if not ck.every and not ck.dir:
+        return {}
+    checkpoint_dir = Path(ck.dir) if ck.dir else (
+        Path(default_checkpoint_dir(workdir)) if workdir else
+        Path(tempfile.mkdtemp(prefix="repro-ckpt-")))
+    if verbose:
+        if ck.every:
+            compressed = " (compressed)" if ck.compress else ""
+            print(f"checkpointing every {ck.every} to "
+                  f"{checkpoint_dir}{compressed}")
+        else:
+            print(f"checkpoint dir {checkpoint_dir} (no --checkpoint-every: "
+                  f"snapshots are read for resume but none will be written)")
+    return {"checkpoint_dir": checkpoint_dir,
+            "checkpoint_every": ck.every,
+            "checkpoint_compress": ck.compress}
+
+
+class Job:
+    """Common protocol every job kind implements.
+
+    Subclasses fill in :meth:`build` (construct the underlying trainer /
+    engine from the resolved spec), :meth:`run`, and — where the kind
+    supports snapshots — :meth:`snapshot` / :meth:`resume`.
+    """
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    def build(self, verbose: bool = False,
+              listeners: Iterable[ProgressListener] = ()) -> "Job":
+        raise NotImplementedError
+
+    def run(self, verbose: bool = False) -> Any:
+        raise NotImplementedError
+
+    def snapshot(self) -> Path:
+        raise JobError(f"{self.kind} jobs do not write snapshots")
+
+    def _ensure_snapshot_manager(self) -> None:
+        """``job.snapshot()`` always works: a trainer built without a
+        checkpoint dir (no cadence requested) gets a manager on demand at
+        ``checkpoint.dir`` or a temp root."""
+        if self.trainer.snapshots is None:
+            ck = self.spec.checkpoint
+            root = Path(ck.dir) if ck.dir else Path(
+                tempfile.mkdtemp(prefix="repro-ckpt-"))
+            self.trainer.snapshots = SnapshotManager(root,
+                                                     compress=ck.compress)
+
+    def resume(self, path: Optional[Path] = None,
+               verbose: bool = False) -> dict:
+        raise JobError(f"{self.kind} jobs cannot resume from a snapshot")
+
+
+# ---------------------------------------------------------------------------
+# Training jobs
+# ---------------------------------------------------------------------------
+
+class _TrainJob(Job):
+    """Shared build/run/resume shape of the six trainer-backed kinds."""
+
+    trainer = None
+
+    def _resume_path(self, path: Optional[Path]) -> Optional[Path]:
+        if path is not None:
+            return Path(path)
+        if self.spec.checkpoint.resume_from:
+            return Path(self.spec.checkpoint.resume_from)
+        return None
+
+    def resume(self, path: Optional[Path] = None,
+               verbose: bool = False) -> dict:
+        meta = self.trainer.resume(self._resume_path(path))
+        if verbose:
+            print(f"resumed from snapshot at epoch {meta['epoch']}"
+                  + (f", step {meta['step']}" if "step" in meta else "")
+                  + (f", batch {meta['batch']}" if "batch" in meta else ""))
+        return meta
+
+
+class LinkPredictionJob(_TrainJob):
+    """``lp-mem`` / ``lp-disk`` / ``lp-pipelined``."""
+
+    def build(self, verbose: bool = False,
+              listeners: Iterable[ProgressListener] = ()) -> "LinkPredictionJob":
+        spec = self.spec
+        model, train, storage = spec.model, spec.train, spec.storage
+        self.dataset = _lp_dataset(spec)
+        fanouts = tuple(model.fanouts) if model.encoder != "none" else ()
+        self.config = LinkPredictionConfig(
+            embedding_dim=model.dim, encoder=model.encoder,
+            num_layers=len(fanouts), fanouts=fanouts, decoder=model.decoder,
+            batch_size=train.batch_size, num_negatives=train.negatives,
+            num_epochs=train.epochs, eval_negatives=train.eval_negatives,
+            eval_max_edges=train.eval_max_edges,
+            eval_every=train.eval_every, seed=train.seed)
+        workdir = storage.workdir if "storage" in spec.sections else None
+        ckpt = _checkpoint_kwargs(spec.checkpoint, workdir, verbose)
+        if spec.kind == registry.LP_DISK:
+            disk = DiskConfig(
+                workdir=Path(workdir) if workdir else
+                Path(tempfile.mkdtemp(prefix="repro-disk-")),
+                num_partitions=storage.partitions,
+                num_logical=storage.logical,
+                buffer_capacity=storage.buffer, policy=storage.policy)
+            self.trainer = DiskLinkPredictionTrainer(
+                self.dataset, self.config, disk,
+                checkpoint_incremental=spec.checkpoint.incremental,
+                listeners=listeners, **ckpt)
+        elif spec.kind == registry.LP_PIPELINED:
+            self.trainer = PipelinedLinkPredictionTrainer(
+                self.dataset, self.config,
+                num_sample_workers=train.workers,
+                pipeline_depth=train.pipeline_depth,
+                deterministic=train.deterministic,
+                listeners=listeners, **ckpt)
+        else:
+            self.trainer = LinkPredictionTrainer(self.dataset, self.config,
+                                                 listeners=listeners, **ckpt)
+        return self
+
+    def run(self, verbose: bool = False):
+        result = self.trainer.train(verbose=verbose)
+        if verbose:
+            print(f"\nfinal MRR {result.final_mrr:.4f} "
+                  f"(hits@10 {result.final_metrics.hits_at_10:.4f}) "
+                  f"mean epoch {result.mean_epoch_seconds:.2f}s")
+        if self.spec.train.save:
+            from ..train.checkpoint import save_checkpoint
+            embeddings = getattr(self.trainer, "embeddings", None)
+            save_checkpoint(
+                Path(self.spec.train.save), self.trainer.model, self.config,
+                embeddings=embeddings.table if embeddings else None,
+                optimizer_state=embeddings.state if embeddings else None)
+            if verbose:
+                print(f"checkpoint written to {self.spec.train.save}")
+        return result
+
+    def snapshot(self) -> Path:
+        self._ensure_snapshot_manager()
+        epochs = self.config.num_epochs
+        if self.spec.kind == registry.LP_DISK:
+            return self.trainer.save_snapshot(epochs, 0, 1)
+        if self.spec.kind == registry.LP_PIPELINED:
+            return self.trainer.save_snapshot(epochs, 0, 1, None)
+        return self.trainer.save_snapshot(epochs)
+
+
+class NodeClassificationJob(_TrainJob):
+    """``nc-mem`` / ``nc-disk``."""
+
+    def build(self, verbose: bool = False,
+              listeners: Iterable[ProgressListener] = ()) -> "NodeClassificationJob":
+        spec = self.spec
+        model, train, storage = spec.model, spec.train, spec.storage
+        self.dataset = _nc_dataset(spec)
+        fanouts = tuple(model.fanouts)
+        self.config = NodeClassificationConfig(
+            encoder=model.encoder, hidden_dim=model.dim,
+            num_layers=len(fanouts), fanouts=fanouts,
+            batch_size=train.batch_size, num_epochs=train.epochs,
+            eval_every=train.eval_every, seed=train.seed)
+        workdir = storage.workdir if "storage" in spec.sections else None
+        ckpt = _checkpoint_kwargs(spec.checkpoint, workdir, verbose)
+        if spec.kind == registry.NC_DISK:
+            disk = DiskNodeClassificationConfig(
+                workdir=Path(workdir) if workdir else
+                Path(tempfile.mkdtemp(prefix="repro-nc-")),
+                num_partitions=storage.partitions,
+                buffer_capacity=storage.buffer)
+            self.trainer = DiskNodeClassificationTrainer(
+                self.dataset, self.config, disk,
+                checkpoint_incremental=spec.checkpoint.incremental,
+                listeners=listeners, **ckpt)
+        else:
+            self.trainer = NodeClassificationTrainer(
+                self.dataset, self.config, listeners=listeners, **ckpt)
+        return self
+
+    def run(self, verbose: bool = False):
+        result = self.trainer.train(verbose=verbose)
+        if verbose:
+            print(f"\nfinal accuracy {result.final_accuracy:.4f} "
+                  f"mean epoch {result.mean_epoch_seconds:.2f}s")
+        return result
+
+    def snapshot(self) -> Path:
+        self._ensure_snapshot_manager()
+        epochs = self.config.num_epochs
+        if self.spec.kind == registry.NC_DISK:
+            return self.trainer.save_snapshot(epochs, 0, 1)
+        return self.trainer.save_snapshot(epochs)
+
+
+# ---------------------------------------------------------------------------
+# Serving job
+# ---------------------------------------------------------------------------
+
+class ServeJob(Job):
+    """``serve``: query a trained snapshot out-of-core (docs/serving.md)."""
+
+    def build(self, verbose: bool = False,
+              listeners: Iterable[ProgressListener] = ()) -> "ServeJob":
+        from ..serve import serve_link_prediction, serve_node_classification
+        spec = self.spec
+        storage = spec.storage
+        snap = _resolve_snapshot_dir(spec.serve.snapshot)
+        meta = json.loads((snap / "manifest.json").read_text())["meta"]
+        kind = meta["trainer"]
+        workdir = Path(storage.workdir) if storage.workdir else Path(
+            tempfile.mkdtemp(prefix="repro-serve-"))
+        if kind in registry.NC_SNAPSHOT_KINDS:
+            dataset = _nc_dataset(spec)
+            engine = serve_node_classification(
+                snap, dataset, workdir, num_partitions=storage.partitions,
+                buffer_capacity=storage.buffer)
+        else:
+            graph = None
+            if meta.get("config", {}).get("encoder", "none") != "none":
+                # Encoder snapshots sample neighborhoods on read; the job
+                # regenerates the training graph the same way train-lp does.
+                if not spec.data.dataset:
+                    raise JobError(
+                        "this snapshot has a GNN encoder: pass data.dataset/"
+                        "scale (the training data) so encode-on-read can "
+                        "sample neighborhoods")
+                graph = training_graph(_lp_dataset(spec))
+            engine = serve_link_prediction(snap, workdir,
+                                           num_partitions=storage.partitions,
+                                           buffer_capacity=storage.buffer,
+                                           graph=graph)
+        self.snapshot_path, self.snapshot_kind, self.engine = snap, kind, engine
+        if verbose:
+            print(f"serving {kind} snapshot {snap.name}: "
+                  f"{engine.store.num_nodes:,} nodes x {engine.store.dim}, "
+                  f"{engine.scheme.num_partitions} partitions, "
+                  f"buffer {engine.buffer.capacity}")
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self, verbose: bool = False) -> Dict[str, Any]:
+        serve = self.spec.serve
+        engine = self.engine
+        results: Dict[str, Any] = {}
+        if serve.embed:
+            ids = _parse_ids(serve.embed)
+            rows = engine.get_embeddings(ids)
+            results["embed"] = (ids, rows)   # parallel arrays, duplicates kept
+            if verbose:
+                for node, row in zip(ids, rows):
+                    head = ", ".join(f"{v:+.4f}" for v in row[:6])
+                    more = ", ..." if len(row) > 6 else ""
+                    print(f"  node {node}: [{head}{more}]")
+        if serve.score:
+            rows = []
+            for edge_spec in serve.score:
+                fields = [int(x) for x in edge_spec.split(":")]
+                if len(fields) == 2:            # S:D — relation 0
+                    fields = [fields[0], 0, fields[1]]
+                elif len(fields) != 3:
+                    raise JobError(f"bad --score spec {edge_spec!r}: "
+                                     f"expected SRC:DST or SRC:REL:DST")
+                rows.append(fields)
+            pairs = np.array(rows, dtype=np.int64)
+            scores = engine.score_edges(pairs)
+            results["score"] = scores        # aligned with serve.score order
+            if verbose:
+                for edge_spec, score in zip(serve.score, scores):
+                    print(f"  score({edge_spec}) = {score:.6f}")
+        if serve.topk:
+            src, k = int(serve.topk[0]), int(serve.topk[1])
+            try:
+                ids, scores = engine.topk_targets(src, k, rel=serve.rel,
+                                                  exclude=[src])
+            except RuntimeError as exc:  # e.g. encoder snapshots refuse top-k
+                raise JobError(f"--topk: {exc}") from exc
+            results["topk"] = (ids, scores)
+            if verbose:
+                print(f"  top-{k} targets for source {src} (rel {serve.rel}):")
+                for rank, (node, score) in enumerate(zip(ids, scores), 1):
+                    print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
+        if serve.classify:
+            preds = engine.classify(_parse_ids(serve.classify), seed=0)
+            results["classify"] = preds
+            if verbose:
+                print("  predicted classes:", preds.tolist())
+        if serve.bench:
+            results["bench"] = self._bench(verbose)
+        if verbose:
+            s = engine.stats
+            print(f"engine stats: {s.lookups} lookups, "
+                  f"{s.edges_scored} edges scored, "
+                  f"{s.topk_queries} topk, {s.swaps} partition swaps")
+        results["stats"] = engine.stats
+        return results
+
+    def _bench(self, verbose: bool) -> Dict[str, float]:
+        """Quick QPS probe over a random or Zipf-skewed single-lookup stream
+        (the same workload definition the committed benchmark baseline
+        uses)."""
+        from ..serve import make_query_stream
+        serve = self.spec.serve
+        engine = self.engine
+        queries = make_query_stream(serve.mix, serve.bench,
+                                    engine.store.num_nodes, seed=serve.seed)
+        swaps0 = engine.stats.swaps
+        t0 = time.perf_counter()
+        for start in range(0, len(queries), serve.max_batch):
+            engine.get_embeddings(queries[start : start + serve.max_batch])
+        seconds = time.perf_counter() - t0
+        swaps = engine.stats.swaps - swaps0
+        if verbose:
+            print(f"  bench: {len(queries)} {serve.mix} lookups in "
+                  f"{seconds:.2f}s = {len(queries) / seconds:,.0f} QPS "
+                  f"({1000 * swaps / len(queries):.1f} swaps/1k queries, "
+                  f"batch {serve.max_batch})")
+        return {"queries": len(queries), "seconds": seconds,
+                "qps": len(queries) / seconds,
+                "swaps_per_1k": 1000 * swaps / len(queries)}
+
+
+# ---------------------------------------------------------------------------
+# Streaming jobs (``stream`` driver and ``lp-stream`` continual training)
+# ---------------------------------------------------------------------------
+
+class StreamJob(Job):
+    """``stream`` / ``lp-stream``: live-graph ingestion with optional
+    continual refresh training (docs/streaming.md). ``lp-stream`` is the
+    same machinery with refresh-on-compaction resolved on by default."""
+
+    def build(self, verbose: bool = False,
+              listeners: Iterable[ProgressListener] = ()) -> "StreamJob":
+        from ..graph.partition import PartitionScheme
+        from ..serve.engine import ServingEngine
+        from ..storage.edge_store import EdgeBucketStore
+        from ..storage.node_store import NodeStore
+        from ..stream import Compactor, ContinualTrainer, LiveGraph
+
+        spec = self.spec
+        model, train, storage = spec.model, spec.train, spec.storage
+        workdir = Path(storage.workdir) if storage.workdir else Path(
+            tempfile.mkdtemp(prefix="repro-stream-"))
+        workdir.mkdir(parents=True, exist_ok=True)
+        self.workdir = workdir
+        nodes_path, edges_path = workdir / "nodes.bin", workdir / "edges.bin"
+        if spec.checkpoint.resume_from:
+            # Reattach to the workdir's existing stores: the snapshot's
+            # fingerprints pin the *compacted, grown* layout, which a rebuild
+            # from the dataset could never reproduce.
+            if not (nodes_path.exists() and edges_path.exists()):
+                raise JobError(
+                    "checkpoint.resume_from needs the original workdir: its "
+                    "nodes.bin/edges.bin hold the compacted base state the "
+                    "snapshot pins")
+            stream_meta = _stream_snapshot_meta(
+                Path(spec.checkpoint.resume_from))
+            base_nodes = stream_meta["num_nodes"] - stream_meta["nodes_added"]
+            scheme = PartitionScheme.uniform(
+                base_nodes, storage.partitions).extended(
+                    stream_meta["nodes_added"])
+            # truncate=True: nodes appended after the snapshot are discarded
+            # (growth is append-only). Edge-bucket drift past the snapshot
+            # (a post-snapshot compaction) is caught by the fingerprint check.
+            store = NodeStore.open(nodes_path, scheme, model.dim,
+                                   learnable=True, truncate=True)
+            edge_store = EdgeBucketStore.open(edges_path, scheme)
+            num_relations = edge_store.num_relations
+        else:
+            graph = training_graph(_lp_dataset(spec))
+            scheme = PartitionScheme.uniform(graph.num_nodes,
+                                             storage.partitions)
+            store = NodeStore(nodes_path, scheme, model.dim, learnable=True)
+            store.initialize(rng=np.random.default_rng(train.seed))
+            edge_store = EdgeBucketStore(edges_path, graph, scheme)
+            num_relations = graph.num_relations
+        self.live = LiveGraph(store, edge_store, seed=train.seed,
+                              spill_threshold=storage.spill_threshold)
+        self.config = LinkPredictionConfig(
+            embedding_dim=model.dim, encoder="none",
+            batch_size=train.batch_size, num_negatives=train.negatives,
+            num_epochs=1, eval_every=train.eval_every, seed=train.seed)
+        ckpt = _checkpoint_kwargs(spec.checkpoint, storage.workdir, verbose)
+        self.trainer = ContinualTrainer(self.live, self.config,
+                                        num_relations=num_relations,
+                                        buffer_capacity=storage.buffer,
+                                        listeners=listeners, **ckpt)
+        self.engine = ServingEngine.over_live(self.live, self.trainer.model,
+                                              buffer_capacity=storage.buffer)
+        self.compactor = Compactor(self.live)
+        if verbose:
+            print(f"streaming over {spec.data.dataset}: "
+                  f"{self.live.num_nodes:,} nodes, "
+                  f"{edge_store.num_edges:,} base edges, "
+                  f"p={storage.partitions}, buffer {storage.buffer}, "
+                  f"workdir {workdir}")
+        return self
+
+    # ------------------------------------------------------------------
+    def resume(self, path: Optional[Path] = None,
+               verbose: bool = False) -> dict:
+        p = Path(path) if path is not None else (
+            Path(self.spec.checkpoint.resume_from)
+            if self.spec.checkpoint.resume_from else None)
+        meta = self.trainer.resume(p)
+        self.live.nodes_added = int(meta["stream"]["nodes_added"])
+        if verbose:
+            print(f"resumed at stream position {meta['stream']}")
+        return meta
+
+    def snapshot(self) -> Path:
+        self._ensure_snapshot_manager()
+        return self.trainer.save_snapshot()
+
+    # ------------------------------------------------------------------
+    def run(self, verbose: bool = False) -> Dict[str, Any]:
+        stream = self.spec.stream
+        driver_stats = None
+        if stream.events:
+            driver_stats = self._driver(verbose)
+        if stream.verify:
+            self.verify(self.workdir, verbose=verbose)
+        if stream.repl:
+            self._repl()
+        s = self.live.stats()
+        if verbose:
+            print(f"stream stats: {s['events_appended']} events "
+                  f"({s['edges_inserted']} ins / {s['edges_deleted']} del), "
+                  f"{s['nodes_added']} nodes added, {s['pending']} pending, "
+                  f"{self.compactor.compactions} compactions, "
+                  f"{self.trainer.refreshes} refreshes, {s['spills']} spills")
+        s["compactions"] = self.compactor.compactions
+        s["refreshes"] = self.trainer.refreshes
+        if driver_stats:
+            s["driver"] = driver_stats
+        return s
+
+    def _driver(self, verbose: bool) -> Dict[str, Any]:
+        """Synthetic event-stream driver: ingest on a cadence of compactions
+        and refreshes, reporting throughput and staleness."""
+        from ..stream import synth_events
+        spec = self.spec.stream
+        live, compactor, trainer = self.live, self.compactor, self.trainer
+        rng = np.random.default_rng(self.spec.train.seed + 23)
+        done = 0          # events actually appended (deletes can come up
+        asked = 0         # short when the sampled bucket is empty)
+        t_ingest = 0.0
+        staleness = []
+        batch_no = 0
+        while asked < spec.events:
+            count = min(spec.event_batch, spec.events - asked)
+            if spec.add_nodes_every and batch_no % spec.add_nodes_every == 0:
+                live.add_nodes(max(1, count // 50))
+            ins, dels = synth_events(live, rng, count, spec.delete_fraction)
+            t0 = time.perf_counter()
+            lo, hi = live.insert_edges(ins)
+            done += hi - lo
+            if dels is not None and len(dels):
+                lo, hi = live.delete_edges(dels)
+                done += hi - lo
+            t_ingest += time.perf_counter() - t0
+            asked += count
+            batch_no += 1
+            staleness.append(live.staleness())
+            if spec.compact_every and live.staleness() >= spec.compact_every:
+                report = compactor.compact()
+                if verbose:
+                    print(f"  [{done:>8} events] compacted "
+                          f"{report.merged_events} events in "
+                          f"{report.seconds * 1000:.0f}ms "
+                          f"-> {report.num_edges:,} base edges")
+                if spec.refresh:
+                    record = trainer.refresh()
+                    if verbose:
+                        print(f"  [{done:>8} events] refresh "
+                              f"loss={record.loss:.4f} "
+                              f"({record.num_batches} batches, "
+                              f"{record.seconds:.2f}s)")
+        qps_ids = np.arange(min(64, live.num_nodes))
+        t0 = time.perf_counter()
+        self.engine.get_embeddings(qps_ids)
+        q_ms = 1000 * (time.perf_counter() - t0)
+        if verbose:
+            print(f"driver: {done} events in {t_ingest:.2f}s ingest time = "
+                  f"{done / max(t_ingest, 1e-9):,.0f} events/s; staleness "
+                  f"mean {np.mean(staleness):.0f} max {max(staleness)}; "
+                  f"64-row lookup {q_ms:.1f}ms")
+        return {"events": done, "ingest_seconds": t_ingest,
+                "events_per_sec": done / max(t_ingest, 1e-9),
+                "staleness_mean": float(np.mean(staleness)),
+                "staleness_max": int(max(staleness))}
+
+    def verify(self, workdir, verbose: bool = True) -> None:
+        """Streamed-vs-rebuilt equivalence check over the current live
+        state; raises ``ValueError`` on any divergence."""
+        from ..core.sampler import DenseSampler
+        from ..storage.edge_store import EdgeBucketStore
+        live = self.live
+        final = live.materialize()
+        rebuilt = EdgeBucketStore(Path(workdir) / "verify-edges.bin", final,
+                                  live.scheme)
+        p = live.num_partitions
+        for i in range(p):
+            for j in range(p):
+                a = live.bucket_edges(i, j, record_io=False)
+                b = rebuilt.read_bucket(i, j, record_io=False)
+                if not np.array_equal(a, b):
+                    raise JobError(
+                        f"verify FAILED: bucket ({i}, {j}) of the live view "
+                        f"differs from the offline rebuild")
+        parts = list(range(min(4, p)))
+        s_live = DenseSampler.from_partitions(live.scheme,
+                                              live.bucket_endpoints, parts,
+                                              [5],
+                                              rng=np.random.default_rng(99))
+        s_built = DenseSampler.from_partitions(live.scheme,
+                                               rebuilt.bucket_endpoints,
+                                               parts, [5],
+                                               rng=np.random.default_rng(99))
+        targets = np.arange(0, live.num_nodes,
+                            max(1, live.num_nodes // 64))
+        a, b = s_live.sample(targets), s_built.sample(targets)
+        if not np.array_equal(a.node_ids, b.node_ids):
+            raise JobError("verify FAILED: sampling diverged from the "
+                             "rebuild")
+        rebuilt.close()
+        if verbose:
+            print(f"verify OK: {final.num_edges:,} live edges match an "
+                  f"offline rebuild bucket-for-bucket; seeded sampling "
+                  f"identical")
+
+    def _repl(self) -> None:
+        """Interactive ingest/compact/query loop over the live graph."""
+        from ..stream import synth_events
+        live, compactor, trainer = self.live, self.compactor, self.trainer
+        engine = self.engine
+        rng = np.random.default_rng(self.spec.train.seed + 31)
+        print("stream REPL - commands: ingest N | delete N | add-nodes N | "
+              "compact | refresh | embed IDS | topk SRC K | stats | verify "
+              "| quit")
+        while True:
+            try:
+                line = input("stream> ").strip()
+            except EOFError:
+                break
+            if not line:
+                continue
+            cmd, *rest = line.split()
+            try:
+                if cmd == "quit" or cmd == "exit":
+                    break
+                elif cmd == "ingest":
+                    ins, _ = synth_events(live, rng, int(rest[0]), 0.0)
+                    lo, hi = live.insert_edges(ins)
+                    print(f"  inserted {hi - lo} edges (seq [{lo}, {hi}))")
+                elif cmd == "delete":
+                    _, dels = synth_events(live, rng, int(rest[0]), 1.0)
+                    if dels is None or not len(dels):
+                        print("  nothing to delete")
+                    else:
+                        lo, hi = live.delete_edges(dels)
+                        print(f"  deleted {hi - lo} edge keys "
+                              f"(seq [{lo}, {hi}))")
+                elif cmd == "add-nodes":
+                    ids = live.add_nodes(int(rest[0]))
+                    print(f"  added nodes [{ids[0]}, {ids[-1]}]")
+                elif cmd == "compact":
+                    report = compactor.compact()
+                    print(f"  merged {report.merged_events} events in "
+                          f"{report.seconds * 1000:.0f}ms -> "
+                          f"{report.num_edges:,} base edges")
+                elif cmd == "refresh":
+                    record = trainer.refresh()
+                    print(f"  loss={record.loss:.4f} "
+                          f"({record.num_batches} batches)")
+                elif cmd == "embed":
+                    ids = _parse_ids(rest[0])
+                    for node, row in zip(ids, engine.get_embeddings(ids)):
+                        head = ", ".join(f"{v:+.4f}" for v in row[:6])
+                        print(f"  node {node}: [{head}, ...]")
+                elif cmd == "topk":
+                    ids, scores = engine.topk_targets(int(rest[0]),
+                                                      int(rest[1]))
+                    for rank, (node, score) in enumerate(zip(ids, scores), 1):
+                        print(f"    #{rank:<3} node {node:<10} "
+                              f"score {score:.6f}")
+                elif cmd == "stats":
+                    print(f"  {live.stats()}")
+                elif cmd == "verify":
+                    self.verify(tempfile.mkdtemp(prefix="repro-verify-"))
+                else:
+                    print(f"  unknown command {cmd!r}")
+            except Exception as exc:   # REPL survives bad input
+                print(f"  error: {exc}")
+
+
+def _resolve_snapshot_dir(path) -> Path:
+    """checkpoint.py's dir-or-root rule, with its failure surfaced as the
+    job layer's clean configuration error."""
+    from ..train.checkpoint import SnapshotError, resolve_snapshot_dir
+    try:
+        return resolve_snapshot_dir(path)
+    except SnapshotError as exc:
+        raise JobError(str(exc)) from exc
+
+
+def _stream_snapshot_meta(path: Path) -> dict:
+    """The ``stream`` block of a snapshot's manifest (snap dir or root)."""
+    path = _resolve_snapshot_dir(path)
+    meta = json.loads((path / "manifest.json").read_text())["meta"]
+    if "stream" not in meta:
+        raise JobError(f"snapshot {path.name} was not written by the "
+                         f"streaming trainer (trainer={meta.get('trainer')!r})")
+    return meta["stream"]
+
+
+# ---------------------------------------------------------------------------
+# Factory bindings — the registry's executable half
+# ---------------------------------------------------------------------------
+
+for _kind in (registry.LP_MEM, registry.LP_DISK, registry.LP_PIPELINED):
+    registry.bind(_kind, LinkPredictionJob)
+for _kind in (registry.NC_MEM, registry.NC_DISK):
+    registry.bind(_kind, NodeClassificationJob)
+registry.bind(registry.SERVE, ServeJob)
+registry.bind(registry.STREAM, StreamJob)
+registry.bind(registry.LP_STREAM, StreamJob)

@@ -1,0 +1,345 @@
+"""Typed job specifications: the declarative layer under ``repro run``.
+
+A :class:`JobSpec` is one validated, JSON-serializable description of a
+workload: a job ``kind`` (see :mod:`~repro.api.registry`) plus the
+sections that kind reads — :class:`DataSpec`, :class:`ModelSpec`,
+:class:`TrainSpec`, :class:`StorageSpec`, :class:`CheckpointSpec`,
+:class:`ServeSpec`, :class:`StreamSpec`. Fields defaulting to ``None``
+are *kind-resolved*: :meth:`JobSpec.resolve` fills them from the
+registry's per-kind defaults (e.g. ``model.fanouts`` becomes ``(10,)``
+for ``lp-mem`` but ``(10, 5)`` for ``nc-mem``), mirroring the legacy CLI
+defaults exactly — the CLI subcommands are thin shims that build these
+specs from flags, and ``--dump-spec`` prints the resolved form.
+
+Round-trip contract (property-tested): ``from_dict(to_dict(spec)) ==
+spec`` for every kind, and unknown sections or fields are rejected
+instead of silently ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from . import registry
+from .registry import JobError
+
+
+def _f(default: Any, help_text: str) -> Any:
+    """A dataclass field with schema help metadata."""
+    return field(default=default, metadata={"help": help_text})
+
+
+@dataclass
+class DataSpec:
+    """Which graph the job runs over (regenerated deterministically)."""
+
+    dataset: Optional[str] = _f(None, "dataset name (kind default: fb15k237 "
+                                      "for LP, papers100m-mini for NC, "
+                                      "freebase86m-mini for streaming)")
+    scale: float = _f(0.1, "LP dataset scale factor")
+    nodes: int = _f(4000, "NC synthetic dataset node count")
+    edges: Optional[int] = _f(None, "NC edge count (default: nodes * 9)")
+    feat_dim: Optional[int] = _f(None, "NC feature dim (default: model.dim; "
+                                       "serve: 32)")
+    classes: Optional[int] = _f(None, "NC class count (default: loader's)")
+    seed: Optional[int] = _f(None, "dataset regeneration seed (default: "
+                                   "train.seed for NC trainers, else 0)")
+
+
+@dataclass
+class ModelSpec:
+    """Model shape: base representations, encoder, decoder."""
+
+    dim: int = _f(32, "base representation / hidden dimension")
+    encoder: Optional[str] = _f(None, "none | graphsage | gcn | gat "
+                                      "(kind default: graphsage; stream: none)")
+    decoder: str = _f("distmult", "distmult | complex | transe | dot (LP)")
+    fanouts: Optional[Tuple[int, ...]] = _f(None, "neighbors sampled per hop "
+                                                  "(kind default: [10] LP, "
+                                                  "[10, 5] NC)")
+
+
+@dataclass
+class TrainSpec:
+    """Optimization loop parameters."""
+
+    batch_size: Optional[int] = _f(None, "edges/nodes per mini batch "
+                                         "(kind default: 512 LP, 256 NC)")
+    negatives: int = _f(64, "negative samples per batch (LP)")
+    epochs: Optional[int] = _f(None, "training epochs (kind default: "
+                                     "3 LP, 5 NC, 1 stream)")
+    seed: int = _f(0, "training RNG seed")
+    eval_every: Optional[int] = _f(None, "epochs between ranked evaluations "
+                                         "(kind default: 1; stream: 0)")
+    eval_negatives: int = _f(200, "negatives per ranked eval edge (LP)")
+    eval_max_edges: int = _f(2000, "eval edge-sample cap (LP)")
+    workers: int = _f(2, "sampling workers (lp-pipelined)")
+    pipeline_depth: int = _f(4, "bounded batch queue depth (lp-pipelined)")
+    deterministic: bool = _f(False, "replayable pipeline (lp-pipelined)")
+    save: Optional[str] = _f(None, "legacy model-export directory (LP)")
+
+
+@dataclass
+class StorageSpec:
+    """Out-of-core layout: partitions, buffer, replacement policy."""
+
+    workdir: Optional[str] = _f(None, "memmap store directory (default: temp)")
+    partitions: Optional[int] = _f(None, "physical partitions (kind default: "
+                                         "16; serve: the snapshot's layout)")
+    logical: int = _f(8, "logical partitions for COMET (lp-disk)")
+    buffer: Optional[int] = _f(None, "partitions resident in memory "
+                                     "(kind default: 4; nc-disk: 8)")
+    policy: str = _f("comet", "replacement policy: comet | beta (lp-disk)")
+    spill_threshold: int = _f(1 << 20, "in-memory delta events before the "
+                                       "stream log spills to disk")
+
+
+@dataclass
+class CheckpointSpec:
+    """Crash-safe snapshot cadence and resume source."""
+
+    every: int = _f(0, "snapshot cadence (epochs / plan steps / batches / "
+                       "refreshes, per kind); 0 = off")
+    dir: Optional[str] = _f(None, "snapshot root (default: "
+                                  "<workdir>/checkpoints or a temp dir)")
+    compress: bool = _f(False, "zlib-compress snapshot array payloads")
+    resume_from: Optional[str] = _f(None, "snapshot dir (or checkpoint root) "
+                                         "to resume from")
+    incremental: bool = _f(False, "dirty-partition-only snapshots chained to "
+                                  "a base (disk trainers)")
+
+
+@dataclass
+class ServeSpec:
+    """Queries to run against a trained snapshot."""
+
+    snapshot: Optional[str] = _f(None, "snapshot dir or checkpoint root "
+                                       "(required; latest snapshot wins)")
+    embed: Optional[str] = _f(None, "comma-separated node ids to look up")
+    score: Tuple[str, ...] = _f((), "edges to score: 'S:D' or 'S:R:D'")
+    topk: Optional[Tuple[int, int]] = _f(None, "[source, k] best-K targets")
+    rel: int = _f(0, "relation for topk")
+    classify: Optional[str] = _f(None, "comma-separated node ids to classify")
+    bench: int = _f(0, "N-query lookup throughput probe (0 = off)")
+    mix: str = _f("zipf", "bench query mix: zipf | random")
+    max_batch: int = _f(256, "bench micro-batch size")
+    seed: int = _f(0, "bench query-stream seed")
+
+
+@dataclass
+class StreamSpec:
+    """Synthetic event-stream driver cadence."""
+
+    events: int = _f(0, "events to ingest through the driver (0 = none)")
+    event_batch: int = _f(500, "events ingested per driver batch")
+    delete_fraction: float = _f(0.1, "fraction of events that are deletions")
+    add_nodes_every: int = _f(8, "driver batches between node adds (0 = never)")
+    compact_every: int = _f(4000, "compact at this many pending events "
+                                  "(0 = never)")
+    refresh: Optional[bool] = _f(None, "fine-tune delta-touched partitions "
+                                       "after each compaction (lp-stream: on)")
+    verify: bool = _f(False, "check the live view against an offline rebuild")
+    repl: bool = _f(False, "interactive ingest/compact/query loop")
+
+
+_SECTION_TYPES = {"data": DataSpec, "model": ModelSpec, "train": TrainSpec,
+                  "storage": StorageSpec, "checkpoint": CheckpointSpec,
+                  "serve": ServeSpec, "stream": StreamSpec}
+
+# Fields parsed back from JSON lists into tuples.
+_TUPLE_FIELDS = {("model", "fanouts"), ("serve", "score"), ("serve", "topk")}
+
+
+@dataclass
+class JobSpec:
+    """One declarative, validated description of a runnable job."""
+
+    kind: str
+    data: DataSpec = field(default_factory=DataSpec)
+    model: ModelSpec = field(default_factory=ModelSpec)
+    train: TrainSpec = field(default_factory=TrainSpec)
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    checkpoint: CheckpointSpec = field(default_factory=CheckpointSpec)
+    serve: ServeSpec = field(default_factory=ServeSpec)
+    stream: StreamSpec = field(default_factory=StreamSpec)
+
+    # ------------------------------------------------------------------
+    @property
+    def sections(self) -> Tuple[str, ...]:
+        return registry.kind_info(self.kind).sections
+
+    def resolve(self) -> "JobSpec":
+        """Kind defaults applied to every ``None`` field, then validated.
+
+        Returns a new, fully-determined spec (idempotent: resolving a
+        resolved spec is the identity). This is what ``--dump-spec``
+        prints and what the CLI-parity tests compare.
+        """
+        info = registry.kind_info(self.kind)
+        out = JobSpec(kind=self.kind,
+                      **{name: dataclasses.replace(getattr(self, name))
+                         for name in _SECTION_TYPES})
+        for dotted, value in info.defaults.items():
+            section, name = dotted.split(".")
+            if getattr(getattr(out, section), name) is None:
+                setattr(getattr(out, section), name, value)
+        # Derived NC regeneration parameters: the legacy train-nc command
+        # ties the feature dim and dataset seed to the model dim and
+        # training seed; explicit spec values win.
+        if self.kind in (registry.NC_MEM, registry.NC_DISK):
+            if out.data.feat_dim is None:
+                out.data.feat_dim = out.model.dim
+            if out.data.seed is None:
+                out.data.seed = out.train.seed
+        if "stream" in info.sections and out.stream.refresh is None:
+            out.stream.refresh = False
+        out._validate()
+        return out
+
+    def _validate(self) -> None:
+        info = registry.kind_info(self.kind)
+        if self.kind == registry.SERVE and not self.serve.snapshot:
+            raise JobError("serve jobs need serve.snapshot (a snapshot "
+                             "dir or checkpoint root)")
+        if self.train.deterministic and self.kind != registry.LP_PIPELINED:
+            raise JobError("train.deterministic only applies to the "
+                             "lp-pipelined kind (the other trainers are "
+                             "already deterministic)")
+        if self.checkpoint.incremental and self.kind not in (
+                registry.LP_DISK, registry.NC_DISK):
+            raise JobError("checkpoint.incremental needs a disk trainer "
+                             f"(lp-disk or nc-disk), not {self.kind!r}")
+        if "storage" in info.sections:
+            storage = self.storage
+            if storage.buffer is not None and storage.buffer <= 0:
+                raise JobError("storage.buffer must be positive")
+            if storage.partitions is not None and storage.partitions <= 0:
+                raise JobError("storage.partitions must be positive")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able dict holding the kind and its relevant sections.
+
+        A section the kind does not read but which holds non-default
+        values is rejected rather than silently dropped — the symmetric
+        counterpart of :meth:`from_dict`'s unknown-section rejection, so
+        round-trip identity can never lose data."""
+        for name, section_cls in _SECTION_TYPES.items():
+            if name not in self.sections and getattr(self, name) != section_cls():
+                raise JobError(
+                    f"section {name!r} holds non-default values but kind "
+                    f"{self.kind!r} does not read it (it reads "
+                    f"{list(self.sections)})")
+        out: Dict[str, Any] = {"kind": self.kind}
+        for name in self.sections:
+            section = getattr(self, name)
+            block = {}
+            for fld in fields(section):
+                value = getattr(section, fld.name)
+                if isinstance(value, tuple):
+                    value = list(value)
+                block[fld.name] = value
+            out[name] = block
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Parse a spec dict, rejecting unknown sections and fields."""
+        if not isinstance(payload, dict):
+            raise JobError(f"spec must be a JSON object, got {type(payload).__name__}")
+        if "kind" not in payload:
+            raise JobError("spec is missing the required 'kind' field")
+        kind = payload["kind"]
+        info = registry.kind_info(kind)
+        unknown = sorted(set(payload) - {"kind"} - set(info.sections))
+        if unknown:
+            raise JobError(f"unknown spec section(s) {unknown} for kind "
+                             f"{kind!r} (it reads {list(info.sections)})")
+        spec = cls(kind=kind)
+        for name in info.sections:
+            block = payload.get(name)
+            if block is None:
+                continue
+            if not isinstance(block, dict):
+                raise JobError(f"section {name!r} must be an object")
+            section = getattr(spec, name)
+            known = {fld.name for fld in fields(section)}
+            bad = sorted(set(block) - known)
+            if bad:
+                raise JobError(f"unknown field(s) {bad} in section "
+                                 f"{name!r} (known: {sorted(known)})")
+            for key, value in block.items():
+                if (name, key) in _TUPLE_FIELDS and isinstance(value, list):
+                    value = tuple(value)
+                setattr(section, key, value)
+        return spec
+
+    # ------------------------------------------------------------------
+    def save(self, path: os.PathLike) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "JobSpec":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise JobError(f"cannot read spec file {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise JobError(f"spec file {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+def default_checkpoint_dir(workdir: os.PathLike) -> str:
+    """The one place the ``<workdir>/checkpoints`` fallback rule lives
+    (used by both the CLI flag shims and the job builders)."""
+    return str(Path(workdir) / "checkpoints")
+
+
+def load_spec(path: os.PathLike) -> JobSpec:
+    """Load a :class:`JobSpec` from a JSON file."""
+    return JobSpec.load(path)
+
+
+def save_spec(spec: JobSpec, path: os.PathLike) -> Path:
+    """Write ``spec`` to a JSON file; returns the path."""
+    return spec.save(path)
+
+
+# ---------------------------------------------------------------------------
+# Schema rendering (``repro info --jobs``) — generated from the dataclasses
+# and the registry defaults, so the listing cannot drift from the code.
+# ---------------------------------------------------------------------------
+
+def _type_name(fld: dataclasses.Field) -> str:
+    text = str(fld.type)
+    for token, name in (("Tuple[int, int]", "[int,int]"),
+                        ("Tuple[int, ...]", "[int...]"),
+                        ("Tuple[str, ...]", "[str...]")):
+        if token in text:
+            return name
+    for token in ("str", "int", "float", "bool"):
+        if token in text:
+            return token
+    return text
+
+
+def schema_lines(kind: str) -> Tuple[str, ...]:
+    """One line per spec field of ``kind``: name, type, default, help."""
+    info = registry.kind_info(kind)
+    lines = []
+    for name in info.sections:
+        section_cls = _SECTION_TYPES[name]
+        for fld in fields(section_cls):
+            default = info.defaults.get(f"{name}.{fld.name}", fld.default)
+            shown = "-" if default is None else (
+                list(default) if isinstance(default, tuple) else default)
+            lines.append(f"{name + '.' + fld.name:<26} {_type_name(fld):<9} "
+                         f"{str(shown):<10} {fld.metadata.get('help', '')}")
+    return tuple(lines)

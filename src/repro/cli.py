@@ -1,13 +1,18 @@
-"""Command-line interface: config-driven training runs, Marius-style.
+"""Command-line interface: every subcommand is a thin shim over the
+unified job API (:mod:`repro.api`) — flags build a typed
+:class:`~repro.api.specs.JobSpec`, and ``repro.api.run`` executes it.
 
 Usage (also via ``python -m repro``)::
 
     python -m repro info                      # dataset registry
+    python -m repro info --jobs               # job kinds + spec schema
     python -m repro autotune --dataset freebase86m --memory-gb 61
     python -m repro train-lp --dataset fb15k237 --scale 0.1 --epochs 3
     python -m repro train-lp --dataset fb15k237 --disk --policy comet
     python -m repro train-nc --epochs 5
-    python -m repro train-lp --config run.json   # JSON overrides CLI defaults
+    python -m repro train-lp --config run.json   # flags beat config values
+    python -m repro train-lp --dump-spec         # resolved JobSpec, no run
+    python -m repro run job.json                 # execute any job kind
     python -m repro serve --snapshot ckpt/ --topk 5 10
     python -m repro serve --snapshot ckpt/ --bench 2000 --mix zipf
     python -m repro stream --events 20000 --compact-every 4000 --refresh
@@ -19,40 +24,28 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import tempfile
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from .graph import (PAPER_DATASETS, load_fb15k237, load_freebase86m_mini,
-                    load_papers100m_mini, load_wikikg90m_mini, paper_stats)
+from . import api
+from .api import (CheckpointSpec, DataSpec, JobSpec, ModelSpec, ServeSpec,
+                  StorageSpec, StreamSpec, TrainSpec)
+from .api import registry as job_registry
+from .graph import PAPER_DATASETS, paper_stats
 from .policies import autotune_from_dataset
-from .train import (DiskConfig, DiskLinkPredictionTrainer,
-                    DiskNodeClassificationConfig,
-                    DiskNodeClassificationTrainer, LinkPredictionConfig,
-                    LinkPredictionTrainer, NodeClassificationConfig,
-                    NodeClassificationTrainer,
-                    PipelinedLinkPredictionTrainer)
-
-LP_DATASETS = {
-    "fb15k237": lambda scale: load_fb15k237(scale=scale),
-    "freebase86m-mini": lambda scale: load_freebase86m_mini(
-        num_nodes=max(500, int(20000 * scale * 5))),
-    "wikikg90m-mini": lambda scale: load_wikikg90m_mini(
-        num_nodes=max(500, int(24000 * scale * 5))),
-}
-
-
-def _apply_config_file(args: argparse.Namespace) -> argparse.Namespace:
-    if getattr(args, "config", None):
-        overrides = json.loads(Path(args.config).read_text())
-        for key, value in overrides.items():
-            if not hasattr(args, key):
-                raise SystemExit(f"unknown config key: {key}")
-            setattr(args, key, value)
-    return args
 
 
 def cmd_info(args: argparse.Namespace) -> int:
+    if args.jobs:
+        print(f"{len(api.JOB_KINDS)} registered job kinds "
+              f"(run any of them with `repro run <spec.json>`):\n")
+        for kind in api.job_kinds():
+            info = api.kind_info(kind)
+            print(f"{kind:<14} {info.description}")
+            for line in api.schema_lines(kind):
+                print(f"  {line}")
+            print()
+        return 0
     print(f"{'dataset':<16} {'nodes':>14} {'edges':>16} {'feat':>5} "
           f"{'total GB':>9} {'task':>5}")
     for name, stats in sorted(PAPER_DATASETS.items()):
@@ -77,464 +70,161 @@ def cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_train_lp(args: argparse.Namespace) -> int:
-    args = _apply_config_file(args)
-    if args.dataset not in LP_DATASETS:
-        raise SystemExit(f"unknown LP dataset {args.dataset!r}; "
-                         f"choose from {sorted(LP_DATASETS)}")
-    data = LP_DATASETS[args.dataset](args.scale)
-    fanouts = tuple(args.fanouts) if args.encoder != "none" else ()
-    config = LinkPredictionConfig(
-        embedding_dim=args.dim, encoder=args.encoder,
-        num_layers=len(fanouts), fanouts=fanouts, decoder=args.decoder,
-        batch_size=args.batch_size, num_negatives=args.negatives,
-        num_epochs=args.epochs, eval_every=1, seed=args.seed)
+# ---------------------------------------------------------------------------
+# Flag -> JobSpec shims (behaviour-preserving: same defaults as the legacy
+# subcommands, resolved through the registry's per-kind defaults)
+# ---------------------------------------------------------------------------
+
+def _checkpoint_spec(args: argparse.Namespace,
+                     workdir_fallback: bool = False) -> CheckpointSpec:
+    """Checkpoint flags -> spec. ``workdir_fallback`` routes the legacy
+    in-memory-trainer behaviour where ``--workdir`` (a flag without a
+    storage section to live in) supplies the ``<workdir>/checkpoints``
+    default; disk kinds resolve that from ``storage.workdir`` at build.
+    The fallback applies only when checkpointing was actually requested
+    (a cadence or an explicit dir) — bare ``--workdir`` must not enable
+    the snapshot subsystem, exactly like the legacy commands."""
+    ckpt_dir = args.checkpoint_dir
+    if (ckpt_dir is None and workdir_fallback and args.checkpoint_every
+            and getattr(args, "workdir", None)):
+        ckpt_dir = api.default_checkpoint_dir(args.workdir)
+    return CheckpointSpec(every=args.checkpoint_every, dir=ckpt_dir,
+                          compress=args.checkpoint_compress,
+                          resume_from=args.resume_from,
+                          incremental=getattr(args, "checkpoint_incremental",
+                                              False))
+
+
+def _train_lp_spec(args: argparse.Namespace) -> JobSpec:
     if args.disk and args.pipelined:
         raise SystemExit("--disk and --pipelined select different trainers; "
                          "pass one of them")
     if args.deterministic and not args.pipelined:
         raise SystemExit("--deterministic only applies to --pipelined "
                          "(the other trainers are already deterministic)")
-    ckpt = _checkpoint_args(args)
+    kind = (job_registry.LP_DISK if args.disk else
+            job_registry.LP_PIPELINED if args.pipelined else
+            job_registry.LP_MEM)
+    spec = JobSpec(
+        kind=kind,
+        data=DataSpec(dataset=args.dataset, scale=args.scale),
+        model=ModelSpec(dim=args.dim, encoder=args.encoder,
+                        decoder=args.decoder, fanouts=tuple(args.fanouts)),
+        train=TrainSpec(batch_size=args.batch_size, negatives=args.negatives,
+                        epochs=args.epochs, seed=args.seed,
+                        workers=args.workers,
+                        pipeline_depth=args.pipeline_depth,
+                        deterministic=args.deterministic, save=args.save),
+        checkpoint=_checkpoint_spec(args, workdir_fallback=not args.disk))
     if args.disk:
-        workdir = Path(args.workdir) if args.workdir else Path(
-            tempfile.mkdtemp(prefix="repro-disk-"))
-        disk = DiskConfig(workdir=workdir, num_partitions=args.partitions,
-                          num_logical=args.logical, buffer_capacity=args.buffer,
-                          policy=args.policy)
-        trainer = DiskLinkPredictionTrainer(data, config, disk, **ckpt)
-    elif args.pipelined:
-        trainer = PipelinedLinkPredictionTrainer(
-            data, config, num_sample_workers=args.workers,
-            pipeline_depth=args.pipeline_depth,
-            deterministic=args.deterministic, **ckpt)
-    else:
-        trainer = LinkPredictionTrainer(data, config, **ckpt)
-    if args.resume_from:
-        meta = trainer.resume(Path(args.resume_from))
-        print(f"resumed from snapshot at epoch {meta['epoch']}"
-              + (f", step {meta['step']}" if "step" in meta else "")
-              + (f", batch {meta['batch']}" if "batch" in meta else ""))
-    result = trainer.train(verbose=True)
-    print(f"\nfinal MRR {result.final_mrr:.4f} "
-          f"(hits@10 {result.final_metrics.hits_at_10:.4f}) "
-          f"mean epoch {result.mean_epoch_seconds:.2f}s")
-    if args.save:
-        from .train.checkpoint import save_checkpoint
-        embeddings = getattr(trainer, "embeddings", None)
-        save_checkpoint(Path(args.save), trainer.model, config,
-                        embeddings=embeddings.table if embeddings else None,
-                        optimizer_state=embeddings.state if embeddings else None)
-        print(f"checkpoint written to {args.save}")
+        spec.storage = StorageSpec(workdir=args.workdir,
+                                   partitions=args.partitions,
+                                   logical=args.logical, buffer=args.buffer,
+                                   policy=args.policy)
+    return spec
+
+
+def _train_nc_spec(args: argparse.Namespace) -> JobSpec:
+    kind = job_registry.NC_DISK if args.disk else job_registry.NC_MEM
+    spec = JobSpec(
+        kind=kind,
+        data=DataSpec(nodes=args.nodes),
+        model=ModelSpec(dim=args.dim, fanouts=tuple(args.fanouts)),
+        train=TrainSpec(batch_size=args.batch_size, epochs=args.epochs,
+                        seed=args.seed),
+        checkpoint=_checkpoint_spec(args, workdir_fallback=not args.disk))
+    if args.disk:
+        spec.storage = StorageSpec(workdir=args.workdir,
+                                   partitions=args.partitions,
+                                   buffer=args.buffer)
+    return spec
+
+
+def _serve_spec(args: argparse.Namespace) -> JobSpec:
+    topk = None
+    if args.topk:
+        topk = (int(args.topk[0]), int(args.topk[1]))
+    return JobSpec(
+        kind=job_registry.SERVE,
+        data=DataSpec(dataset=args.dataset, scale=args.scale,
+                      nodes=args.nc_nodes, feat_dim=args.nc_dim,
+                      seed=args.nc_seed),
+        storage=StorageSpec(workdir=args.workdir, partitions=args.partitions,
+                            buffer=args.buffer),
+        serve=ServeSpec(snapshot=args.snapshot, embed=args.embed,
+                        score=tuple(args.score) if args.score else (),
+                        topk=topk, rel=args.rel, classify=args.classify,
+                        bench=args.bench, mix=args.mix,
+                        max_batch=args.max_batch, seed=args.seed))
+
+
+def _stream_spec(args: argparse.Namespace) -> JobSpec:
+    return JobSpec(
+        kind=job_registry.STREAM,
+        data=DataSpec(dataset=args.dataset, scale=args.scale),
+        model=ModelSpec(dim=args.dim),
+        train=TrainSpec(batch_size=args.batch_size, negatives=args.negatives,
+                        seed=args.seed),
+        storage=StorageSpec(workdir=args.workdir, partitions=args.partitions,
+                            buffer=args.buffer,
+                            spill_threshold=args.spill_threshold),
+        stream=StreamSpec(events=args.events, event_batch=args.event_batch,
+                          delete_fraction=args.delete_fraction,
+                          add_nodes_every=args.add_nodes_every,
+                          compact_every=args.compact_every,
+                          refresh=args.refresh, verify=args.verify,
+                          repl=args.repl),
+        checkpoint=_checkpoint_spec(args))
+
+
+def _execute(spec: JobSpec, args: argparse.Namespace) -> int:
+    """Dump the resolved spec (``--dump-spec``) or run it verbosely.
+
+    Only :class:`~repro.api.JobError` (user configuration errors) becomes
+    a clean traceback-free exit; any other exception out of the run is a
+    real defect and propagates with its stack."""
+    try:
+        resolved = spec.resolve()
+        if getattr(args, "dump_spec", False):
+            print(json.dumps(resolved.to_dict(), indent=2))
+            return 0
+        api.run(resolved, verbose=True)
+    except api.JobError as exc:
+        raise SystemExit(str(exc)) from exc
     return 0
 
 
-def _checkpoint_args(args: argparse.Namespace) -> dict:
-    """Shared --checkpoint-every/--checkpoint-dir handling for trainers."""
-    if not args.checkpoint_every and not args.checkpoint_dir:
-        return {}
-    checkpoint_dir = Path(args.checkpoint_dir) if args.checkpoint_dir else (
-        Path(args.workdir) / "checkpoints" if args.workdir else
-        Path(tempfile.mkdtemp(prefix="repro-ckpt-")))
-    if args.checkpoint_every:
-        compressed = " (compressed)" if args.checkpoint_compress else ""
-        print(f"checkpointing every {args.checkpoint_every} to "
-              f"{checkpoint_dir}{compressed}")
-    else:
-        print(f"checkpoint dir {checkpoint_dir} (no --checkpoint-every: "
-              f"snapshots are read for resume but none will be written)")
-    return {"checkpoint_dir": checkpoint_dir,
-            "checkpoint_every": args.checkpoint_every,
-            "checkpoint_compress": args.checkpoint_compress}
+def cmd_train_lp(args: argparse.Namespace) -> int:
+    return _execute(_train_lp_spec(args), args)
 
 
 def cmd_train_nc(args: argparse.Namespace) -> int:
-    args = _apply_config_file(args)
-    data = load_papers100m_mini(num_nodes=args.nodes, num_edges=args.nodes * 9,
-                                feat_dim=args.dim, seed=args.seed)
-    fanouts = tuple(args.fanouts)
-    config = NodeClassificationConfig(
-        hidden_dim=args.dim, num_layers=len(fanouts), fanouts=fanouts,
-        batch_size=args.batch_size, num_epochs=args.epochs, eval_every=1,
-        seed=args.seed)
-    ckpt = _checkpoint_args(args)
-    if args.disk:
-        workdir = Path(args.workdir) if args.workdir else Path(
-            tempfile.mkdtemp(prefix="repro-nc-"))
-        disk = DiskNodeClassificationConfig(workdir=workdir,
-                                            num_partitions=args.partitions,
-                                            buffer_capacity=args.buffer)
-        trainer = DiskNodeClassificationTrainer(data, config, disk, **ckpt)
-    else:
-        trainer = NodeClassificationTrainer(data, config, **ckpt)
-    if args.resume_from:
-        meta = trainer.resume(Path(args.resume_from))
-        print(f"resumed from snapshot at epoch {meta['epoch']}"
-              + (f", step {meta['step']}" if "step" in meta else ""))
-    result = trainer.train(verbose=True)
-    print(f"\nfinal accuracy {result.final_accuracy:.4f} "
-          f"mean epoch {result.mean_epoch_seconds:.2f}s")
-    return 0
-
-
-def _parse_ids(text: str) -> "np.ndarray":
-    import numpy as np
-    return np.array([int(x) for x in text.split(",") if x], dtype=np.int64)
+    return _execute(_train_nc_spec(args), args)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Query a trained snapshot out-of-core (see docs/serving.md)."""
-    import json as _json
-    import numpy as np
-    from .serve import serve_link_prediction, serve_node_classification
-    from .train import SnapshotManager
-
-    args = _apply_config_file(args)
-    snap = Path(args.snapshot)
-    if not (snap / "manifest.json").is_file():
-        latest = SnapshotManager(snap).latest()
-        if latest is None:
-            raise SystemExit(f"no snapshots under {snap}")
-        snap = latest
-    meta = _json.loads((snap / "manifest.json").read_text())["meta"]
-    kind = meta["trainer"]
-    workdir = Path(args.workdir) if args.workdir else Path(
-        tempfile.mkdtemp(prefix="repro-serve-"))
-    if kind.startswith("nc"):
-        data = load_papers100m_mini(num_nodes=args.nc_nodes,
-                                    num_edges=args.nc_nodes * 9,
-                                    feat_dim=args.nc_dim, seed=args.nc_seed)
-        engine = serve_node_classification(snap, data, workdir,
-                                           num_partitions=args.partitions,
-                                           buffer_capacity=args.buffer)
-    else:
-        graph = None
-        if meta.get("config", {}).get("encoder", "none") != "none":
-            # Encoder snapshots sample neighborhoods on read; the CLI
-            # regenerates the training graph the same way train-lp does.
-            if not args.dataset:
-                raise SystemExit(
-                    "this snapshot has a GNN encoder: pass --dataset/--scale "
-                    "(the training data) so encode-on-read can sample "
-                    "neighborhoods")
-            if args.dataset not in LP_DATASETS:
-                raise SystemExit(f"unknown LP dataset {args.dataset!r}; "
-                                 f"choose from {sorted(LP_DATASETS)}")
-            from .graph import Graph
-            data = LP_DATASETS[args.dataset](args.scale)
-            edges = data.split.train
-            graph = Graph(num_nodes=data.graph.num_nodes, src=edges[:, 0],
-                          dst=edges[:, -1],
-                          rel=edges[:, 1] if edges.shape[1] == 3 else None,
-                          num_relations=data.graph.num_relations)
-        engine = serve_link_prediction(snap, workdir,
-                                       num_partitions=args.partitions,
-                                       buffer_capacity=args.buffer,
-                                       graph=graph)
-    print(f"serving {kind} snapshot {snap.name}: "
-          f"{engine.store.num_nodes:,} nodes x {engine.store.dim}, "
-          f"{engine.scheme.num_partitions} partitions, "
-          f"buffer {engine.buffer.capacity}")
-
-    if args.embed:
-        ids = _parse_ids(args.embed)
-        rows = engine.get_embeddings(ids)
-        for node, row in zip(ids, rows):
-            head = ", ".join(f"{v:+.4f}" for v in row[:6])
-            more = ", ..." if len(row) > 6 else ""
-            print(f"  node {node}: [{head}{more}]")
-    if args.score:
-        rows = []
-        for spec in args.score:
-            fields = [int(x) for x in spec.split(":")]
-            if len(fields) == 2:            # S:D — relation 0
-                fields = [fields[0], 0, fields[1]]
-            elif len(fields) != 3:
-                raise SystemExit(f"bad --score spec {spec!r}: expected "
-                                 f"SRC:DST or SRC:REL:DST")
-            rows.append(fields)
-        pairs = np.array(rows, dtype=np.int64)
-        for spec, score in zip(args.score, engine.score_edges(pairs)):
-            print(f"  score({spec}) = {score:.6f}")
-    if args.topk:
-        src, k = int(args.topk[0]), int(args.topk[1])
-        try:
-            ids, scores = engine.topk_targets(src, k, rel=args.rel,
-                                              exclude=[src])
-        except RuntimeError as exc:    # e.g. encoder snapshots refuse top-k
-            raise SystemExit(f"--topk: {exc}")
-        print(f"  top-{k} targets for source {src} (rel {args.rel}):")
-        for rank, (node, score) in enumerate(zip(ids, scores), 1):
-            print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
-    if args.classify:
-        preds = engine.classify(_parse_ids(args.classify), seed=0)
-        print("  predicted classes:", preds.tolist())
-    if args.bench:
-        _serve_bench(engine, args)
-    s = engine.stats
-    print(f"engine stats: {s.lookups} lookups, {s.edges_scored} edges scored, "
-          f"{s.topk_queries} topk, {s.swaps} partition swaps")
-    return 0
-
-
-def _serve_bench(engine, args: argparse.Namespace) -> None:
-    """Quick QPS probe over a random or Zipf-skewed single-lookup stream
-    (the same workload definition the committed benchmark baseline uses)."""
-    import time as _time
-    from .serve import make_query_stream
-    queries = make_query_stream(args.mix, args.bench, engine.store.num_nodes,
-                                seed=args.seed)
-    swaps0 = engine.stats.swaps
-    t0 = _time.perf_counter()
-    for start in range(0, len(queries), args.max_batch):
-        engine.get_embeddings(queries[start : start + args.max_batch])
-    seconds = _time.perf_counter() - t0
-    swaps = engine.stats.swaps - swaps0
-    print(f"  bench: {len(queries)} {args.mix} lookups in {seconds:.2f}s = "
-          f"{len(queries) / seconds:,.0f} QPS "
-          f"({1000 * swaps / len(queries):.1f} swaps/1k queries, "
-          f"batch {args.max_batch})")
+    return _execute(_serve_spec(args), args)
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    """Live-graph streaming: ingest, compact, refresh, query (docs/streaming.md)."""
-    import numpy as np
-    from .graph import Graph
-    from .graph.partition import PartitionScheme
-    from .serve.engine import ServingEngine
-    from .storage.edge_store import EdgeBucketStore
-    from .storage.node_store import NodeStore
-    from .stream import Compactor, ContinualTrainer, LiveGraph, synth_events
-    from .train import LinkPredictionConfig
-
-    args = _apply_config_file(args)
-    if args.dataset not in LP_DATASETS:
-        raise SystemExit(f"unknown LP dataset {args.dataset!r}; "
-                         f"choose from {sorted(LP_DATASETS)}")
-    workdir = Path(args.workdir) if args.workdir else Path(
-        tempfile.mkdtemp(prefix="repro-stream-"))
-    workdir.mkdir(parents=True, exist_ok=True)
-    nodes_path, edges_path = workdir / "nodes.bin", workdir / "edges.bin"
-    if args.resume_from:
-        # Reattach to the workdir's existing stores: the snapshot's
-        # fingerprints pin the *compacted, grown* layout, which a rebuild
-        # from the dataset could never reproduce.
-        if not (nodes_path.exists() and edges_path.exists()):
-            raise SystemExit(
-                "--resume-from needs the original --workdir: its nodes.bin/"
-                "edges.bin hold the compacted base state the snapshot pins")
-        stream_meta = _stream_snapshot_meta(Path(args.resume_from))
-        base_nodes = stream_meta["num_nodes"] - stream_meta["nodes_added"]
-        scheme = PartitionScheme.uniform(
-            base_nodes, args.partitions).extended(stream_meta["nodes_added"])
-        # truncate=True: nodes appended after the snapshot are discarded
-        # (growth is append-only). Edge-bucket drift past the snapshot
-        # (a post-snapshot compaction) is caught by the fingerprint check.
-        store = NodeStore.open(nodes_path, scheme, args.dim, learnable=True,
-                               truncate=True)
-        edge_store = EdgeBucketStore.open(edges_path, scheme)
-        num_relations = edge_store.num_relations
-    else:
-        data = LP_DATASETS[args.dataset](args.scale)
-        edges = data.split.train
-        graph = Graph(num_nodes=data.graph.num_nodes, src=edges[:, 0],
-                      dst=edges[:, -1],
-                      rel=edges[:, 1] if edges.shape[1] == 3 else None,
-                      num_relations=data.graph.num_relations)
-        scheme = PartitionScheme.uniform(graph.num_nodes, args.partitions)
-        store = NodeStore(nodes_path, scheme, args.dim, learnable=True)
-        store.initialize(rng=np.random.default_rng(args.seed))
-        edge_store = EdgeBucketStore(edges_path, graph, scheme)
-        num_relations = graph.num_relations
-    live = LiveGraph(store, edge_store, seed=args.seed,
-                     spill_threshold=args.spill_threshold)
-    config = LinkPredictionConfig(
-        embedding_dim=args.dim, encoder="none", batch_size=args.batch_size,
-        num_negatives=args.negatives, num_epochs=1, seed=args.seed)
-    ckpt = _checkpoint_args(args)
-    trainer = ContinualTrainer(live, config, num_relations=num_relations,
-                               buffer_capacity=args.buffer, **ckpt)
-    engine = ServingEngine.over_live(live, trainer.model,
-                                     buffer_capacity=args.buffer)
-    compactor = Compactor(live)
-    print(f"streaming over {args.dataset}: {live.num_nodes:,} nodes, "
-          f"{edge_store.num_edges:,} base edges, p={args.partitions}, "
-          f"buffer {args.buffer}, workdir {workdir}")
-    if args.resume_from:
-        meta = trainer.resume(Path(args.resume_from))
-        live.nodes_added = int(meta["stream"]["nodes_added"])
-        print(f"resumed at stream position {meta['stream']}")
-    if args.events:
-        _stream_driver(live, compactor, trainer, engine, args)
-    if args.verify:
-        _stream_verify(live, workdir)
-    if args.repl:
-        _stream_repl(live, compactor, trainer, engine, args)
-    s = live.stats()
-    print(f"stream stats: {s['events_appended']} events "
-          f"({s['edges_inserted']} ins / {s['edges_deleted']} del), "
-          f"{s['nodes_added']} nodes added, {s['pending']} pending, "
-          f"{compactor.compactions} compactions, "
-          f"{trainer.refreshes} refreshes, {s['spills']} spills")
-    return 0
+    return _execute(_stream_spec(args), args)
 
 
-def _stream_snapshot_meta(path: Path) -> dict:
-    """The ``stream`` block of a snapshot's manifest (snap dir or root)."""
-    import json as _json
-    from .train import SnapshotManager
-    if not (path / "manifest.json").is_file():
-        latest = SnapshotManager(path).latest()
-        if latest is None:
-            raise SystemExit(f"no snapshots under {path}")
-        path = latest
-    meta = _json.loads((path / "manifest.json").read_text())["meta"]
-    if "stream" not in meta:
-        raise SystemExit(f"snapshot {path.name} was not written by the "
-                         f"streaming trainer (trainer={meta.get('trainer')!r})")
-    return meta["stream"]
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute any job kind from a JobSpec JSON file."""
+    try:
+        spec = api.load_spec(args.spec)
+    except api.JobError as exc:
+        raise SystemExit(str(exc)) from exc
+    return _execute(spec, args)
 
 
-def _stream_driver(live, compactor, trainer, engine, args) -> None:
-    """Synthetic event-stream driver: ingest on a cadence of compactions
-    and refreshes, reporting throughput and staleness."""
-    import time as _time
-    import numpy as np
-    from .stream import synth_events
-    rng = np.random.default_rng(args.seed + 23)
-    done = 0          # events actually appended (deletes can come up short
-    asked = 0         # when the sampled bucket is empty), vs requested
-    t_ingest = 0.0
-    staleness = []
-    batch_no = 0
-    while asked < args.events:
-        count = min(args.event_batch, args.events - asked)
-        if args.add_nodes_every and batch_no % args.add_nodes_every == 0:
-            live.add_nodes(max(1, count // 50))
-        ins, dels = synth_events(live, rng, count, args.delete_fraction)
-        t0 = _time.perf_counter()
-        lo, hi = live.insert_edges(ins)
-        done += hi - lo
-        if dels is not None and len(dels):
-            lo, hi = live.delete_edges(dels)
-            done += hi - lo
-        t_ingest += _time.perf_counter() - t0
-        asked += count
-        batch_no += 1
-        staleness.append(live.staleness())
-        if args.compact_every and live.staleness() >= args.compact_every:
-            report = compactor.compact()
-            print(f"  [{done:>8} events] compacted {report.merged_events} "
-                  f"events in {report.seconds * 1000:.0f}ms "
-                  f"-> {report.num_edges:,} base edges")
-            if args.refresh:
-                record = trainer.refresh()
-                print(f"  [{done:>8} events] refresh loss={record.loss:.4f} "
-                      f"({record.num_batches} batches, "
-                      f"{record.seconds:.2f}s)")
-    qps_ids = np.arange(min(64, live.num_nodes))
-    t0 = _time.perf_counter()
-    engine.get_embeddings(qps_ids)
-    q_ms = 1000 * (_time.perf_counter() - t0)
-    print(f"driver: {done} events in {t_ingest:.2f}s ingest time = "
-          f"{done / max(t_ingest, 1e-9):,.0f} events/s; staleness "
-          f"mean {np.mean(staleness):.0f} max {max(staleness)}; "
-          f"64-row lookup {q_ms:.1f}ms")
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
 
-
-def _stream_verify(live, workdir) -> None:
-    """Streamed-vs-rebuilt equivalence check over the current live state."""
-    import numpy as np
-    from .core.sampler import DenseSampler
-    from .storage.edge_store import EdgeBucketStore
-    final = live.materialize()
-    rebuilt = EdgeBucketStore(Path(workdir) / "verify-edges.bin", final,
-                              live.scheme)
-    p = live.num_partitions
-    for i in range(p):
-        for j in range(p):
-            a = live.bucket_edges(i, j, record_io=False)
-            b = rebuilt.read_bucket(i, j, record_io=False)
-            if not np.array_equal(a, b):
-                raise SystemExit(f"verify FAILED: bucket ({i}, {j}) of the "
-                                 f"live view differs from the offline rebuild")
-    parts = list(range(min(4, p)))
-    s_live = DenseSampler.from_partitions(live.scheme, live.bucket_endpoints,
-                                          parts, [5],
-                                          rng=np.random.default_rng(99))
-    s_built = DenseSampler.from_partitions(live.scheme,
-                                           rebuilt.bucket_endpoints, parts,
-                                           [5], rng=np.random.default_rng(99))
-    targets = np.arange(0, live.num_nodes, max(1, live.num_nodes // 64))
-    a, b = s_live.sample(targets), s_built.sample(targets)
-    if not np.array_equal(a.node_ids, b.node_ids):
-        raise SystemExit("verify FAILED: sampling diverged from the rebuild")
-    rebuilt.close()
-    print(f"verify OK: {final.num_edges:,} live edges match an offline "
-          f"rebuild bucket-for-bucket; seeded sampling identical")
-
-
-def _stream_repl(live, compactor, trainer, engine, args) -> None:
-    """Interactive ingest/compact/query loop over the live graph."""
-    import numpy as np
-    from .stream import synth_events
-    rng = np.random.default_rng(args.seed + 31)
-    print("stream REPL - commands: ingest N | delete N | add-nodes N | "
-          "compact | refresh | embed IDS | topk SRC K | stats | verify | quit")
-    while True:
-        try:
-            line = input("stream> ").strip()
-        except EOFError:
-            break
-        if not line:
-            continue
-        cmd, *rest = line.split()
-        try:
-            if cmd == "quit" or cmd == "exit":
-                break
-            elif cmd == "ingest":
-                ins, _ = synth_events(live, rng, int(rest[0]), 0.0)
-                lo, hi = live.insert_edges(ins)
-                print(f"  inserted {hi - lo} edges (seq [{lo}, {hi}))")
-            elif cmd == "delete":
-                _, dels = synth_events(live, rng, int(rest[0]), 1.0)
-                if dels is None or not len(dels):
-                    print("  nothing to delete")
-                else:
-                    lo, hi = live.delete_edges(dels)
-                    print(f"  deleted {hi - lo} edge keys (seq [{lo}, {hi}))")
-            elif cmd == "add-nodes":
-                ids = live.add_nodes(int(rest[0]))
-                print(f"  added nodes [{ids[0]}, {ids[-1]}]")
-            elif cmd == "compact":
-                report = compactor.compact()
-                print(f"  merged {report.merged_events} events in "
-                      f"{report.seconds * 1000:.0f}ms -> "
-                      f"{report.num_edges:,} base edges")
-            elif cmd == "refresh":
-                record = trainer.refresh()
-                print(f"  loss={record.loss:.4f} "
-                      f"({record.num_batches} batches)")
-            elif cmd == "embed":
-                ids = _parse_ids(rest[0])
-                for node, row in zip(ids, engine.get_embeddings(ids)):
-                    head = ", ".join(f"{v:+.4f}" for v in row[:6])
-                    print(f"  node {node}: [{head}, ...]")
-            elif cmd == "topk":
-                ids, scores = engine.topk_targets(int(rest[0]), int(rest[1]))
-                for rank, (node, score) in enumerate(zip(ids, scores), 1):
-                    print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
-            elif cmd == "stats":
-                print(f"  {live.stats()}")
-            elif cmd == "verify":
-                _stream_verify(live, tempfile.mkdtemp(prefix="repro-verify-"))
-            else:
-                print(f"  unknown command {cmd!r}")
-        except Exception as exc:   # REPL survives bad input
-            print(f"  error: {exc}")
-
-
-def _add_checkpoint_flags(p: argparse.ArgumentParser, every_help: str) -> None:
+def _add_checkpoint_flags(p: argparse.ArgumentParser, every_help: str,
+                          incremental: bool = False) -> None:
     """The snapshot flags shared by every training-ish subcommand."""
     p.add_argument("--checkpoint-every", type=int, default=0, help=every_help)
     p.add_argument("--checkpoint-dir", default=None,
@@ -543,23 +233,44 @@ def _add_checkpoint_flags(p: argparse.ArgumentParser, every_help: str) -> None:
                    help="zlib-compress snapshot array payloads")
     p.add_argument("--resume-from", default=None,
                    help="snapshot dir (or checkpoint root) to resume from")
+    if incremental:
+        p.add_argument("--checkpoint-incremental", action="store_true",
+                       help="dirty-partition-only snapshots chained to a "
+                            "full base (disk trainers)")
 
 
-def build_parser() -> argparse.ArgumentParser:
+def build_parser() -> Tuple[argparse.ArgumentParser,
+                            Dict[str, argparse.ArgumentParser]]:
     parser = argparse.ArgumentParser(
         prog="repro", description="MariusGNN reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
+    subparsers: Dict[str, argparse.ArgumentParser] = {}
 
-    sub.add_parser("info", help="list the paper dataset registry")
+    def subparser(name: str, **kwargs) -> argparse.ArgumentParser:
+        subparsers[name] = sub.add_parser(name, **kwargs)
+        return subparsers[name]
 
-    p = sub.add_parser("autotune", help="apply the Section 6 tuning rules")
+    p = subparser("info", help="list the paper dataset registry")
+    p.add_argument("--jobs", action="store_true",
+                   help="list registered job kinds with their spec schema")
+
+    p = subparser("autotune", help="apply the Section 6 tuning rules")
     p.add_argument("--dataset", required=True)
     p.add_argument("--memory-gb", type=float, default=61.0)
     p.add_argument("--dim", type=int, default=None)
     p.add_argument("--max-physical", type=int, default=4096)
 
-    p = sub.add_parser("train-lp", help="train link prediction")
-    p.add_argument("--config", help="JSON file overriding these options")
+    p = subparser("run", help="execute any job kind from a JobSpec file")
+    p.add_argument("spec", help="JobSpec JSON file (see `repro info --jobs` "
+                                "and docs/api.md)")
+    p.add_argument("--dump-spec", action="store_true",
+                   help="print the resolved spec and exit without running")
+
+    p = subparser("train-lp", help="train link prediction")
+    p.add_argument("--config", help="JSON file of option defaults "
+                                    "(explicit flags win)")
+    p.add_argument("--dump-spec", action="store_true",
+                   help="print the resolved JobSpec and exit")
     p.add_argument("--dataset", default="fb15k237")
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--encoder", default="graphsage",
@@ -590,11 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
         p, every_help="snapshot cadence: epochs (in-memory), plan steps "
                       "(--disk), or consumed batches (--pipelined "
                       "--deterministic; without --deterministic the racy "
-                      "pipeline only snapshots at epoch boundaries); 0 = off")
+                      "pipeline only snapshots at epoch boundaries); 0 = off",
+        incremental=True)
 
-    p = sub.add_parser("stream", help="live-graph streaming: ingest, "
-                                      "compact, refresh, query")
-    p.add_argument("--config", help="JSON file overriding these options")
+    p = subparser("stream", help="live-graph streaming: ingest, "
+                                 "compact, refresh, query")
+    p.add_argument("--config", help="JSON file of option defaults "
+                                    "(explicit flags win)")
+    p.add_argument("--dump-spec", action="store_true",
+                   help="print the resolved JobSpec and exit")
     p.add_argument("--dataset", default="freebase86m-mini")
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--dim", type=int, default=32)
@@ -626,8 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_flags(p, every_help="snapshot cadence in refreshes; "
                                         "0 = off")
 
-    p = sub.add_parser("serve", help="query a trained snapshot out-of-core")
-    p.add_argument("--config", help="JSON file overriding these options")
+    p = subparser("serve", help="query a trained snapshot out-of-core")
+    p.add_argument("--config", help="JSON file of option defaults "
+                                    "(explicit flags win)")
+    p.add_argument("--dump-spec", action="store_true",
+                   help="print the resolved JobSpec and exit")
     p.add_argument("--snapshot", required=True,
                    help="snapshot dir (or checkpoint root; latest wins)")
     p.add_argument("--workdir", default=None,
@@ -663,8 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nc-dim", type=int, default=32)
     p.add_argument("--nc-seed", type=int, default=0)
 
-    p = sub.add_parser("train-nc", help="train node classification")
-    p.add_argument("--config", help="JSON file overriding these options")
+    p = subparser("train-nc", help="train node classification")
+    p.add_argument("--config", help="JSON file of option defaults "
+                                    "(explicit flags win)")
+    p.add_argument("--dump-spec", action="store_true",
+                   help="print the resolved JobSpec and exit")
     p.add_argument("--nodes", type=int, default=4000)
     p.add_argument("--dim", type=int, default=32)
     p.add_argument("--fanouts", type=int, nargs="*", default=[10, 5])
@@ -677,18 +398,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workdir", default=None)
     _add_checkpoint_flags(
         p, every_help="snapshot cadence: epochs (in-memory) or epoch-plan "
-                      "steps (--disk); 0 = off")
+                      "steps (--disk); 0 = off",
+        incremental=True)
 
-    return parser
+    return parser, subparsers
 
 
 COMMANDS = {"info": cmd_info, "autotune": cmd_autotune,
+            "run": cmd_run,
             "train-lp": cmd_train_lp, "train-nc": cmd_train_nc,
             "serve": cmd_serve, "stream": cmd_stream}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser, subparsers = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "config", None):
+        # A config file supplies *defaults*: install its values on the
+        # subcommand's parser and re-parse, so any flag given explicitly on
+        # the command line wins over the file (the old behaviour let the
+        # file silently overwrite explicit flags).
+        overrides = json.loads(Path(args.config).read_text())
+        for key in overrides:
+            if not hasattr(args, key):
+                raise SystemExit(f"unknown config key: {key}")
+        subparsers[args.command].set_defaults(**overrides)
+        args = parser.parse_args(argv)
     return COMMANDS[args.command](args)
 
 

@@ -5,7 +5,8 @@ from .datasets import (DatasetStats, LinkPredictionDataset,
                        NodeClassificationDataset, PAPER_DATASETS,
                        load_fb15k237, load_freebase86m_mini,
                        load_livejournal_mini, load_mag240m_mini,
-                       load_papers100m_mini, load_wikikg90m_mini, paper_stats)
+                       load_papers100m_mini, load_wikikg90m_mini, paper_stats,
+                       training_graph)
 from .edge_list import EdgeSplit, Graph, split_edges
 from .generators import (chain_graph, citation_graph, erdos_renyi_graph,
                          power_law_graph, star_graph)
@@ -22,6 +23,7 @@ __all__ = [
     "DatasetStats", "PAPER_DATASETS", "paper_stats",
     "LinkPredictionDataset", "NodeClassificationDataset",
     "load_fb15k237", "load_freebase86m_mini", "load_wikikg90m_mini",
+    "training_graph",
     "load_papers100m_mini", "load_mag240m_mini", "load_livejournal_mini",
     "densify_ids", "shuffle_node_ids", "deduplicate_edges", "degree_order",
     "export_tsv", "import_tsv",

@@ -102,6 +102,18 @@ class NodeClassificationDataset:
         return int(self.graph.node_labels.max()) + 1
 
 
+def training_graph(dataset: "LinkPredictionDataset") -> Graph:
+    """The training split as a :class:`Graph` — what the disk stores hold
+    and what serving/streaming rebuild for encode-on-read. The single
+    authority for the rel-column convention (3-column splits carry the
+    relation in the middle column)."""
+    edges = dataset.split.train
+    return Graph(num_nodes=dataset.graph.num_nodes, src=edges[:, 0],
+                 dst=edges[:, -1],
+                 rel=edges[:, 1] if edges.shape[1] == 3 else None,
+                 num_relations=dataset.graph.num_relations)
+
+
 def load_fb15k237(scale: float = 1.0, seed: int = 0) -> LinkPredictionDataset:
     """FB15k-237 stand-in at the published scale (14,541 nodes / 272k edges).
 

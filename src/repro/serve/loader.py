@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..api.registry import LP_SNAPSHOT_KINDS, NC_SNAPSHOT_KINDS
 from ..graph.datasets import NodeClassificationDataset
 from ..graph.edge_list import Graph
 from ..graph.partition import PartitionScheme
@@ -39,8 +40,10 @@ from ..train.node_classification import (NodeClassificationConfig,
                                          NodeClassifier)
 from .engine import ServingEngine
 
-LP_KINDS = ("lp-mem", "lp-disk", "lp-pipelined")
-NC_KINDS = ("nc-mem", "nc-disk")
+# Accepted snapshot kinds are owned by the job registry, so the serving
+# loader cannot drift from the trainers' KIND strings.
+LP_KINDS = LP_SNAPSHOT_KINDS
+NC_KINDS = NC_SNAPSHOT_KINDS
 
 
 def _config_from_meta(restore: InferenceRestore, config_cls):

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api import registry as job_registry
 from ..core.sampler import DenseSampler
 from ..nn.optim import RowAdagrad
 from ..storage.buffer import PartitionBuffer
@@ -39,6 +40,7 @@ from ..train.checkpoint import (SnapshotManager, _config_to_dict,
                                 rng_state, set_rng_state, unpack_model,
                                 unpack_optimizer, validate_meta)
 from ..train.evaluation import EpochRecord
+from ..train.hooks import ListenerHooks, ProgressListener
 from ..train.link_prediction import (LinkPredictionConfig,
                                      LinkPredictionModel, _BatchStep)
 from ..train.negative_sampling import UniformNegativeSampler
@@ -76,7 +78,7 @@ def pack_pairs(pairs: Sequence[Tuple[int, int]], capacity: int
     return groups
 
 
-class ContinualTrainer:
+class ContinualTrainer(ListenerHooks):
     """Streams embedding updates into a live graph between compactions.
 
     Parameters
@@ -97,14 +99,16 @@ class ContinualTrainer:
         only), and on-disk compression of the array payload.
     """
 
-    KIND = "lp-stream"
+    KIND = job_registry.LP_STREAM
 
     def __init__(self, live: LiveGraph,
                  config: Optional[LinkPredictionConfig] = None,
                  num_relations: int = 1, buffer_capacity: int = 4,
                  checkpoint_dir: Optional[Path] = None,
                  checkpoint_every: int = 0,
-                 checkpoint_compress: bool = False) -> None:
+                 checkpoint_compress: bool = False,
+                 listeners: Optional[Sequence[ProgressListener]] = None) -> None:
+        self._init_hooks(listeners)
         self.live = live
         self.config = config or LinkPredictionConfig()
         cfg = self.config
@@ -212,6 +216,9 @@ class ContinualTrainer:
         self.refreshes += 1
         record.seconds = time.perf_counter() - t0
         record.loss = float(np.mean(losses)) if losses else 0.0
+        self._emit("refresh", trainer=self.KIND, refreshes=self.refreshes,
+                   loss=record.loss, seconds=record.seconds,
+                   num_batches=record.num_batches)
         if (self.snapshots is not None and self.checkpoint_every
                 and self.refreshes % self.checkpoint_every == 0):
             self.save_snapshot()
@@ -247,7 +254,10 @@ class ContinualTrainer:
                 "rng": rng_state(self.rng),
                 "stores": self._store_fingerprints(),
                 "config": _config_to_dict(self.config)}
-        return self.snapshots.save(log.seq, meta, arrays)
+        path = self.snapshots.save(log.seq, meta, arrays)
+        self._emit("snapshot", trainer=self.KIND, path=str(path),
+                   seq=int(log.seq))
+        return path
 
     def resume(self, path: Optional[Path] = None) -> dict:
         """Restore a snapshot; the caller replays events from

@@ -141,15 +141,28 @@ class SnapshotManager:
 
     # ------------------------------------------------------------------
     def save(self, step_id: int, meta: Dict[str, Any],
-             arrays: Dict[str, np.ndarray]) -> Path:
+             arrays: Dict[str, np.ndarray],
+             base: Optional[str] = None) -> Path:
         """Write a snapshot atomically; returns its directory.
 
         ``meta`` must be JSON-serializable; ``arrays`` maps names to numpy
         arrays. ``step_id`` seeds the directory ordinal (bumped past any
         existing snapshots so this save sorts latest). The snapshot becomes
         visible only after the final rename.
+
+        ``base`` names a sibling snapshot directory this one is an
+        *incremental delta* of: array keys of the form
+        ``delta/<name>/<row>`` overlay the base's ``<name>`` array at that
+        row offset on load (see :func:`compose_arrays`), every other key
+        replaces the base's outright. The base must exist under the same
+        root; pruning keeps chained bases alive as long as any retained
+        snapshot references them.
         """
         self.root.mkdir(parents=True, exist_ok=True)
+        if base is not None and not (self.root / base / "manifest.json").is_file():
+            raise SnapshotError(
+                f"incremental snapshot references base {base!r} which does "
+                f"not exist under {self.root}")
         self._sweep_tmp()
         # The directory ordinal is the *save* sequence, not the training
         # cursor (the cursor lives in the manifest): normally they coincide,
@@ -178,6 +191,8 @@ class SnapshotManager:
 
         manifest = {"version": SNAPSHOT_VERSION, "step_id": int(step_id),
                     "arrays_crc": crc, "meta": meta}
+        if base is not None:
+            manifest["base"] = str(base)
         with open(tmp / "manifest.json", "w") as fh:
             json.dump(manifest, fh, indent=2)
             fh.flush()
@@ -192,9 +207,30 @@ class SnapshotManager:
         return final
 
     def _prune(self) -> None:
+        """Drop all but the newest ``keep`` snapshots — except snapshots a
+        retained incremental snapshot (transitively) chains to as its base,
+        which must stay loadable for the chain to compose."""
         snaps = self.list()
-        for old in snaps[: max(0, len(snaps) - self.keep)]:
-            shutil.rmtree(old, ignore_errors=True)
+        if len(snaps) <= self.keep:
+            return
+        by_name = {p.name: p for p in snaps}
+        keep_names = {p.name for p in snaps[-self.keep:]}
+        frontier = list(keep_names)
+        while frontier:
+            base = self._base_of(by_name[frontier.pop()])
+            if base and base in by_name and base not in keep_names:
+                keep_names.add(base)
+                frontier.append(base)
+        for old in snaps:
+            if old.name not in keep_names:
+                shutil.rmtree(old, ignore_errors=True)
+
+    @staticmethod
+    def _base_of(path: Path) -> Optional[str]:
+        try:
+            return json.loads((path / "manifest.json").read_text()).get("base")
+        except (OSError, ValueError):
+            return None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -224,13 +260,16 @@ class SnapshotManager:
         snaps = self.list()
         return snaps[-1] if snaps else None
 
-    def load(self, path: Optional[os.PathLike] = None
+    def load(self, path: Optional[os.PathLike] = None, compose: bool = True
              ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
         """Read and validate a snapshot; returns ``(meta, arrays)``.
 
         With ``path=None`` the latest complete snapshot is used. Validation
         covers the format version and the CRC of the array payload, so a
-        torn copy is rejected rather than silently restored.
+        torn copy is rejected rather than silently restored. An incremental
+        snapshot (manifest ``base``) is composed over its CRC-verified base
+        chain transparently, so callers always see full arrays; pass
+        ``compose=False`` for the raw delta payload.
         """
         if path is None:
             path = self.latest()
@@ -249,17 +288,76 @@ class SnapshotManager:
             raise SnapshotError(f"snapshot {path.name} failed its CRC check")
         with np.load(path / "arrays.npz") as archive:
             arrays = {name: archive[name] for name in archive.files}
+        base = manifest.get("base")
+        if compose and base:
+            if not (self.root / base / "manifest.json").is_file():
+                raise SnapshotError(
+                    f"snapshot {path.name} chains to base {base!r} which is "
+                    f"missing under {self.root}")
+            _, base_arrays = self.load(self.root / base)
+            arrays = compose_arrays(base_arrays, arrays)
         return manifest["meta"], arrays
+
+
+DELTA_PREFIX = "delta/"
+
+
+def delta_key(name: str, row: int) -> str:
+    """Array key for an incremental row-span overlay of ``name`` at ``row``."""
+    return f"{DELTA_PREFIX}{name}/{int(row)}"
+
+
+def compose_arrays(base: Dict[str, np.ndarray],
+                   delta: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Overlay an incremental snapshot's arrays onto its base's.
+
+    Keys of the form ``delta/<name>/<row>`` write their rows into a copy
+    of the base's ``<name>`` array at offset ``row`` (the partition spans
+    the trainer recorded); every other key replaces the base entry. The
+    result is indistinguishable from a full snapshot's array dict.
+    """
+    out = dict(base)
+    copied = set()
+    for key, arr in delta.items():
+        if not key.startswith(DELTA_PREFIX):
+            out[key] = arr
+            continue
+        _, name, row = key.split("/")
+        lo = int(row)
+        if name not in out:
+            raise SnapshotError(
+                f"incremental overlay {key!r} has no base array {name!r}")
+        if name not in copied:
+            out[name] = out[name].copy()
+            copied.add(name)
+        if lo + len(arr) > len(out[name]):
+            raise SnapshotError(
+                f"incremental overlay {key!r} spans past the base array "
+                f"({lo}+{len(arr)} > {len(out[name])})")
+        out[name][lo : lo + len(arr)] = arr
+    return out
+
+
+def resolve_snapshot_dir(path: os.PathLike) -> Path:
+    """Normalize a snapshot argument that may name either one ``snap-*``
+    directory or a checkpoint root: the root resolves to its latest
+    complete snapshot. The single place the dir-or-root rule lives —
+    serving, stream resume, and :func:`open_snapshot` all route here."""
+    path = Path(path)
+    if (path / "manifest.json").is_file():
+        return path
+    latest = SnapshotManager(path).latest()
+    if latest is None:
+        raise SnapshotError(f"no snapshots under {path}")
+    return latest
 
 
 def open_snapshot(path: os.PathLike
                   ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
     """Load a snapshot by path: either one ``snap-*`` directory or a
     checkpoint root (in which case the latest complete snapshot is used)."""
-    path = Path(path)
-    if (path / "manifest.json").is_file():
-        return SnapshotManager(path.parent).load(path)
-    return SnapshotManager(path).load()
+    path = resolve_snapshot_dir(path)
+    return SnapshotManager(path.parent).load(path)
 
 
 @dataclasses.dataclass

@@ -26,6 +26,7 @@ import numpy as np
 from ..core.dense import DenseBatch
 from ..core.encoder import GNNEncoder
 from ..core.sampler import DenseSampler
+from ..api import registry as job_registry
 from ..graph.datasets import LinkPredictionDataset
 from ..graph.edge_list import Graph
 from ..graph.partition import PartitionScheme
@@ -39,11 +40,13 @@ from ..storage.buffer import PartitionBuffer
 from ..storage.edge_store import EdgeBucketStore
 from ..storage.io_stats import IOStats
 from ..storage.node_store import NodeStore
-from .checkpoint import (SnapshotManager, _config_to_dict,
-                         dataset_fingerprint, pack_model, pack_optimizer,
-                         resolve_snapshot, rng_state, set_rng_state,
+from .checkpoint import (SnapshotError, SnapshotManager, _config_to_dict,
+                         dataset_fingerprint, delta_key, pack_model,
+                         pack_optimizer, resolve_snapshot,
+                         resolve_snapshot_dir, rng_state, set_rng_state,
                          unpack_model, unpack_optimizer, validate_meta)
 from .evaluation import EpochRecord, RankingMetrics, ranking_metrics, ranks_from_scores
+from .hooks import ListenerHooks, ProgressListener
 from .negative_sampling import UniformNegativeSampler
 
 
@@ -196,21 +199,25 @@ class _BatchStep:
         return float(loss.data)
 
 
-class LinkPredictionTrainer:
+class LinkPredictionTrainer(ListenerHooks):
     """Single-machine, full-graph-in-memory trainer (M-GNN_Mem).
 
     ``checkpoint_dir``/``checkpoint_every`` (in epochs) enable the atomic
     snapshot subsystem; :meth:`resume` restores the latest snapshot so a
     continued :meth:`train` is bit-identical to an uninterrupted run.
+    ``listeners`` observe progress/snapshot events (see
+    :mod:`repro.train.hooks`).
     """
 
-    KIND = "lp-mem"
+    KIND = job_registry.LP_MEM
 
     def __init__(self, dataset: LinkPredictionDataset,
                  config: Optional[LinkPredictionConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
                  checkpoint_every: int = 0,
-                 checkpoint_compress: bool = False) -> None:
+                 checkpoint_compress: bool = False,
+                 listeners: Optional[Sequence[ProgressListener]] = None) -> None:
+        self._init_hooks(listeners)
         self.dataset = dataset
         self.config = config or LinkPredictionConfig()
         cfg = self.config
@@ -243,7 +250,10 @@ class LinkPredictionTrainer:
                 "rng": rng_state(self.rng),
                 "stores": {"dataset": dataset_fingerprint(self.dataset)},
                 "config": _config_to_dict(self.config)}
-        return self.snapshots.save(next_epoch, meta, arrays)
+        path = self.snapshots.save(next_epoch, meta, arrays)
+        self._emit("snapshot", trainer=self.KIND, path=str(path),
+                   epoch=int(next_epoch))
+        return path
 
     def resume(self, path: Optional[Path] = None) -> dict:
         """Restore a snapshot (latest under the checkpoint dir by default)."""
@@ -279,6 +289,9 @@ class LinkPredictionTrainer:
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate().mrr
             records.append(record)
+            self._emit("epoch", trainer=self.KIND, epoch=epoch,
+                       loss=record.loss, seconds=record.seconds,
+                       metric=record.metric)
             if (self.snapshots is not None and self.checkpoint_every
                     and (epoch + 1) % self.checkpoint_every == 0):
                 self.save_snapshot(epoch + 1)
@@ -419,23 +432,33 @@ class DiskConfig:
         self.workdir = Path(self.workdir)
 
 
-class DiskLinkPredictionTrainer:
+class DiskLinkPredictionTrainer(ListenerHooks):
     """Out-of-core trainer: partition buffer + COMET/BETA epoch plans.
 
     Each epoch: the policy produces (S, X); for each step the buffer swaps to
     S_i (real memmap IO), the sampler re-indexes the in-buffer subgraph, and
     mini batches are drawn from X_i's buckets with negatives restricted to
     resident nodes.
+
+    ``checkpoint_incremental=True`` switches to dirty-partition-only
+    snapshots: the first save is a full base, later saves carry only the
+    table/optimizer rows of partitions touched since that base as
+    ``delta/...`` row spans, with the manifest chaining to the base (see
+    :func:`~repro.train.checkpoint.compose_arrays`). A save whose touched
+    set covers every partition re-bases with a fresh full snapshot.
     """
 
-    KIND = "lp-disk"
+    KIND = job_registry.LP_DISK
 
     def __init__(self, dataset: LinkPredictionDataset,
                  config: Optional[LinkPredictionConfig] = None,
                  disk: Optional[DiskConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
                  checkpoint_every: int = 0,
-                 checkpoint_compress: bool = False) -> None:
+                 checkpoint_compress: bool = False,
+                 checkpoint_incremental: bool = False,
+                 listeners: Optional[Sequence[ProgressListener]] = None) -> None:
+        self._init_hooks(listeners)
         self.dataset = dataset
         self.config = config or LinkPredictionConfig()
         self.disk = disk or DiskConfig(workdir=Path("/tmp/repro-disk"))
@@ -472,6 +495,9 @@ class DiskLinkPredictionTrainer:
                                           compress=checkpoint_compress)
                           if checkpoint_dir is not None else None)
         self.checkpoint_every = int(checkpoint_every)  # in epoch-plan steps
+        self.checkpoint_incremental = bool(checkpoint_incremental)
+        self._ckpt_base: Optional[str] = None       # full snapshot deltas chain to
+        self._touched_since_base: set = set()       # partitions dirtied since it
         self._start_epoch = 0
         self._start_step = 0
         self._steps_done = 0
@@ -503,10 +529,24 @@ class DiskLinkPredictionTrainer:
             epoch, next_step = epoch + 1, 0
         self.buffer.flush()
         self.node_store.flush()
-        arrays = {"node_table": self.node_store.read_all()}
-        state = self.node_store.read_all_state()
-        if state is not None:
-            arrays["node_state"] = state
+        # Incremental mode: once a full base exists, carry only the rows of
+        # partitions touched since it (a delta covering every partition is
+        # pointless — re-base with a fresh full snapshot instead).
+        delta = (self.checkpoint_incremental and self._ckpt_base is not None
+                 and len(self._touched_since_base) < self.scheme.num_partitions)
+        if delta:
+            arrays = {}
+            for part in sorted(self._touched_since_base):
+                data, state = self.node_store.read_partition(part)
+                lo = int(self.scheme.boundaries[part])
+                arrays[delta_key("node_table", lo)] = data
+                if state is not None:
+                    arrays[delta_key("node_state", lo)] = state
+        else:
+            arrays = {"node_table": self.node_store.read_all()}
+            state = self.node_store.read_all_state()
+            if state is not None:
+                arrays["node_state"] = state
         pack_model(self.model, arrays)
         pack_optimizer("gnn_opt", self.step_runner.gnn_optimizer, arrays)
         meta = {"trainer": self.KIND, "epoch": int(epoch), "step": int(next_step),
@@ -515,7 +555,19 @@ class DiskLinkPredictionTrainer:
                 "policy": self.policy.state_dict(),
                 "stores": self._store_fingerprints(),
                 "config": _config_to_dict(self.config)}
-        return self.snapshots.save(epoch * 1_000_000 + next_step, meta, arrays)
+        if delta:
+            meta["incremental"] = {
+                "base": self._ckpt_base,
+                "parts": sorted(int(p) for p in self._touched_since_base)}
+        path = self.snapshots.save(epoch * 1_000_000 + next_step, meta, arrays,
+                                   base=self._ckpt_base if delta else None)
+        if self.checkpoint_incremental and not delta:
+            self._ckpt_base = path.name
+            self._touched_since_base.clear()
+        self._emit("snapshot", trainer=self.KIND, path=str(path),
+                   epoch=int(epoch), step=int(next_step),
+                   incremental=bool(delta))
+        return path
 
     def resume(self, path: Optional[Path] = None) -> dict:
         """Restore the latest (or given) snapshot; next train() continues.
@@ -538,15 +590,40 @@ class DiskLinkPredictionTrainer:
         set_rng_state(self.rng, meta["rng"])
         self._start_epoch = int(meta["epoch"])
         self._start_step = int(meta["step"])
+        self._restore_incremental_chain(path, meta)
         return meta
+
+    def _restore_incremental_chain(self, path: Optional[Path],
+                                   meta: dict) -> None:
+        """Continue the delta chain after a resume when possible.
+
+        Resuming from our own checkpoint root keeps chaining: a resumed
+        full snapshot becomes the base; a resumed delta inherits its base
+        and touched set (future deltas must keep carrying those rows). A
+        foreign snapshot path can't be chained to — the next save is full.
+        """
+        self._ckpt_base = None
+        self._touched_since_base = set()
+        if not self.checkpoint_incremental or self.snapshots is None:
+            return
+        try:
+            snap = resolve_snapshot_dir(path if path is not None
+                                        else self.snapshots.root)
+        except SnapshotError:
+            return
+        if snap.parent != self.snapshots.root:
+            return
+        inc = meta.get("incremental")
+        base = inc["base"] if inc else snap.name
+        if (self.snapshots.root / base / "manifest.json").is_file():
+            self._ckpt_base = base
+            if inc:
+                self._touched_since_base = set(int(p) for p in inc["parts"])
 
     def _train_graph(self) -> Graph:
         """Training edges only, as a graph (disk stores what we train on)."""
-        edges = self.dataset.split.train
-        return Graph(num_nodes=self.dataset.graph.num_nodes,
-                     src=edges[:, 0], dst=edges[:, -1],
-                     rel=edges[:, 1] if edges.shape[1] == 3 else None,
-                     num_relations=self.dataset.graph.num_relations)
+        from ..graph.datasets import training_graph
+        return training_graph(self.dataset)
 
     def _make_policy(self) -> PartitionPolicy:
         dsk = self.disk
@@ -568,6 +645,9 @@ class DiskLinkPredictionTrainer:
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate().mrr
             records.append(record)
+            self._emit("epoch", trainer=self.KIND, epoch=epoch,
+                       loss=record.loss, seconds=record.seconds,
+                       metric=record.metric, io_bytes=record.io_bytes)
             if verbose:
                 print(f"[epoch {epoch}] loss={record.loss:.4f} "
                       f"time={record.seconds:.1f}s io={record.io_bytes >> 20}MiB "
@@ -612,6 +692,11 @@ class DiskLinkPredictionTrainer:
                                                 record)
                     losses.append(loss)
 
+            if self.checkpoint_incremental:
+                # Updates land only inside the step's batches, and evictions
+                # only at the next swap — so the buffer's dirty set here is
+                # exactly the partitions this step's gradients touched.
+                self._touched_since_base.update(self.buffer.dirty_partitions())
             self._steps_done += 1
             if (self.snapshots is not None and self.checkpoint_every
                     and self._steps_done % self.checkpoint_every == 0):

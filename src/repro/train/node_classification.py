@@ -13,10 +13,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api import registry as job_registry
 from ..core.encoder import GNNEncoder
 from ..core.sampler import DenseSampler
 from ..graph.datasets import NodeClassificationDataset
@@ -37,6 +38,7 @@ from .checkpoint import (SnapshotManager, _config_to_dict,
                          resolve_snapshot, rng_state, set_rng_state,
                          unpack_model, unpack_optimizer, validate_meta)
 from .evaluation import EpochRecord, multiclass_accuracy
+from .hooks import ListenerHooks, ProgressListener
 
 
 @dataclass
@@ -88,7 +90,7 @@ class NodeClassifier(Module):
         return self.head(self.encoder(h0, batch))
 
 
-class NodeClassificationTrainer:
+class NodeClassificationTrainer(ListenerHooks):
     """In-memory trainer (M-GNN_Mem for Table 3).
 
     ``checkpoint_dir``/``checkpoint_every`` (in epochs) enable the atomic
@@ -97,13 +99,15 @@ class NodeClassificationTrainer:
     same epoch-granularity contract as :class:`LinkPredictionTrainer`).
     """
 
-    KIND = "nc-mem"
+    KIND = job_registry.NC_MEM
 
     def __init__(self, dataset: NodeClassificationDataset,
                  config: Optional[NodeClassificationConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
                  checkpoint_every: int = 0,
-                 checkpoint_compress: bool = False) -> None:
+                 checkpoint_compress: bool = False,
+                 listeners: Optional[Sequence[ProgressListener]] = None) -> None:
+        self._init_hooks(listeners)
         self.dataset = dataset
         self.config = config or NodeClassificationConfig()
         cfg = self.config
@@ -139,7 +143,10 @@ class NodeClassificationTrainer:
                 "rng": rng_state(self.rng),
                 "stores": {"dataset": nc_dataset_fingerprint(self.dataset)},
                 "config": _config_to_dict(self.config)}
-        return self.snapshots.save(next_epoch, meta, arrays)
+        path = self.snapshots.save(next_epoch, meta, arrays)
+        self._emit("snapshot", trainer=self.KIND, path=str(path),
+                   epoch=int(next_epoch))
+        return path
 
     def resume(self, path: Optional[Path] = None) -> dict:
         """Restore a snapshot (latest under the checkpoint dir by default)."""
@@ -190,6 +197,9 @@ class NodeClassificationTrainer:
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate(self.dataset.valid_nodes)
             records.append(record)
+            self._emit("epoch", trainer=self.KIND, epoch=epoch,
+                       loss=record.loss, seconds=record.seconds,
+                       metric=record.metric)
             if (self.snapshots is not None and self.checkpoint_every
                     and (epoch + 1) % self.checkpoint_every == 0):
                 self.save_snapshot(epoch + 1)
@@ -287,22 +297,31 @@ class DiskNodeClassificationConfig:
         self.workdir = Path(self.workdir)
 
 
-class DiskNodeClassificationTrainer:
+class DiskNodeClassificationTrainer(ListenerHooks):
     """Out-of-core node classification with training-node caching.
 
     Sampling sees only the in-buffer subgraph, so neighborhoods can be
     smaller than in-memory training — the effect behind M-GNN_Disk's slight
     accuracy drop and faster epochs in Table 3.
+
+    ``checkpoint_incremental`` is accepted for signature parity with the
+    disk LP trainer but is a no-op here: the feature store is immutable
+    (``learnable=False``), so NC snapshots carry no table to delta — every
+    save is already rows-free and minimal.
     """
 
-    KIND = "nc-disk"
+    KIND = job_registry.NC_DISK
 
     def __init__(self, dataset: NodeClassificationDataset,
                  config: Optional[NodeClassificationConfig] = None,
                  disk: Optional[DiskNodeClassificationConfig] = None,
                  checkpoint_dir: Optional[Path] = None,
                  checkpoint_every: int = 0,
-                 checkpoint_compress: bool = False) -> None:
+                 checkpoint_compress: bool = False,
+                 checkpoint_incremental: bool = False,
+                 listeners: Optional[Sequence[ProgressListener]] = None) -> None:
+        self._init_hooks(listeners)
+        self.checkpoint_incremental = bool(checkpoint_incremental)
         self.config = config or NodeClassificationConfig()
         self.disk = disk or DiskNodeClassificationConfig(workdir=Path("/tmp/repro-nc"))
         cfg, dsk = self.config, self.disk
@@ -370,7 +389,10 @@ class DiskNodeClassificationTrainer:
                 "policy": self.policy.state_dict(),
                 "stores": self._store_fingerprints(),
                 "config": _config_to_dict(self.config)}
-        return self.snapshots.save(epoch * 1_000_000 + next_step, meta, arrays)
+        path = self.snapshots.save(epoch * 1_000_000 + next_step, meta, arrays)
+        self._emit("snapshot", trainer=self.KIND, path=str(path),
+                   epoch=int(epoch), step=int(next_step))
+        return path
 
     def resume(self, path: Optional[Path] = None) -> dict:
         """Restore the latest (or given) snapshot; next train() continues."""
@@ -397,6 +419,9 @@ class DiskNodeClassificationTrainer:
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate(self.dataset.valid_nodes)
             records.append(record)
+            self._emit("epoch", trainer=self.KIND, epoch=epoch,
+                       loss=record.loss, seconds=record.seconds,
+                       metric=record.metric, io_bytes=record.io_bytes)
             if verbose:
                 print(f"[epoch {epoch}] loss={record.loss:.4f} "
                       f"time={record.seconds:.1f}s io={record.io_bytes >> 20}MiB")

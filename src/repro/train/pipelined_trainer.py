@@ -43,10 +43,11 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..api import registry as job_registry
 from ..core.sampler import DenseSampler
 from ..graph.csr import AdjacencyIndex
 from ..nn.loss import link_prediction_loss
@@ -57,6 +58,7 @@ from .checkpoint import (SnapshotError, SnapshotManager, _config_to_dict,
                          resolve_snapshot, rng_state, set_rng_state,
                          unpack_model, unpack_optimizer, validate_meta)
 from .evaluation import EpochRecord, RankingMetrics
+from .hooks import ListenerHooks, ProgressListener
 from .link_prediction import (LinkPredictionConfig, LinkPredictionTrainer,
                               TrainResult, _EmbeddingTable, evaluate_model)
 from .negative_sampling import UniformNegativeSampler
@@ -73,7 +75,7 @@ class PipelineStats:
     batches: int = 0
 
 
-class PipelinedLinkPredictionTrainer:
+class PipelinedLinkPredictionTrainer(ListenerHooks):
     """Link prediction trainer with a multi-threaded mini-batch pipeline.
 
     Produces the same model family as :class:`LinkPredictionTrainer`; the
@@ -81,14 +83,16 @@ class PipelinedLinkPredictionTrainer:
     ``deterministic=True``).
     """
 
-    KIND = "lp-pipelined"
+    KIND = job_registry.LP_PIPELINED
 
     def __init__(self, dataset, config: Optional[LinkPredictionConfig] = None,
                  num_sample_workers: int = 2, pipeline_depth: int = 4,
                  deterministic: bool = False,
                  checkpoint_dir: Optional[Path] = None,
                  checkpoint_every: int = 0,
-                 checkpoint_compress: bool = False) -> None:
+                 checkpoint_compress: bool = False,
+                 listeners: Optional[Sequence[ProgressListener]] = None) -> None:
+        self._init_hooks(listeners)
         if num_sample_workers < 1:
             raise ValueError("need at least one sampling worker")
         if pipeline_depth < 1:
@@ -149,8 +153,11 @@ class PipelinedLinkPredictionTrainer:
                 "stores": {"dataset": dataset_fingerprint(self.dataset)},
                 "config": _config_to_dict(self.config)}
         self._since_snapshot = 0
-        return self.snapshots.save(epoch * 1_000_000_000 + next_batch,
+        path = self.snapshots.save(epoch * 1_000_000_000 + next_batch,
                                    meta, arrays)
+        self._emit("snapshot", trainer=self.KIND, path=str(path),
+                   epoch=int(epoch), batch=int(next_batch))
+        return path
 
     def resume(self, path: Optional[Path] = None) -> dict:
         """Restore the latest (or given) snapshot; next train() continues."""
@@ -411,6 +418,9 @@ class PipelinedLinkPredictionTrainer:
             if cfg.eval_every and (epoch + 1) % cfg.eval_every == 0:
                 record.metric = self.evaluate().mrr
             records.append(record)
+            self._emit("epoch", trainer=self.KIND, epoch=epoch,
+                       loss=record.loss, seconds=record.seconds,
+                       metric=record.metric)
             if verbose:
                 stats = self.pipeline_stats[-1]
                 print(f"[epoch {epoch}] loss={record.loss:.4f} "

@@ -1,0 +1,418 @@
+"""The unified job API: spec round-trips, registry, CLI parity, run().
+
+Three contracts under test (ISSUE 5 acceptance criteria):
+
+* spec round-trip — ``from_dict(to_dict(spec))`` is the identity for
+  every job kind, and unknown sections/fields are rejected;
+* CLI parity — every legacy subcommand and its spec-file equivalent
+  resolve to the *same* ``JobSpec`` (asserted through ``--dump-spec`` on
+  both paths), and explicit command-line flags win over ``--config``
+  JSON values;
+* execution — ``repro.api.run`` / ``repro run spec.json`` can express
+  and execute the job kinds end to end, including snapshot + resume.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api, cli
+from repro.api import (CheckpointSpec, DataSpec, JobSpec, ModelSpec,
+                       ServeSpec, StorageSpec, StreamSpec, TrainSpec,
+                       registry)
+from repro.serve import loader as serve_loader
+
+# Non-default values exercising every section a kind reads.
+SPEC_SAMPLES = {
+    "lp-mem": JobSpec(kind="lp-mem",
+                      data=DataSpec(dataset="wikikg90m-mini", scale=0.2),
+                      model=ModelSpec(dim=48, encoder="gcn", decoder="transe",
+                                      fanouts=(7, 3)),
+                      train=TrainSpec(batch_size=128, negatives=32, epochs=2,
+                                      seed=9, save="out/ckpt"),
+                      checkpoint=CheckpointSpec(every=1, dir="snaps",
+                                                compress=True)),
+    "lp-disk": JobSpec(kind="lp-disk",
+                       model=ModelSpec(encoder="none"),
+                       storage=StorageSpec(workdir="w", partitions=8,
+                                           logical=4, buffer=2,
+                                           policy="beta"),
+                       checkpoint=CheckpointSpec(every=3, incremental=True)),
+    "lp-pipelined": JobSpec(kind="lp-pipelined",
+                            train=TrainSpec(workers=3, pipeline_depth=2,
+                                            deterministic=True)),
+    "nc-mem": JobSpec(kind="nc-mem",
+                      data=DataSpec(nodes=800, edges=4000, classes=5),
+                      model=ModelSpec(dim=16, fanouts=(4,)),
+                      train=TrainSpec(epochs=1)),
+    "nc-disk": JobSpec(kind="nc-disk",
+                       data=DataSpec(nodes=600),
+                       storage=StorageSpec(partitions=4, buffer=2)),
+    "lp-stream": JobSpec(kind="lp-stream",
+                         stream=StreamSpec(events=100, compact_every=50),
+                         storage=StorageSpec(buffer=2)),
+    "serve": JobSpec(kind="serve",
+                     serve=ServeSpec(snapshot="snaps", embed="1,2",
+                                     score=("1:2", "3:0:4"), topk=(5, 3),
+                                     bench=10, mix="random")),
+    "stream": JobSpec(kind="stream",
+                      data=DataSpec(dataset="freebase86m-mini", scale=0.02),
+                      stream=StreamSpec(events=200, delete_fraction=0.3,
+                                        refresh=True, verify=True)),
+}
+
+
+# ---------------------------------------------------------------------------
+# Spec round-trip + rejection
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", sorted(SPEC_SAMPLES))
+def test_spec_roundtrip_identity(kind):
+    spec = SPEC_SAMPLES[kind]
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("kind", sorted(SPEC_SAMPLES))
+def test_resolved_spec_roundtrip_and_idempotence(kind):
+    resolved = SPEC_SAMPLES[kind].resolve()
+    again = JobSpec.from_dict(resolved.to_dict())
+    assert again == resolved
+    assert again.resolve() == resolved    # resolution is idempotent
+
+
+@pytest.mark.parametrize("kind", sorted(SPEC_SAMPLES))
+def test_spec_file_roundtrip(kind, tmp_path):
+    spec = SPEC_SAMPLES[kind]
+    path = api.save_spec(spec, tmp_path / "job.json")
+    assert api.load_spec(path) == spec
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown job kind"):
+        JobSpec.from_dict({"kind": "lp-quantum"})
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(ValueError, match="unknown spec section"):
+        JobSpec.from_dict({"kind": "lp-mem", "storage": {"buffer": 2}})
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ValueError, match="unknown field"):
+        JobSpec.from_dict({"kind": "lp-mem", "train": {"epoches": 3}})
+
+
+def test_missing_kind_rejected():
+    with pytest.raises(ValueError, match="kind"):
+        JobSpec.from_dict({"train": {"epochs": 3}})
+
+
+def test_serve_requires_snapshot():
+    with pytest.raises(ValueError, match="serve.snapshot"):
+        JobSpec(kind="serve").resolve()
+
+
+def test_deterministic_only_for_pipelined():
+    spec = JobSpec(kind="lp-mem", train=TrainSpec(deterministic=True))
+    with pytest.raises(ValueError, match="lp-pipelined"):
+        spec.resolve()
+
+
+def test_incremental_needs_disk_trainer():
+    spec = JobSpec(kind="lp-mem", checkpoint=CheckpointSpec(incremental=True))
+    with pytest.raises(ValueError, match="disk trainer"):
+        spec.resolve()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_lists_all_eight_kinds():
+    assert set(api.job_kinds()) == {"lp-mem", "lp-disk", "lp-pipelined",
+                                    "nc-mem", "nc-disk", "lp-stream",
+                                    "serve", "stream"}
+
+
+def test_registry_owns_trainer_kind_strings():
+    from repro.stream import ContinualTrainer
+    from repro.train import (DiskLinkPredictionTrainer,
+                             DiskNodeClassificationTrainer,
+                             LinkPredictionTrainer, NodeClassificationTrainer,
+                             PipelinedLinkPredictionTrainer)
+    assert LinkPredictionTrainer.KIND == registry.LP_MEM
+    assert DiskLinkPredictionTrainer.KIND == registry.LP_DISK
+    assert PipelinedLinkPredictionTrainer.KIND == registry.LP_PIPELINED
+    assert NodeClassificationTrainer.KIND == registry.NC_MEM
+    assert DiskNodeClassificationTrainer.KIND == registry.NC_DISK
+    assert ContinualTrainer.KIND == registry.LP_STREAM
+    assert serve_loader.LP_KINDS == registry.LP_SNAPSHOT_KINDS
+    assert serve_loader.NC_KINDS == registry.NC_SNAPSHOT_KINDS
+
+
+def test_every_kind_has_a_factory():
+    for kind in api.job_kinds():
+        assert callable(api.get_factory(kind))
+
+
+def test_info_jobs_schema_generated_from_registry(capsys):
+    assert cli.main(["info", "--jobs"]) == 0
+    out = capsys.readouterr().out
+    for kind in api.job_kinds():
+        assert kind in out
+    # one-line-per-field, straight from the dataclasses
+    assert "model.fanouts" in out
+    assert "checkpoint.incremental" in out
+
+
+# ---------------------------------------------------------------------------
+# CLI parity: legacy flags vs spec file resolve to the same JobSpec
+# ---------------------------------------------------------------------------
+
+def _dump(capsys, argv):
+    assert cli.main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+PARITY_CASES = [
+    (["train-lp"], {"kind": "lp-mem"}),
+    (["train-lp", "--scale", "0.2", "--epochs", "1", "--encoder", "none",
+      "--dim", "12", "--seed", "3"],
+     {"kind": "lp-mem",
+      "data": {"scale": 0.2},
+      "model": {"dim": 12, "encoder": "none"},
+      "train": {"epochs": 1, "seed": 3}}),
+    (["train-lp", "--disk", "--policy", "beta", "--partitions", "8",
+      "--logical", "4", "--buffer", "2", "--workdir", "W",
+      "--checkpoint-every", "2", "--checkpoint-incremental"],
+     {"kind": "lp-disk",
+      "storage": {"workdir": "W", "partitions": 8, "logical": 4,
+                  "buffer": 2, "policy": "beta"},
+      "checkpoint": {"every": 2, "incremental": True}}),
+    (["train-lp", "--pipelined", "--workers", "3", "--deterministic",
+      "--fanouts", "5", "3"],
+     {"kind": "lp-pipelined",
+      "model": {"fanouts": [5, 3]},
+      "train": {"workers": 3, "deterministic": True}}),
+    (["train-lp", "--workdir", "W", "--checkpoint-every", "1"],
+     {"kind": "lp-mem", "checkpoint": {"every": 1, "dir": "W/checkpoints"}}),
+    (["train-nc", "--nodes", "900", "--dim", "24", "--epochs", "2"],
+     {"kind": "nc-mem",
+      "data": {"nodes": 900},
+      "model": {"dim": 24},
+      "train": {"epochs": 2}}),
+    (["train-nc", "--disk", "--partitions", "4", "--buffer", "2"],
+     {"kind": "nc-disk", "storage": {"partitions": 4, "buffer": 2}}),
+    (["serve", "--snapshot", "S", "--embed", "1,2", "--topk", "3", "5",
+      "--bench", "100", "--mix", "random", "--nc-nodes", "777"],
+     {"kind": "serve",
+      "data": {"nodes": 777},
+      "serve": {"snapshot": "S", "embed": "1,2", "topk": [3, 5],
+                "bench": 100, "mix": "random"}}),
+    (["stream", "--events", "500", "--compact-every", "100", "--refresh",
+      "--dim", "16", "--buffer", "2", "--verify"],
+     {"kind": "stream",
+      "model": {"dim": 16},
+      "storage": {"buffer": 2},
+      "stream": {"events": 500, "compact_every": 100, "refresh": True,
+                 "verify": True}}),
+]
+
+
+@pytest.mark.parametrize("argv,spec_payload", PARITY_CASES,
+                         ids=[" ".join(c[0][:3]) for c in PARITY_CASES])
+def test_cli_flag_and_spec_file_parity(argv, spec_payload, capsys, tmp_path):
+    """A legacy subcommand and its hand-written spec file must resolve to
+    byte-identical JobSpecs — the proof the shims preserve behaviour."""
+    from_flags = _dump(capsys, argv + ["--dump-spec"])
+    spec_file = tmp_path / "job.json"
+    spec_file.write_text(json.dumps(spec_payload))
+    from_spec = _dump(capsys, ["run", str(spec_file), "--dump-spec"])
+    assert from_flags == from_spec
+
+
+# ---------------------------------------------------------------------------
+# Config-file precedence (regression: flags must beat --config values)
+# ---------------------------------------------------------------------------
+
+def test_explicit_flags_win_over_config_file(capsys, tmp_path):
+    config = tmp_path / "run.json"
+    config.write_text(json.dumps({"epochs": 7, "dim": 64, "seed": 5}))
+    spec = _dump(capsys, ["train-lp", "--config", str(config),
+                          "--epochs", "2", "--dump-spec"])
+    assert spec["train"]["epochs"] == 2      # explicit flag wins
+    assert spec["model"]["dim"] == 64        # config fills the rest
+    assert spec["train"]["seed"] == 5
+
+
+def test_config_file_unknown_key_rejected(tmp_path):
+    config = tmp_path / "run.json"
+    config.write_text(json.dumps({"epoches": 7}))
+    with pytest.raises(SystemExit, match="unknown config key"):
+        cli.main(["train-lp", "--config", str(config), "--dump-spec"])
+
+
+# ---------------------------------------------------------------------------
+# Execution: api.run / repro run end to end
+# ---------------------------------------------------------------------------
+
+def _tiny_lp_spec(**checkpoint):
+    return JobSpec(kind="lp-mem",
+                   data=DataSpec(dataset="fb15k237", scale=0.03),
+                   model=ModelSpec(dim=8, encoder="none"),
+                   train=TrainSpec(batch_size=256, negatives=16, epochs=1,
+                                   eval_negatives=32, eval_max_edges=100),
+                   checkpoint=CheckpointSpec(**checkpoint))
+
+
+def test_api_run_returns_train_result():
+    events = []
+    result = api.run(_tiny_lp_spec(), on_event=lambda e, p: events.append(e))
+    assert np.isfinite(result.final_mrr)
+    assert len(result.epochs) == 1
+    assert "epoch" in events      # listener hook fired
+
+
+def test_api_run_matches_direct_trainer():
+    """The API path is the trainer path — same seed, same final params."""
+    from repro.graph import load_fb15k237
+    from repro.train import LinkPredictionConfig, LinkPredictionTrainer
+    via_api = api.build_job(_tiny_lp_spec())
+    api_result = via_api.run()
+    direct = LinkPredictionTrainer(
+        load_fb15k237(scale=0.03),
+        LinkPredictionConfig(embedding_dim=8, encoder="none", batch_size=256,
+                             num_negatives=16, num_epochs=1,
+                             eval_negatives=32, eval_max_edges=100,
+                             eval_every=1, seed=0))
+    direct_result = direct.train()
+    np.testing.assert_array_equal(via_api.trainer.embeddings.table,
+                                  direct.embeddings.table)
+    assert api_result.final_mrr == direct_result.final_mrr
+
+
+def test_repro_run_snapshot_then_resume(tmp_path, capsys):
+    """`repro run` trains with a checkpoint cadence, then a second spec
+    resumes from the snapshot root and continues."""
+    ckpt = tmp_path / "ckpt"
+    first = _tiny_lp_spec(every=1, dir=str(ckpt))
+    spec_file = api.save_spec(first, tmp_path / "train.json")
+    assert cli.main(["run", str(spec_file)]) == 0
+    assert capsys.readouterr().out.count("final MRR") == 1
+    snaps = list(ckpt.glob("snap-*"))
+    assert snaps, "checkpoint cadence wrote no snapshot"
+
+    resume = _tiny_lp_spec(every=0, dir=str(ckpt), resume_from=str(ckpt))
+    resume.train.epochs = 2
+    spec_file = api.save_spec(resume, tmp_path / "resume.json")
+    assert cli.main(["run", str(spec_file)]) == 0
+    out = capsys.readouterr().out
+    assert "resumed from snapshot at epoch 1" in out
+    assert "final MRR" in out
+
+
+def test_job_snapshot_roundtrips_through_serving(tmp_path):
+    """job.snapshot() after run() produces a servable snapshot."""
+    job = api.build_job(_tiny_lp_spec(every=0, dir=str(tmp_path / "ck")))
+    job.run()
+    snap = job.snapshot()
+    serve_spec = JobSpec(kind="serve",
+                         serve=ServeSpec(snapshot=str(snap), embed="0,1"),
+                         storage=StorageSpec(workdir=str(tmp_path / "sv")))
+    results = api.run(serve_spec)
+    ids, rows = results["embed"]
+    assert ids.tolist() == [0, 1]
+    np.testing.assert_array_equal(rows[0], job.trainer.embeddings.table[0])
+
+
+def test_lp_stream_kind_runs_continual_refresh(tmp_path):
+    """The lp-stream kind ingests, compacts, and refresh-trains by default
+    (stream.refresh resolves on)."""
+    spec = JobSpec(kind="lp-stream",
+                   data=DataSpec(dataset="freebase86m-mini", scale=0.02),
+                   model=ModelSpec(dim=8),
+                   train=TrainSpec(batch_size=128, negatives=8),
+                   storage=StorageSpec(workdir=str(tmp_path / "stream"),
+                                       partitions=4, buffer=2),
+                   stream=StreamSpec(events=400, event_batch=100,
+                                     compact_every=150, add_nodes_every=0,
+                                     verify=True))
+    assert spec.resolve().stream.refresh is True
+    stats = api.run(spec)
+    assert stats["compactions"] >= 1
+    assert stats["refreshes"] >= 1
+    assert stats["events_appended"] > 0
+
+
+def test_run_unknown_dataset_is_clean_error(tmp_path):
+    spec_file = tmp_path / "bad.json"
+    spec_file.write_text(json.dumps(
+        {"kind": "lp-mem", "data": {"dataset": "nope"}}))
+    with pytest.raises(SystemExit, match="unknown LP dataset"):
+        cli.main(["run", str(spec_file)])
+
+
+def test_bare_workdir_does_not_enable_checkpointing(capsys):
+    """Legacy parity: --workdir alone never turns on the snapshot
+    subsystem for the in-memory kinds; only a cadence (or explicit dir)
+    does — and then the workdir supplies the default root."""
+    spec = _dump(capsys, ["train-lp", "--workdir", "W", "--dump-spec"])
+    assert spec["checkpoint"]["dir"] is None
+    assert spec["checkpoint"]["every"] == 0
+
+
+def test_lp_dataset_seed_reaches_the_loader():
+    """DataSpec.seed is honored for LP kinds, not silently dropped."""
+    from repro.api.jobs import _lp_dataset
+    spec0 = _tiny_lp_spec().resolve()
+    spec7 = _tiny_lp_spec().resolve()
+    spec7.data.seed = 7
+    a, b = _lp_dataset(spec0), _lp_dataset(spec7)
+    assert not np.array_equal(a.split.train, b.split.train)
+    assert np.array_equal(_lp_dataset(spec0).split.train, a.split.train)
+
+
+def test_serve_results_keep_duplicate_queries(tmp_path):
+    """Structured serve results are parallel arrays — duplicate ids are
+    not collapsed the way a dict keyed by id would."""
+    job = api.build_job(_tiny_lp_spec(every=0, dir=str(tmp_path / "ck")))
+    job.run()
+    snap = job.snapshot()
+    results = api.run(JobSpec(
+        kind="serve",
+        serve=ServeSpec(snapshot=str(snap), embed="5,5,7",
+                        score=("1:2", "1:2")),
+        storage=StorageSpec(workdir=str(tmp_path / "sv"))))
+    ids, rows = results["embed"]
+    assert ids.tolist() == [5, 5, 7] and len(rows) == 3
+    assert len(results["score"]) == 2
+    assert results["score"][0] == results["score"][1]
+
+
+def test_nc_dataset_name_is_validated():
+    spec = JobSpec(kind="nc-mem", data=DataSpec(dataset="fb15k237"))
+    with pytest.raises(ValueError, match="unknown NC dataset"):
+        api.build_job(spec)
+
+
+def test_to_dict_rejects_populated_unread_section():
+    """Symmetric with from_dict: data in a section the kind doesn't read
+    is rejected, never silently dropped by serialization."""
+    spec = JobSpec(kind="serve", serve=ServeSpec(snapshot="s"),
+                   train=TrainSpec(seed=7))
+    with pytest.raises(ValueError, match="does not read"):
+        spec.to_dict()
+
+
+def test_internal_errors_keep_their_traceback(monkeypatch, tmp_path):
+    """Only JobError becomes a clean SystemExit; a ValueError from deep
+    inside a run is a real defect and must propagate."""
+    from repro.api import jobs
+
+    def boom(self, verbose=False):
+        raise ValueError("internal defect")
+    monkeypatch.setattr(jobs.LinkPredictionJob, "run", boom)
+    spec_file = api.save_spec(_tiny_lp_spec(), tmp_path / "job.json")
+    with pytest.raises(ValueError, match="internal defect"):
+        cli.main(["run", str(spec_file)])

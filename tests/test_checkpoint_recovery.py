@@ -11,6 +11,7 @@ a recovery training, and shares a module-scoped uninterrupted baseline).
 """
 
 import dataclasses
+import json
 
 import numpy as np
 import pytest
@@ -567,3 +568,185 @@ def test_resume_rejects_changed_partitioning(lp_data, tmp_path):
         checkpoint_dir=tmp_path / "ckpt")
     with pytest.raises(SnapshotError, match="layout"):
         other.resume()
+
+
+# ---------------------------------------------------------------------------
+# Incremental (dirty-partition-only) snapshots — disk LP trainer
+# ---------------------------------------------------------------------------
+
+class TestIncrementalSnapshots:
+    """CheckpointSpec(incremental=True): the first save is a full base,
+    later saves carry only partitions touched since it as delta row spans,
+    the manifest chains to the base, and load() composes the chain
+    transparently (CRC-verified per member)."""
+
+    def _twins(self, lp_data, tmp_path, every=1, keep=100):
+        full = make_disk_lp(lp_data, tmp_path / "full-w",
+                            checkpoint_dir=tmp_path / "full-c",
+                            checkpoint_every=every)
+        inc = make_disk_lp(lp_data, tmp_path / "inc-w",
+                           checkpoint_dir=tmp_path / "inc-c",
+                           checkpoint_every=every,
+                           checkpoint_incremental=True)
+        full.snapshots.keep = keep
+        inc.snapshots.keep = keep
+        return full, inc
+
+    def test_deltas_chain_and_compose_to_the_full_payload(self, lp_data,
+                                                          tmp_path):
+        full, inc = self._twins(lp_data, tmp_path)
+        full.train()
+        inc.train()
+        full_snaps, inc_snaps = full.snapshots.list(), inc.snapshots.list()
+        assert len(full_snaps) == len(inc_snaps) >= 2
+
+        base_name = inc_snaps[0].name
+        manifest = json.loads((inc_snaps[1] / "manifest.json").read_text())
+        assert manifest["base"] == base_name
+        _, raw = inc.snapshots.load(inc_snaps[1], compose=False)
+        assert any(k.startswith("delta/node_table/") for k in raw)
+        assert "node_table" not in raw      # the delta carries no full table
+
+        # Checkpoint format never changes the math: at every cursor, the
+        # composed incremental payload equals the full trainer's snapshot.
+        for full_snap, inc_snap in zip(full_snaps, inc_snaps):
+            ref_meta, ref = full.snapshots.load(full_snap)
+            got_meta, got = inc.snapshots.load(inc_snap)
+            assert (ref_meta["epoch"], ref_meta["step"]) == (
+                got_meta["epoch"], got_meta["step"])
+            assert set(ref) == set(got)
+            for key in ref:
+                np.testing.assert_array_equal(ref[key], got[key],
+                                              err_msg=key)
+
+    def test_deltas_are_smaller_than_full_snapshots(self, lp_data, tmp_path):
+        full, inc = self._twins(lp_data, tmp_path)
+        full.train()
+        inc.train()
+        sizes = lambda snaps: [
+            (p / "arrays.npz").stat().st_size for p in snaps]
+        full_sizes, inc_sizes = (sizes(full.snapshots.list()),
+                                 sizes(inc.snapshots.list()))
+        # Base ~= a full snapshot; at least one delta must beat the full
+        # format (touched partitions < all partitions at some cursor).
+        assert min(inc_sizes[1:]) < min(full_sizes)
+
+    def test_prune_keeps_the_chained_base_alive(self, lp_data, tmp_path):
+        inc = make_disk_lp(lp_data, tmp_path / "w",
+                           checkpoint_dir=tmp_path / "c",
+                           checkpoint_every=1, checkpoint_incremental=True)
+        inc.snapshots.keep = 2
+        inc.train()
+        snaps = inc.snapshots.list()
+        names = {p.name for p in snaps}
+        bases = {json.loads((p / "manifest.json").read_text()).get("base")
+                 for p in snaps} - {None}
+        assert bases and bases <= names     # every referenced base survives
+        # ...and the latest (a delta) still composes after pruning.
+        meta, arrays = inc.snapshots.load()
+        assert arrays["node_table"].shape == (
+            inc.node_store.num_nodes, inc.config.embedding_dim)
+
+    def test_open_snapshot_serves_composed_delta(self, lp_data, tmp_path):
+        """restore_for_inference over a delta snapshot sees the full table."""
+        from repro.train import restore_for_inference
+        inc = make_disk_lp(lp_data, tmp_path / "w",
+                           checkpoint_dir=tmp_path / "c",
+                           checkpoint_every=1, checkpoint_incremental=True)
+        inc.train()
+        latest = inc.snapshots.latest()
+        assert json.loads((latest / "manifest.json").read_text())["base"]
+        restore = restore_for_inference(latest)
+        assert restore.node_table.shape == (inc.node_store.num_nodes,
+                                            inc.config.embedding_dim)
+
+    def test_resume_from_delta_continues_the_chain(self, lp_data, tmp_path):
+        cfg1 = _one_epoch(LP_CFG)
+        disk = DiskConfig(workdir=tmp_path / "w", num_partitions=8,
+                          num_logical=4, buffer_capacity=4)
+        first = DiskLinkPredictionTrainer(lp_data, cfg1, disk,
+                                          checkpoint_dir=tmp_path / "c",
+                                          checkpoint_every=1,
+                                          checkpoint_incremental=True)
+        first.snapshots.keep = 100
+        first.train()
+        latest = first.snapshots.latest()
+        assert json.loads((latest / "manifest.json").read_text()).get("base")
+
+        second = DiskLinkPredictionTrainer(
+            lp_data, _three_epochs(LP_CFG),
+            DiskConfig(workdir=tmp_path / "w2", num_partitions=8,
+                       num_logical=4, buffer_capacity=4),
+            checkpoint_dir=tmp_path / "c", checkpoint_every=1,
+            checkpoint_incremental=True)
+        second.snapshots.keep = 100
+        meta = second.resume()
+        assert second._ckpt_base == meta["incremental"]["base"]
+        count_before = len(second.snapshots.list())
+        second.train()
+        snaps = second.snapshots.list()
+        assert len(snaps) > count_before
+        # The chain stays active across the resume: every new snapshot is
+        # either a delta naming a live sibling base, or a legitimate
+        # re-base (touched set covered every partition) that later deltas
+        # chain to — and the latest always composes to a full payload.
+        assert second._ckpt_base is not None
+        names = {p.name for p in snaps}
+        for snap in snaps[count_before:]:
+            base = json.loads((snap / "manifest.json").read_text()).get("base")
+            assert base is None or base in names
+        _, arrays = second.snapshots.load()
+        assert arrays["node_table"].shape == (
+            second.node_store.num_nodes, second.config.embedding_dim)
+
+    def test_foreign_resume_falls_back_to_a_full_save(self, lp_data,
+                                                      tmp_path):
+        """Resuming from a snapshot outside the trainer's own checkpoint
+        root cannot chain to it — the next save must be full."""
+        first = make_disk_lp(lp_data, tmp_path / "w",
+                             checkpoint_dir=tmp_path / "foreign",
+                             checkpoint_every=0,
+                             checkpoint_incremental=True)
+        first.train()
+        first.save_snapshot(LP_CFG.num_epochs, 0, 1)
+
+        second = make_disk_lp(lp_data, tmp_path / "w2",
+                              checkpoint_dir=tmp_path / "own",
+                              checkpoint_every=0,
+                              checkpoint_incremental=True)
+        second.resume(first.snapshots.latest())
+        assert second._ckpt_base is None
+        path = second.save_snapshot(LP_CFG.num_epochs, 0, 1)
+        assert "base" not in json.loads((path / "manifest.json").read_text())
+        assert second._ckpt_base == path.name   # ...and becomes the new base
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("point,after", [
+    (CrashPoint.NODE_WRITE, 6),
+    (CrashPoint.SWAP_EVICTED, 3),
+    (CrashPoint.SNAPSHOT_PRE_RENAME, 2),
+    (CrashPoint.SNAPSHOT_POST_RENAME, 2),
+])
+def test_disk_lp_incremental_crash_matrix(lp_data, lp_baseline, tmp_path,
+                                          point, after):
+    """The crash matrix holds under incremental snapshots: a run killed
+    mid-swap or mid-(delta-)snapshot and resumed from the composed chain
+    reaches bit-identical final parameters."""
+    injector = FaultInjector(point, after=after)
+    crashed = make_disk_lp(lp_data, tmp_path / "crashed",
+                           checkpoint_dir=tmp_path / "ckpt",
+                           checkpoint_every=1, checkpoint_incremental=True)
+    FaultyStorage(crashed.node_store, injector)
+    crashed.buffer_manager.fault_hook = injector.fire
+    crashed.snapshots.fault_hook = injector.fire
+    with pytest.raises(CRASHES):
+        crashed.train()
+    assert injector.fired, f"crash point {point} never hit"
+
+    resumed = _recover(lambda: make_disk_lp(
+        lp_data, tmp_path / "resumed", checkpoint_dir=tmp_path / "ckpt",
+        checkpoint_every=1, checkpoint_incremental=True))
+    ref_table, ref_model = lp_baseline
+    np.testing.assert_array_equal(resumed.node_store.read_all(), ref_table)
+    assert _models_equal(resumed.model, ref_model)
