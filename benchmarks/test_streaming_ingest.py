@@ -44,13 +44,16 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
 STREAM_CFG = dict(num_nodes=20_000, num_edges=100_000, dim=16, p=16,
                   capacity=4, num_events=24_000, event_batch=500,
                   delete_fraction=0.1, cadences=(2_000, 8_000, 24_000),
+                  reader_threads=(0, 2, 4), concurrent_events=12_000,
                   seed=0)
 SMOKE_CFG = dict(num_nodes=3_000, num_edges=15_000, dim=8, p=8, capacity=2,
                  num_events=3_000, event_batch=250, delete_fraction=0.1,
-                 cadences=(500, 3_000), seed=0)
+                 cadences=(500, 3_000), reader_threads=(0, 2),
+                 concurrent_events=2_000, seed=0)
 
 
-def build_live(tmp: Path, num_nodes, num_edges, dim, p, seed, name) -> LiveGraph:
+def build_live(tmp: Path, num_nodes, num_edges, dim, p, seed, name,
+               lock_stripes=8) -> LiveGraph:
     rng = np.random.default_rng(seed)
     graph = Graph(num_nodes=num_nodes, src=rng.integers(0, num_nodes, num_edges),
                   dst=rng.integers(0, num_nodes, num_edges))
@@ -58,7 +61,7 @@ def build_live(tmp: Path, num_nodes, num_edges, dim, p, seed, name) -> LiveGraph
     store = NodeStore(tmp / f"{name}-nodes.bin", scheme, dim, learnable=True)
     store.initialize(rng=np.random.default_rng(seed + 1))
     edges = EdgeBucketStore(tmp / f"{name}-edges.bin", graph, scheme)
-    return LiveGraph(store, edges, seed=seed)
+    return LiveGraph(store, edges, seed=seed, lock_stripes=lock_stripes)
 
 
 def run_stream(live, rng, num_events, event_batch, delete_fraction,
@@ -143,6 +146,86 @@ def bench_staleness_vs_cadence(tmp, cfg):
     return out
 
 
+def bench_concurrent_ingest_serve(tmp, cfg):
+    """Ingest+serve concurrency curve: two writer threads race reader
+    threads against the same live graph, once with the striped ingest
+    locks (8 stripes) and once degenerated to a single stripe — the
+    events/s and query-QPS columns show what the per-bucket-range
+    striping buys when ingest and serving share the process."""
+    import threading
+    out = {}
+    n_writers = 2
+    for arm, stripes in (("striped", 8), ("single", 1)):
+        per = {}
+        for readers in cfg["reader_threads"]:
+            live = build_live(tmp, cfg["num_nodes"], cfg["num_edges"],
+                              cfg["dim"], cfg["p"], cfg["seed"],
+                              f"conc-{arm}-{readers}", lock_stripes=stripes)
+            model_cfg = LinkPredictionConfig(embedding_dim=cfg["dim"],
+                                             encoder="none", seed=0)
+            model = LinkPredictionModel(model_cfg, 1,
+                                        rng=np.random.default_rng(0))
+            engine = ServingEngine.over_live(live, model,
+                                             buffer_capacity=cfg["capacity"])
+            engine.get_embeddings(np.arange(64))       # warm residency
+            per_writer = cfg["concurrent_events"] // n_writers
+            batches = []
+            for w in range(n_writers):
+                rng = np.random.default_rng(cfg["seed"] + 51 + w)
+                chunks = []
+                for start in range(0, per_writer, cfg["event_batch"]):
+                    n = min(cfg["event_batch"], per_writer - start)
+                    chunks.append(np.stack(
+                        [rng.integers(0, cfg["num_nodes"], n),
+                         rng.integers(0, cfg["num_nodes"], n)], axis=1))
+                batches.append(chunks)
+            stop = threading.Event()
+            counts = [0] * max(readers, 1)
+            errors = []
+
+            def write(w):
+                try:
+                    for chunk in batches[w]:
+                        live.insert_edges(chunk)
+                except Exception as exc:   # pragma: no cover - failure path
+                    errors.append(exc)
+
+            def read(k):
+                rng = np.random.default_rng(cfg["seed"] + 91 + k)
+                try:
+                    while not stop.is_set():
+                        engine.get_embeddings(
+                            rng.integers(0, cfg["num_nodes"], 64))
+                        counts[k] += 1
+                except Exception as exc:   # pragma: no cover - failure path
+                    errors.append(exc)
+
+            writer_threads = [threading.Thread(target=write, args=(w,))
+                              for w in range(n_writers)]
+            reader_threads = [threading.Thread(target=read, args=(k,))
+                              for k in range(readers)]
+            t0 = time.perf_counter()
+            for t in writer_threads + reader_threads:
+                t.start()
+            for t in writer_threads:
+                t.join()
+            seconds = time.perf_counter() - t0
+            stop.set()
+            for t in reader_threads:
+                t.join()
+            assert not errors, errors
+            appended = live.log.events_appended
+            per[str(readers)] = {
+                "events": int(appended),
+                "seconds": seconds,
+                "events_per_sec": appended / max(seconds, 1e-9),
+                "queries": int(sum(counts[:readers])),
+                "query_qps": sum(counts[:readers]) / max(seconds, 1e-9),
+            }
+        out[arm] = per
+    return out
+
+
 def verify_equivalence(tmp, cfg):
     """Streamed view == offline rebuild after a fresh interleaved run."""
     live = build_live(tmp, cfg["num_nodes"] // 2, cfg["num_edges"] // 2,
@@ -171,6 +254,7 @@ def bench_streaming(tmp: Path, cfg: dict) -> dict:
     return {"config": dict(cfg),
             "ingest": bench_ingest_throughput(tmp, cfg),
             "staleness_vs_cadence": bench_staleness_vs_cadence(tmp, cfg),
+            "concurrency": bench_concurrent_ingest_serve(tmp, cfg),
             "equivalence": verify_equivalence(tmp, cfg)}
 
 
@@ -194,6 +278,14 @@ def _check_directions(streaming):
     # Tighter cadence => more compactions and lower observed staleness.
     assert rows[0]["compactions"] >= rows[-1]["compactions"]
     assert rows[0]["mean_staleness"] <= rows[-1]["mean_staleness"]
+    for arm, curve in streaming["concurrency"].items():
+        for readers, r in curve.items():
+            # Every arm must still ingest at a sane clip, every event must
+            # land, and reader threads must have made real progress.
+            assert r["events_per_sec"] > 500, (arm, readers)
+            assert r["events"] == streaming["config"]["concurrent_events"]
+            if int(readers):
+                assert r["queries"] > 0, (arm, readers)
 
 
 def test_streaming_ingest(report):
@@ -217,6 +309,13 @@ def test_streaming_ingest(report):
         report.row(str(cadence), r["compactions"],
                    f"{r['mean_staleness']:.0f}", r["max_staleness"],
                    f"{r['compact_seconds']:.2f}", widths=[12, 12, 12, 12, 10])
+    report.row("concurrency", "readers", "events/s", "query QPS",
+               widths=[12, 10, 14, 14])
+    for arm, curve in streaming["concurrency"].items():
+        for readers in sorted(curve, key=int):
+            r = curve[readers]
+            report.row(arm, readers, f"{r['events_per_sec']:,.0f}",
+                       f"{r['query_qps']:,.0f}", widths=[12, 10, 14, 14])
     eq = streaming["equivalence"]
     report.line(f"equivalence: {eq['checked_buckets']} buckets vs offline "
                 f"rebuild, {eq['live_edges']:,} live edges — identical")

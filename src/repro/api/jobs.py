@@ -425,17 +425,25 @@ class StreamJob(Job):
               listeners: Iterable[ProgressListener] = ()) -> "StreamJob":
         from ..graph.partition import PartitionScheme
         from ..serve.engine import ServingEngine
+        from ..storage.atomic import atomic_write_json
         from ..storage.edge_store import EdgeBucketStore
         from ..storage.node_store import NodeStore
-        from ..stream import Compactor, ContinualTrainer, LiveGraph
+        from ..stream import (BackgroundCompactor, Compactor,
+                              ContinualTrainer, LiveGraph, WriteAheadLog)
 
         spec = self.spec
-        model, train, storage = spec.model, spec.train, spec.storage
+        model, train, storage, stream = (spec.model, spec.train, spec.storage,
+                                         spec.stream)
         workdir = Path(storage.workdir) if storage.workdir else Path(
             tempfile.mkdtemp(prefix="repro-stream-"))
         workdir.mkdir(parents=True, exist_ok=True)
         self.workdir = workdir
         nodes_path, edges_path = workdir / "nodes.bin", workdir / "edges.bin"
+        state_path = workdir / "stream-state.json"
+        wal_dir = workdir / "wal" if stream.wal else None
+        recovery = None
+        recovered_nodes_added = None
+        self._wal_replay: list = []
         if spec.checkpoint.resume_from:
             # Reattach to the workdir's existing stores: the snapshot's
             # fingerprints pin the *compacted, grown* layout, which a rebuild
@@ -452,8 +460,39 @@ class StreamJob(Job):
                 base_nodes, storage.partitions).extended(
                     stream_meta["nodes_added"])
             # truncate=True: nodes appended after the snapshot are discarded
-            # (growth is append-only). Edge-bucket drift past the snapshot
+            # (growth is append-only) — with the WAL on they come back via
+            # replay after resume(). Edge-bucket drift past the snapshot
             # (a post-snapshot compaction) is caught by the fingerprint check.
+            store = NodeStore.open(nodes_path, scheme, model.dim,
+                                   learnable=True, truncate=True)
+            edge_store = EdgeBucketStore.open(edges_path, scheme)
+            num_relations = edge_store.num_relations
+            if wal_dir is not None:
+                recovery = WriteAheadLog.scan(wal_dir)
+        elif (stream.wal and state_path.exists()
+              and nodes_path.exists() and edges_path.exists()):
+            # Crash recovery without a snapshot: the workdir's stores plus
+            # the WAL are the durable state. The node count to reattach at
+            # is the *acknowledged* total (WAL meta and NODES frames), never
+            # more — growth that reached the store file but not the journal
+            # was never acknowledged and is cut back; growth journaled but
+            # not yet in the file is re-grown by replay.
+            state = json.loads(state_path.read_text())
+            if state["partitions"] != storage.partitions or \
+                    state["dim"] != model.dim:
+                raise JobError(
+                    f"stream.wal recovery: workdir {workdir} was built with "
+                    f"p={state['partitions']}, dim={state['dim']} — the spec "
+                    f"says p={storage.partitions}, dim={model.dim}")
+            recovery = WriteAheadLog.scan(wal_dir)
+            base_nodes = int(state["base_nodes"])
+            acked = max(base_nodes, recovery.num_nodes,
+                        recovery.max_nodes_recorded)
+            file_rows = nodes_path.stat().st_size // (4 * model.dim)
+            attach = min(acked, file_rows)
+            recovered_nodes_added = attach - base_nodes
+            scheme = PartitionScheme.uniform(
+                base_nodes, storage.partitions).extended(attach - base_nodes)
             store = NodeStore.open(nodes_path, scheme, model.dim,
                                    learnable=True, truncate=True)
             edge_store = EdgeBucketStore.open(edges_path, scheme)
@@ -466,8 +505,26 @@ class StreamJob(Job):
             store.initialize(rng=np.random.default_rng(train.seed))
             edge_store = EdgeBucketStore(edges_path, graph, scheme)
             num_relations = graph.num_relations
+            atomic_write_json(state_path,
+                              {"base_nodes": graph.num_nodes,
+                               "partitions": storage.partitions,
+                               "dim": model.dim,
+                               "num_relations": num_relations,
+                               "dataset": spec.data.dataset})
         self.live = LiveGraph(store, edge_store, seed=train.seed,
-                              spill_threshold=storage.spill_threshold)
+                              spill_threshold=storage.spill_threshold,
+                              wal_dir=None if recovery is not None else wal_dir,
+                              fsync_every=stream.fsync_every,
+                              lock_stripes=stream.lock_stripes)
+        if recovery is not None:
+            # Rebuild the acknowledged overlay: reattach surviving spills,
+            # then queue the WAL suffix past the durable floor for replay —
+            # after resume() when a snapshot is being restored (its
+            # fingerprints must see the pre-replay stores), else right here.
+            self._wal_replay = self.live.log.restore(
+                edge_store.compacted_seq, recovery, wal_dir=wal_dir)
+            if recovered_nodes_added is not None:
+                self.live.nodes_added = recovered_nodes_added
         self.config = LinkPredictionConfig(
             embedding_dim=model.dim, encoder="none",
             batch_size=train.batch_size, num_negatives=train.negatives,
@@ -480,6 +537,20 @@ class StreamJob(Job):
         self.engine = ServingEngine.over_live(self.live, self.trainer.model,
                                               buffer_capacity=storage.buffer)
         self.compactor = Compactor(self.live)
+        self.background = None
+        if stream.background_compaction:
+            threshold = stream.compact_every if stream.compact_every else 1024
+            self.background = BackgroundCompactor(
+                self.compactor, staleness_threshold=threshold,
+                seed=train.seed)
+        if recovery is not None and not spec.checkpoint.resume_from:
+            replayed = self.live.replay_wal(self._wal_replay)
+            self._wal_replay = []
+            if verbose and (replayed["frames"] or recovery.torn_frames):
+                print(f"WAL recovery: replayed {replayed['edge_events']} "
+                      f"edge events / {replayed['nodes']} node adds from "
+                      f"{replayed['frames']} frames "
+                      f"({recovery.torn_frames} torn frame(s) dropped)")
         if verbose:
             print(f"streaming over {spec.data.dataset}: "
                   f"{self.live.num_nodes:,} nodes, "
@@ -496,6 +567,17 @@ class StreamJob(Job):
             if self.spec.checkpoint.resume_from else None)
         meta = self.trainer.resume(p)
         self.live.nodes_added = int(meta["stream"]["nodes_added"])
+        if self._wal_replay:
+            # Snapshot restore + WAL replay compose: the snapshot pinned the
+            # compacted base and model state; the journal holds everything
+            # acknowledged after it. Replay re-grows truncated node adds and
+            # re-enters log-only events, so nothing acknowledged is lost.
+            replayed = self.live.replay_wal(self._wal_replay)
+            self._wal_replay = []
+            if verbose:
+                print(f"WAL replay after snapshot: "
+                      f"{replayed['edge_events']} edge events, "
+                      f"{replayed['nodes']} node adds")
         if verbose:
             print(f"resumed at stream position {meta['stream']}")
         return meta
@@ -508,12 +590,20 @@ class StreamJob(Job):
     def run(self, verbose: bool = False) -> Dict[str, Any]:
         stream = self.spec.stream
         driver_stats = None
-        if stream.events:
-            driver_stats = self._driver(verbose)
+        if self.background is not None:
+            self.background.start()
+        try:
+            if stream.events:
+                driver_stats = self._driver(verbose)
+            if stream.repl:
+                self._repl()
+        finally:
+            if self.background is not None:
+                # Drain: the worker's last merge plus a synchronous sweep of
+                # whatever arrived after it, so verify sees a settled view.
+                self.background.stop(final_compact=True)
         if stream.verify:
             self.verify(self.workdir, verbose=verbose)
-        if stream.repl:
-            self._repl()
         s = self.live.stats()
         if verbose:
             print(f"stream stats: {s['events_appended']} events "
@@ -523,6 +613,8 @@ class StreamJob(Job):
                   f"{self.trainer.refreshes} refreshes, {s['spills']} spills")
         s["compactions"] = self.compactor.compactions
         s["refreshes"] = self.trainer.refreshes
+        if stream.wal or stream.background_compaction:
+            s["health"] = self.live.health()
         if driver_stats:
             s["driver"] = driver_stats
         return s
@@ -555,12 +647,18 @@ class StreamJob(Job):
             batch_no += 1
             staleness.append(live.staleness())
             if spec.compact_every and live.staleness() >= spec.compact_every:
-                report = compactor.compact()
-                if verbose:
-                    print(f"  [{done:>8} events] compacted "
-                          f"{report.merged_events} events in "
-                          f"{report.seconds * 1000:.0f}ms "
-                          f"-> {report.num_edges:,} base edges")
+                if self.background is not None:
+                    # Background mode: nudge the worker and keep ingesting —
+                    # the merge overlaps the next batches instead of
+                    # stalling them.
+                    self.background.kick()
+                else:
+                    report = compactor.compact()
+                    if verbose:
+                        print(f"  [{done:>8} events] compacted "
+                              f"{report.merged_events} events in "
+                              f"{report.seconds * 1000:.0f}ms "
+                              f"-> {report.num_edges:,} base edges")
                 if spec.refresh:
                     record = trainer.refresh()
                     if verbose:

@@ -145,6 +145,17 @@ class StreamSpec:
                                        "after each compaction (lp-stream: on)")
     verify: bool = _f(False, "check the live view against an offline rebuild")
     repl: bool = _f(False, "interactive ingest/compact/query loop")
+    wal: bool = _f(False, "journal appends to a write-ahead log in "
+                          "<workdir>/wal and recover acknowledged events "
+                          "after a crash")
+    fsync_every: int = _f(1, "WAL group-commit window: fsync once per N "
+                             "appended frames (1 = every append is durable "
+                             "at acknowledgment)")
+    background_compaction: bool = _f(False, "compact on a worker thread "
+                                            "with retry/backoff instead of "
+                                            "inline on the ingest path")
+    lock_stripes: int = _f(8, "striped ingest locks over bucket ranges "
+                              "(1 = a single lock)")
 
 
 _SECTION_TYPES = {"data": DataSpec, "model": ModelSpec, "train": TrainSpec,

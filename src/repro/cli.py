@@ -173,7 +173,10 @@ def _stream_spec(args: argparse.Namespace) -> JobSpec:
                           add_nodes_every=args.add_nodes_every,
                           compact_every=args.compact_every,
                           refresh=args.refresh, verify=args.verify,
-                          repl=args.repl),
+                          repl=args.repl, wal=args.wal,
+                          fsync_every=args.fsync_every,
+                          background_compaction=args.background_compaction,
+                          lock_stripes=args.lock_stripes),
         checkpoint=_checkpoint_spec(args))
 
 
@@ -338,6 +341,15 @@ def build_parser() -> Tuple[argparse.ArgumentParser,
                    help="check the live view against an offline rebuild")
     p.add_argument("--repl", action="store_true",
                    help="interactive ingest/compact/query loop")
+    p.add_argument("--wal", action="store_true",
+                   help="journal appends to <workdir>/wal and recover "
+                        "acknowledged events after a crash")
+    p.add_argument("--fsync-every", type=int, default=1,
+                   help="WAL group-commit window: fsync once per N frames")
+    p.add_argument("--background-compaction", action="store_true",
+                   help="compact on a worker thread with retry/backoff")
+    p.add_argument("--lock-stripes", type=int, default=8,
+                   help="striped ingest locks over bucket ranges")
     _add_checkpoint_flags(p, every_help="snapshot cadence in refreshes; "
                                         "0 = off")
 

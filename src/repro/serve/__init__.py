@@ -8,11 +8,12 @@ snapshot without ever holding the full table in memory. See
 ``docs/serving.md``.
 """
 
-from .batcher import RequestBatcher, ServeRequest
+from .batcher import Overloaded, RequestBatcher, RequestTimeout, ServeRequest
 from .engine import ServingEngine
 from .loader import serve_link_prediction, serve_node_classification
 from .stats import ServeStats, latency_summary, make_query_stream
 
 __all__ = ["ServingEngine", "RequestBatcher", "ServeRequest", "ServeStats",
+           "Overloaded", "RequestTimeout",
            "latency_summary", "make_query_stream", "serve_link_prediction",
            "serve_node_classification"]

@@ -8,6 +8,14 @@ and lets the engine's partition-locality ordering make co-located queries
 share swaps. Each request records its own end-to-end latency (enqueue to
 result), so the tail cost of an unlucky swap is visible per request, not
 averaged away per batch.
+
+The queue is **bounded** in both dimensions an always-on service needs:
+``max_queue`` caps outstanding requests (a submit past it raises the
+typed :class:`Overloaded` — backpressure surfaces at the caller instead
+of an unbounded queue absorbing it), and ``timeout_ms`` puts a deadline
+on each request (a :class:`RequestTimeout` is delivered instead of
+blocking the caller forever behind a stuck engine). Both are counted in
+the batcher's stats.
 """
 
 from __future__ import annotations
@@ -27,13 +35,22 @@ SCORE = "score"
 TOPK = "topk"
 
 
+class Overloaded(RuntimeError):
+    """The batcher's queue is full; the caller should back off and retry."""
+
+
+class RequestTimeout(TimeoutError):
+    """The request's deadline passed before a result was produced."""
+
+
 class ServeRequest:
     """One queued query with its own completion event and latency clock."""
 
     __slots__ = ("kind", "payload", "result", "error", "t_enqueue", "t_done",
-                 "_event")
+                 "_event", "deadline", "_timed_out", "_on_timeout")
 
-    def __init__(self, kind: str, payload: np.ndarray) -> None:
+    def __init__(self, kind: str, payload: np.ndarray,
+                 deadline: Optional[float] = None) -> None:
         self.kind = kind
         self.payload = payload
         self.result: Optional[np.ndarray] = None
@@ -41,9 +58,30 @@ class ServeRequest:
         self.t_enqueue = time.perf_counter()
         self.t_done: Optional[float] = None
         self._event = threading.Event()
+        self.deadline = deadline         # absolute perf_counter time
+        self._timed_out = threading.Event()
+        self._on_timeout = None          # batcher stats callback
+
+    def mark_timeout(self) -> bool:
+        """Record the deadline miss exactly once (caller and worker can
+        both observe it); returns True for the first observer."""
+        first = not self._timed_out.is_set()
+        self._timed_out.set()
+        if first and self._on_timeout is not None:
+            self._on_timeout()
+        return first
 
     def wait(self) -> np.ndarray:
-        self._event.wait()
+        if self.deadline is None:
+            self._event.wait()
+        else:
+            remaining = self.deadline - time.perf_counter()
+            if not self._event.wait(timeout=max(0.0, remaining)):
+                self.mark_timeout()
+                raise RequestTimeout(
+                    f"{self.kind} request missed its deadline "
+                    f"({1000.0 * (time.perf_counter() - self.t_enqueue):.1f}"
+                    f"ms since enqueue)")
         if self.error is not None:
             raise self.error
         return self.result
@@ -75,21 +113,37 @@ class RequestBatcher:
     max_wait_ms:
         ... or once the oldest waiting request is this old — bounds the
         latency a lonely query pays for batching.
+    max_queue:
+        Outstanding-request cap; a submit at the cap raises
+        :class:`Overloaded`. ``None`` (default) keeps the queue unbounded.
+    timeout_ms:
+        Default per-request deadline, measured from enqueue; a miss
+        delivers :class:`RequestTimeout` to the waiting caller (and the
+        worker discards the expired request instead of executing it).
+        ``None`` disables deadlines; :meth:`submit` takes a per-request
+        override.
     """
 
     def __init__(self, engine: ServingEngine, max_batch: int = 256,
-                 max_wait_ms: float = 2.0) -> None:
+                 max_wait_ms: float = 2.0, max_queue: Optional[int] = None,
+                 timeout_ms: Optional[float] = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be at least 1 (or None)")
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_queue = int(max_queue) if max_queue is not None else None
+        self.timeout_ms = float(timeout_ms) if timeout_ms is not None else None
         self._queue: Deque[ServeRequest] = deque()
         self._cond = threading.Condition()
         self._stopping = False
         self._worker: Optional[threading.Thread] = None
         self.latencies_ms: List[float] = []
         self.batch_sizes: List[int] = []
+        self.overloads = 0
+        self.timeouts = 0
 
     # ------------------------------------------------------------------
     def start(self) -> "RequestBatcher":
@@ -117,7 +171,12 @@ class RequestBatcher:
         self.stop()
 
     # ------------------------------------------------------------------
-    def submit(self, kind: str, payload: np.ndarray) -> ServeRequest:
+    def _note_timeout(self) -> None:
+        with self._cond:
+            self.timeouts += 1
+
+    def submit(self, kind: str, payload: np.ndarray,
+               timeout_ms: Optional[float] = None) -> ServeRequest:
         if self._worker is None:
             raise RuntimeError("batcher is not running (use start() or a "
                                "with-block)")
@@ -127,10 +186,21 @@ class RequestBatcher:
             # counts payload entries, so a 2-d id array must become 1-d
             # before it is measured against the merged result.
             payload = payload.ravel()
-        request = ServeRequest(kind, payload)
+        if timeout_ms is None:
+            timeout_ms = self.timeout_ms
+        deadline = (time.perf_counter() + float(timeout_ms) / 1000.0
+                    if timeout_ms is not None else None)
+        request = ServeRequest(kind, payload, deadline=deadline)
+        request._on_timeout = self._note_timeout
         with self._cond:
             if self._stopping:
                 raise RuntimeError("batcher is stopping")
+            if (self.max_queue is not None
+                    and len(self._queue) >= self.max_queue):
+                self.overloads += 1
+                raise Overloaded(
+                    f"serve queue is full ({len(self._queue)} waiting, "
+                    f"max_queue={self.max_queue}); back off and retry")
             self._queue.append(request)
             self._cond.notify_all()
         return request
@@ -157,6 +227,18 @@ class RequestBatcher:
 
     def latency_percentiles(self) -> Dict[str, float]:
         return latency_summary(self.latencies_ms)
+
+    def stats(self) -> Dict[str, float]:
+        """Operational counters: completed request latencies plus the two
+        bounded-queue outcomes (rejected submits, missed deadlines)."""
+        return {"requests": len(self.latencies_ms),
+                "batches": len(self.batch_sizes),
+                "mean_batch": (float(np.mean(self.batch_sizes))
+                               if self.batch_sizes else 0.0),
+                "overloads": self.overloads,
+                "timeouts": self.timeouts,
+                "max_queue": self.max_queue or 0,
+                "timeout_ms": self.timeout_ms or 0.0}
 
     # ------------------------------------------------------------------
     def _collect(self) -> List[ServeRequest]:
@@ -186,6 +268,20 @@ class RequestBatcher:
             self._execute(batch)
 
     def _execute(self, batch: List[ServeRequest]) -> None:
+        # Deadline-expired requests are discarded up front: the caller is
+        # (or will be) gone, and executing them would tax the batch that
+        # made it in time.
+        now = time.perf_counter()
+        live: List[ServeRequest] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                request.mark_timeout()
+                request.finish(error=RequestTimeout(
+                    f"{request.kind} request expired in queue"))
+                self.latencies_ms.append(request.latency_ms)
+            else:
+                live.append(request)
+        batch = live
         groups: Dict[tuple, List[ServeRequest]] = {}
         for request in batch:
             if request.kind == TOPK:

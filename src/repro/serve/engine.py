@@ -31,6 +31,7 @@ peak residency is ``buffer_capacity`` partitions):
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -78,9 +79,15 @@ class ServingEngine:
         self.model = model
         self.model.eval()
         self.store = store
-        # Serializes queries against live-stream listener mutations; see
-        # the listener block below. Re-entrant: classify -> encode_nodes.
+        # Protects the engine's own shared state (buffer residency, the
+        # replacement policy, the sampler index) between queries and
+        # live-stream listener callbacks. Re-entrant: classify ->
+        # encode_nodes. Over a live graph, queries additionally take the
+        # graph's shared lock and validate the table seqlock — see
+        # _query_guard / _table_read.
         self._live_lock = threading.RLock()
+        self._live = None             # set by over_live
+        self._table_version = None    # live.table_version when streaming
         self.policy = policy or QueryLRU(self.scheme.num_partitions)
         self.buffer = PartitionBuffer(store, buffer_capacity, read_only=True,
                                       replacement_policy=self.policy)
@@ -120,22 +127,65 @@ class ServingEngine:
         engine = cls(model, live.node_store, buffer_capacity, policy=policy,
                      edge_source=live.bucket_endpoints, fanouts=fanouts,
                      directions=directions, seed=seed)
-        # Share the live graph's mutation lock: a query then excludes the
-        # whole ingest/compaction/refresh-write-back, not merely the
-        # listener callbacks — a mid-sweep query can never observe a grown
-        # scheme over an ungrown buffer or a renamed edge file under stale
-        # offsets.
-        engine._live_lock = live.lock
+        # Queries take the live graph's *shared* lock (so they run
+        # concurrently with ingest and with each other's lock-free
+        # sections, but drain for structural mutations — growth,
+        # compaction, WAL replay, which take the exclusive side) plus the
+        # engine's own lock for its buffer/policy/sampler state. Node-
+        # table row rewrites (refresh write-back) are not excluded at
+        # all: reads that touch the store validate live.table_version
+        # around themselves and retry on a raced write window.
+        engine._live = live
+        engine._table_version = live.table_version
         live.add_bucket_listener(engine._on_live_buckets)
         live.add_growth_listener(engine._on_live_growth)
         live.add_compact_listener(engine._on_live_compact)
         live.add_table_listener(engine._on_live_table)
         return engine
 
-    # The stream listeners run on the *ingest* thread (inside the live
-    # graph's locked mutation) while queries run under the same shared
-    # lock on a RequestBatcher worker. Plain (non-live) engines keep a
-    # private lock and pay one uncontended acquire per query.
+    @contextlib.contextmanager
+    def _query_guard(self):
+        """Per-query locking: shared side of the live graph's structural
+        lock (when streaming) + the engine-private lock."""
+        if self._live is not None:
+            with self._live.rw.shared():
+                with self._live_lock:
+                    yield
+        else:
+            with self._live_lock:
+                yield
+
+    def _table_read(self, fn):
+        """Run ``fn`` under the node-table seqlock protocol.
+
+        A refresh write-back rewrites table rows without excluding
+        readers; any store read that overlaps its write window may be
+        torn. The protocol: snapshot the version (waits out an in-flight
+        write), run, and accept only if the version is unchanged. On a
+        collision, resident partitions admitted during the window are
+        re-read before retrying; after repeated collisions the read runs
+        inside the write lock itself (guaranteed quiescent, and writers
+        are rare enough that this is the cold path of a cold path).
+        """
+        version = self._table_version
+        if version is None:
+            return fn()
+        for attempt in range(8):
+            token = version.begin()
+            if attempt:
+                self.buffer.refresh_from_store()
+            out = fn()
+            if not version.changed(token):
+                return out
+        with version.write():
+            self.buffer.refresh_from_store()
+            return fn()
+
+    # The stream listeners run on the *ingest* thread (under the live
+    # graph's shared lock and the touched bucket stripes) while queries
+    # run under the same shared lock on serving threads; the engine lock
+    # below is what orders them. Plain (non-live) engines keep a private
+    # lock and pay one uncontended acquire per query.
     def _on_live_buckets(self, pairs: List[tuple]) -> None:
         with self._live_lock:
             if self.sampler is not None:
@@ -200,8 +250,9 @@ class ServingEngine:
         one residency check per partition, one vectorized gather per
         partition group — and returns rows aligned with the input.
         """
-        with self._live_lock:
-            out = self._gather_rows(self._check_ids(node_ids))
+        with self._query_guard():
+            out = self._table_read(
+                lambda: self._gather_rows(self._check_ids(node_ids)))
         self.stats.requests += 1
         self.stats.lookups += len(out)
         return out
@@ -239,15 +290,16 @@ class ServingEngine:
         src, rel, dst = self._split_pairs(pairs)
         if len(src) == 0:
             return np.empty(0, dtype=np.float32)
-        with self._live_lock:
+        with self._query_guard():
             if getattr(self.model, "encoder", None) is None:
-                embs = self._gather_rows(
-                    self._check_ids(np.concatenate([src, dst])))
+                embs = self._table_read(lambda: self._gather_rows(
+                    self._check_ids(np.concatenate([src, dst]))))
                 src_repr = Tensor(embs[: len(src)])
                 dst_repr = Tensor(embs[len(src):])
             else:
                 targets = np.unique(np.concatenate([src, dst]))
-                reprs = self._encode_rows(targets, seed=None)
+                reprs = self._table_read(
+                    lambda: self._encode_rows(targets, seed=None))
                 rows = np.searchsorted(targets, np.concatenate([src, dst]))
                 src_repr = Tensor(reprs[rows[: len(src)]])
                 dst_repr = Tensor(reprs[rows[len(src):]])
@@ -299,10 +351,11 @@ class ServingEngine:
             return (np.empty((n, 0), dtype=np.int64),
                     np.empty((n, 0), dtype=np.float32))
         excluded = np.asarray(sorted(set(int(x) for x in exclude)), dtype=np.int64)
-        best_ids = np.empty((n, 0), dtype=np.int64)
-        best_scores = np.empty((n, 0), dtype=np.float32)
-        all_parts = np.arange(self.scheme.num_partitions)
-        with self._live_lock, no_grad():
+
+        def sweep() -> Tuple[np.ndarray, np.ndarray]:
+            best_ids = np.empty((n, 0), dtype=np.int64)
+            best_scores = np.empty((n, 0), dtype=np.float32)
+            all_parts = np.arange(self.scheme.num_partitions)
             src_t = Tensor(self._gather_rows(srcs))
             for part in self._partition_order(all_parts):
                 self.buffer.ensure_resident([part])
@@ -326,6 +379,10 @@ class ServingEngine:
                     merged_scores = np.take_along_axis(merged_scores, keep, axis=1)
                     merged_ids = np.take_along_axis(merged_ids, keep, axis=1)
                 best_scores, best_ids = merged_scores, merged_ids
+            return best_ids, best_scores
+
+        with self._query_guard(), no_grad():
+            best_ids, best_scores = self._table_read(sweep)
         order = np.argsort(-best_scores, axis=1, kind="stable")
         self.stats.requests += 1
         self.stats.topk_queries += n
@@ -365,8 +422,9 @@ class ServingEngine:
         the in-buffer subgraph between calls. Without a seed, execution is
         locality-optimized (resident partitions first, leftovers kept).
         """
-        with self._live_lock:
-            out = self._encode_rows(self._check_ids(node_ids), seed)
+        with self._query_guard():
+            out = self._table_read(
+                lambda: self._encode_rows(self._check_ids(node_ids), seed))
         self.stats.requests += 1
         self.stats.nodes_encoded += len(out)
         return out

@@ -1,5 +1,7 @@
 """Storage layer: memmap-backed node/edge stores, partition buffer, IO stats."""
 
+from .atomic import (atomic_write, atomic_write_bytes, atomic_write_json,
+                     atomic_write_npz, fsync_dir)
 from .buffer import PartitionBuffer
 from .edge_store import EdgeBucketStore
 from .io_stats import IOStats
@@ -7,4 +9,6 @@ from .node_store import NodeStore
 from .prefetch import PrefetchError, Prefetcher, PrefetchingBufferManager
 
 __all__ = ["IOStats", "NodeStore", "EdgeBucketStore", "PartitionBuffer",
-           "Prefetcher", "PrefetchingBufferManager", "PrefetchError"]
+           "Prefetcher", "PrefetchingBufferManager", "PrefetchError",
+           "atomic_write", "atomic_write_bytes", "atomic_write_json",
+           "atomic_write_npz", "fsync_dir"]

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..graph.edge_list import Graph
 from ..graph.partition import EdgeBuckets, PartitionScheme
+from .atomic import atomic_write, fsync_dir
 from .io_stats import IOStats, crc_file
 
 
@@ -34,13 +35,20 @@ def _crc_chunks(arrays) -> int:
 
 
 class EdgeBucketStore:
-    """Edge buckets written bucket-major to a single on-disk file."""
+    """Edge buckets written bucket-major to a single on-disk file.
+
+    ``fault_hook`` (test-only) is called with a named crash point around
+    the compaction commit sequence so the fault-injection suite can kill
+    the process at each boundary.
+    """
 
     def __init__(self, path: os.PathLike, graph: Graph, scheme: PartitionScheme,
                  stats: Optional[IOStats] = None) -> None:
         self.path = Path(path)
         self.scheme = scheme
         self.stats = stats if stats is not None else IOStats()
+        self.fault_hook = None
+        self.compacted_seq = 0
         self.num_relations = graph.num_relations
         self.has_relations = graph.rel is not None
         buckets = EdgeBuckets(graph, scheme)
@@ -60,29 +68,40 @@ class EdgeBucketStore:
         self._file_crc = _crc_chunks(iter([flat]))
         self._write_layout()
 
+    def _fire(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
+
     def _layout_path(self) -> Path:
         return self.path.with_suffix(self.path.suffix + ".layout.npz")
+
+    def _staged_layout_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".layout.next")
+
+    def _layout_arrays(self, offsets: np.ndarray, crc: int,
+                       compacted_seq: int) -> dict:
+        return dict(bucket_offsets=offsets,
+                    width=np.int64(self.width),
+                    num_relations=np.int64(self.num_relations),
+                    has_relations=np.int64(1 if self.has_relations else 0),
+                    file_crc=np.int64(crc),
+                    compacted_seq=np.int64(compacted_seq))
 
     def _write_layout(self) -> None:
         """Persist the bucket offsets (they live only in memory otherwise)
         so :meth:`open` can reattach to the file after a process restart.
 
-        The layout also records a CRC of the bucket file's bytes:
-        compaction renames the bucket file and *then* the sidecar, so a
-        crash between the two leaves a sidecar describing the previous
-        file — :meth:`open` detects the mismatch via this CRC instead of
-        serving the new bytes under the old offsets.
+        The layout also records a CRC of the bucket file's bytes and the
+        delta-log sequence number the file covers (``compacted_seq``):
+        the CRC lets :meth:`open` detect a sidecar that describes a
+        different file instead of serving bytes under wrong offsets, and
+        ``compacted_seq`` is the durable compaction horizon the WAL
+        replays from.
         """
-        tmp = self._layout_path().with_suffix(".tmp")
-        with open(tmp, "wb") as fh:
-            np.savez(fh, bucket_offsets=self.bucket_offsets,
-                     width=np.int64(self.width),
-                     num_relations=np.int64(self.num_relations),
-                     has_relations=np.int64(1 if self.has_relations else 0),
-                     file_crc=np.int64(self._file_crc))
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.rename(tmp, self._layout_path())
+        with atomic_write(self._layout_path()) as fh:
+            np.savez(fh, **self._layout_arrays(self.bucket_offsets,
+                                               self._file_crc,
+                                               self.compacted_seq))
 
     @classmethod
     def open(cls, path: os.PathLike, scheme: PartitionScheme,
@@ -101,12 +120,16 @@ class EdgeBucketStore:
         self.path = Path(path)
         self.scheme = scheme
         self.stats = stats if stats is not None else IOStats()
+        self.fault_hook = None
+        self._heal_staged_layout()
         with np.load(self._layout_path()) as layout:
             self.bucket_offsets = layout["bucket_offsets"]
             self.width = int(layout["width"])
             self.num_relations = int(layout["num_relations"])
             self.has_relations = bool(layout["has_relations"])
             self._file_crc = int(layout["file_crc"])
+            self.compacted_seq = (int(layout["compacted_seq"])
+                                  if "compacted_seq" in layout.files else 0)
         if scheme.num_partitions ** 2 + 1 != len(self.bucket_offsets):
             raise ValueError(
                 f"bucket file has {len(self.bucket_offsets) - 1} buckets, "
@@ -120,6 +143,37 @@ class EdgeBucketStore:
         self._edges = np.memmap(self.path, dtype=np.int64, mode="r+",
                                 shape=(max(self.num_edges, 1), self.width))
         return self
+
+    def _heal_staged_layout(self) -> None:
+        """Resolve an interrupted compaction commit.
+
+        :meth:`rewrite_buckets` stages the *new* layout as
+        ``<path>.layout.next`` before renaming the new bucket file into
+        place, and promotes it to the live sidecar afterwards. A crash in
+        between leaves the staged sidecar on disk; whether the bucket-file
+        rename happened decides which side of the commit point we are on:
+
+        * staged CRC matches the bucket file → the rename happened, the
+          compaction is durable — promote the staged sidecar (this also
+          commits its ``compacted_seq`` horizon, so WAL replay does not
+          double-apply events the compaction already merged);
+        * staged CRC does not match → the rename never happened, the old
+          file is still live — discard the staged sidecar.
+        """
+        staged = self._staged_layout_path()
+        if not staged.exists():
+            return
+        try:
+            with np.load(staged) as layout:
+                staged_crc = int(layout["file_crc"])
+        except Exception:
+            staged.unlink(missing_ok=True)
+            return
+        if self.path.exists() and crc_file(self.path) == staged_crc:
+            os.rename(staged, self._layout_path())
+            fsync_dir(self.path.parent)
+        else:
+            staged.unlink(missing_ok=True)
 
     @property
     def num_partitions(self) -> int:
@@ -187,29 +241,38 @@ class EdgeBucketStore:
         )
 
     def rewrite_buckets(self, bucket_arrays: Iterable[np.ndarray],
-                        scheme: Optional[PartitionScheme] = None) -> None:
+                        scheme: Optional[PartitionScheme] = None,
+                        compacted_seq: Optional[int] = None) -> None:
         """Atomically replace the whole bucket-major file (compaction).
 
         ``bucket_arrays`` yields one ``(n, width)`` int64 array per bucket
         in ascending bucket-major ``(i, j)`` order — p*p arrays in total,
         which are **streamed** to the staging file one bucket at a time
         (peak extra memory is one composed bucket, never the edge set —
-        compaction must not defeat the out-of-core design it serves). The
-        new file follows the snapshot subsystem's atomicity discipline:
-        staged as ``<path>.tmp``, flushed and fsynced, then renamed over
-        the live file in one atomic ``os.rename`` (the directory is
-        fsynced too), so a crash mid-compaction leaves either the old or
-        the new bucket layout — never a torn mix. The in-memory offsets
-        (and therefore :meth:`fingerprint`) are updated to the new layout.
+        compaction must not defeat the out-of-core design it serves).
+
+        The commit protocol makes the swap crash-atomic *including* its
+        metadata: the new bytes are staged as ``<path>.tmp`` (fsync), the
+        new layout sidecar is staged as ``<path>.layout.next`` (fsync),
+        and only then is the bucket file renamed into place — that rename
+        is the commit point. The staged sidecar is promoted to the live
+        name afterwards; a crash anywhere in between is resolved by
+        :meth:`_heal_staged_layout` on the next :meth:`open`, so a reader
+        never observes new bytes under old offsets, or a compaction
+        horizon that disagrees with the file it describes.
 
         ``scheme`` replaces the store's partition scheme (node growth since
         construction); the partition *count* must be unchanged — buckets
         are identified by partition pair, not by node ranges.
+        ``compacted_seq`` records the delta-log horizon the new file
+        covers; it becomes durable at the same commit point as the bytes.
         """
         if scheme is not None:
             if scheme.num_partitions != self.num_partitions:
                 raise ValueError("compaction cannot change the partition count")
             self.scheme = scheme
+        if compacted_seq is None:
+            compacted_seq = self.compacted_seq
         p = self.num_partitions
         offsets = np.zeros(p * p + 1, dtype=np.int64)
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
@@ -236,20 +299,22 @@ class EdgeBucketStore:
             fh.flush()
             os.fsync(fh.fileno())
         self.stats.record_write(total * self.width * 8)
+        with atomic_write(self._staged_layout_path()) as fh:
+            np.savez(fh, **self._layout_arrays(offsets, crc, compacted_seq))
+        self._fire("rewrite-staged")
         self._edges.flush()
         del self._edges
         os.rename(tmp, self.path)
-        dfd = os.open(self.path.parent, os.O_RDONLY)
-        try:
-            os.fsync(dfd)
-        finally:
-            os.close(dfd)
+        fsync_dir(self.path.parent)
+        self._fire("rewrite-post-rename")
+        os.rename(self._staged_layout_path(), self._layout_path())
+        fsync_dir(self.path.parent)
         self._edges = np.memmap(self.path, dtype=np.int64, mode="r+",
                                 shape=(max(total, 1), self.width))
         self.bucket_offsets = offsets
         self.num_edges = total
         self._file_crc = crc
-        self._write_layout()
+        self.compacted_seq = int(compacted_seq)
 
     def fingerprint(self) -> str:
         """Layout identity: bucket offsets + edge width.

@@ -33,9 +33,10 @@ insertion of the same edge re-adds it.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -44,6 +45,8 @@ from ..graph.partition import PartitionScheme
 from ..storage.edge_store import EdgeBucketStore
 from ..storage.node_store import NodeStore
 from .delta_log import OP_DELETE, OP_INSERT, GraphDeltaLog
+from .locks import SharedExclusiveLock, StripedLock, VersionCounter
+from .wal import KIND_NODES, WalFrame
 
 BucketListener = Callable[[List[Tuple[int, int]]], None]
 GrowthListener = Callable[[PartitionScheme], None]
@@ -66,11 +69,23 @@ class LiveGraph:
         In-memory event cap before the log spills.
     seed:
         Stream seed for deterministic new-node row initialization.
+    wal_dir:
+        Write-ahead journal directory for the delta log (``None`` keeps
+        the non-durable behaviour).
+    fsync_every:
+        Journal group-commit window (1 = fsync per acknowledged append).
+    lock_stripes:
+        Number of bucket-range lock stripes. Ingest batches and bucket
+        listeners touching disjoint stripes run in parallel; 1 degrades
+        to a single ingest lock (the benchmark's comparison arm).
     """
 
     def __init__(self, node_store: NodeStore, edge_store: EdgeBucketStore,
                  spill_dir: Optional[os.PathLike] = None,
-                 spill_threshold: int = 1 << 20, seed: int = 0) -> None:
+                 spill_threshold: int = 1 << 20, seed: int = 0,
+                 wal_dir: Optional[os.PathLike] = None,
+                 fsync_every: int = 1, lock_stripes: int = 8,
+                 wal_segment_bytes: int = 4 << 20) -> None:
         if node_store.num_partitions != edge_store.num_partitions:
             raise ValueError("node and edge stores disagree on partitions")
         self.node_store = node_store
@@ -82,19 +97,33 @@ class LiveGraph:
         self.log = GraphDeltaLog(node_store.num_partitions,
                                  has_relations=edge_store.has_relations,
                                  spill_dir=spill_dir,
-                                 spill_threshold=spill_threshold)
+                                 spill_threshold=spill_threshold,
+                                 wal_dir=wal_dir, fsync_every=fsync_every,
+                                 wal_segment_bytes=wal_segment_bytes)
         self.nodes_added = 0
-        # Serializes every mutation (ingest, growth, compaction, refresh
-        # write-back) against readers that opt in — a ServingEngine over
-        # this live graph runs each query under this same lock, so a
-        # mid-sweep query never observes a half-applied mutation (grown
-        # scheme + old buffer, renamed edge file + stale offsets, mid-spill
-        # log). Purely single-threaded use never contends.
+        # Lock hierarchy (outermost first; see repro.stream.locks):
+        #
+        # * ``lock`` — the structural mutex. Serializes the rare,
+        #   whole-graph mutations against each other: node growth,
+        #   compaction, refresh write-back, WAL replay. Held together
+        #   with ``rw.exclusive()`` where readers must be excluded too.
+        # * ``rw`` — shared/exclusive. Ingest and queries take the shared
+        #   side and run concurrently; growth/compaction/replay take the
+        #   exclusive side because they swap schemes and rename files.
+        # * ``stripes`` — per-bucket-range locks under the shared side:
+        #   ingest batches (and the listener invalidations they trigger)
+        #   for disjoint bucket ranges proceed in parallel.
+        # * ``table_version`` — seqlock over node-table *rows*: refresh
+        #   write-back bumps it instead of blocking every query.
         self.lock = threading.RLock()
+        self.rw = SharedExclusiveLock()
+        self.stripes = StripedLock(lock_stripes)
+        self.table_version = VersionCounter()
         self._bucket_listeners: List[BucketListener] = []
         self._growth_listeners: List[GrowthListener] = []
         self._compact_listeners: List[CompactListener] = []
         self._table_listeners: List[TableListener] = []
+        self._health_sources: Dict[str, Callable[[], dict]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -164,11 +193,16 @@ class LiveGraph:
         return rows
 
     def add_nodes(self, count: int) -> np.ndarray:
-        """Append ``count`` new nodes (last partition grows); returns their IDs."""
+        """Append ``count`` new nodes (last partition grows); returns their IDs.
+
+        The growth step is journaled (totals only — the rows are the
+        deterministic function above, so replay regenerates them
+        bit-identically) *before* any in-memory structure changes."""
         if count <= 0:
             raise ValueError("count must be positive")
-        with self.lock:
+        with self.lock, self.rw.exclusive():
             lo = self.num_nodes
+            self.log.journal_nodes(lo, lo + count)
             ids = np.arange(lo, lo + count, dtype=np.int64)
             new_scheme = self.scheme.extended(count)
             self.node_store.grow(new_scheme, self._init_rows(ids))
@@ -185,7 +219,10 @@ class LiveGraph:
                              f"[src{', rel' if self.width == 3 else ''}, dst]")
         if len(edges) == 0:
             return self.log.seq, self.log.seq
-        with self.lock:
+        # Shared side: ingest runs concurrently with queries and other
+        # ingest batches; only the touched bucket stripes serialize (the
+        # delta log itself orders seq assignment under its own mutex).
+        with self.rw.shared():
             src, dst = edges[:, 0], edges[:, -1]
             if ((src < 0).any() or (dst < 0).any()
                     or (src >= self.num_nodes).any()
@@ -195,10 +232,11 @@ class LiveGraph:
             rel = edges[:, 1] if self.width == 3 else None
             bi = self.scheme.partition_of(src)
             bj = self.scheme.partition_of(dst)
-            span = self.log.append(op, src, dst, rel, bi, bj)
             pairs = sorted({(int(i), int(j)) for i, j in zip(bi, bj)})
-            for fn in self._bucket_listeners:
-                fn(pairs)
+            with self.stripes.pairs(pairs, self.num_partitions):
+                span = self.log.append(op, src, dst, rel, bi, bj)
+                for fn in self._bucket_listeners:
+                    fn(pairs)
         return span
 
     def insert_edges(self, edges: np.ndarray) -> Tuple[int, int]:
@@ -303,6 +341,81 @@ class LiveGraph:
     def staleness(self) -> int:
         """Un-compacted events: the live view's distance from its base."""
         return self.log.pending_events
+
+    # ------------------------------------------------------------------
+    # Concurrency surface
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def table_write(self):
+        """Guard for node-table *row* rewrites (the continual trainer's
+        refresh write-back). Takes the structural mutex plus a seqlock
+        write window — concurrent queries validate ``table_version``
+        around their reads and retry instead of blocking for the whole
+        write-back."""
+        with self.lock:
+            with self.table_version.write():
+                yield
+
+    def replay_wal(self, frames: Sequence[WalFrame],
+                   ) -> Dict[str, int]:
+        """Re-apply recovered WAL frames in acknowledged order (see
+        :meth:`GraphDeltaLog.restore`, which produced ``frames``).
+
+        Node frames re-grow the table idempotently — only totals beyond
+        the restored node count are applied, and the regenerated rows are
+        the same deterministic function of ``(seed, node id)`` as the
+        original adds, so rows restored from a snapshot or store are never
+        clobbered. Edge frames re-enter the delta overlay with their
+        original sequence numbers. Listeners fire exactly as live traffic
+        would, so engines and trainers registered before replay track the
+        recovered state."""
+        replayed_edges = 0
+        replayed_nodes = 0
+        with self.lock, self.rw.exclusive():
+            for frame in frames:
+                if frame.kind == KIND_NODES:
+                    _, new_total = frame.node_totals
+                    if new_total <= self.num_nodes:
+                        continue   # already covered by the restored stores
+                    lo = self.num_nodes
+                    count = new_total - lo
+                    ids = np.arange(lo, new_total, dtype=np.int64)
+                    new_scheme = self.scheme.extended(count)
+                    self.node_store.grow(new_scheme, self._init_rows(ids))
+                    self.edge_store.scheme = new_scheme
+                    self.nodes_added += count
+                    replayed_nodes += count
+                    for fn in self._growth_listeners:
+                        fn(new_scheme)
+                else:
+                    self.log.restore_events(frame)
+                    pairs = sorted({(int(i), int(j)) for i, j in
+                                    zip(frame.edges[:, 4], frame.edges[:, 5])})
+                    for fn in self._bucket_listeners:
+                        fn(pairs)
+                    replayed_edges += frame.count
+        return {"frames": len(frames), "edge_events": replayed_edges,
+                "nodes": replayed_nodes}
+
+    def register_health(self, name: str, fn: Callable[[], dict]) -> None:
+        """Attach a named health source (the background compactor reports
+        its state this way) surfaced by :meth:`health`."""
+        self._health_sources[name] = fn
+
+    def health(self) -> dict:
+        """One dict describing the service's liveness: overlay staleness,
+        journal state, lock configuration, and every registered source
+        (e.g. background-compaction status)."""
+        out = {"num_nodes": self.num_nodes,
+               "nodes_added": self.nodes_added,
+               "base_edges": self.edge_store.num_edges,
+               "staleness": self.staleness(),
+               "lock_stripes": self.stripes.num_stripes,
+               "table_version": self.table_version.value,
+               "log": self.log.stats()}
+        for name, fn in self._health_sources.items():
+            out[name] = fn()
+        return out
 
     def stats(self) -> dict:
         out = self.log.stats()

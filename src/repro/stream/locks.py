@@ -1,0 +1,230 @@
+"""Locking primitives for concurrent ingest + serve over a live graph.
+
+PR 4's streaming subsystem serialized *everything* — every ingest,
+compaction, refresh write-back, and query — behind one
+:class:`threading.RLock`. That is correct but means a long top-k sweep
+blocks ingestion and vice versa. This module provides the finer-grained
+pieces :class:`~repro.stream.live.LiveGraph` composes instead:
+
+* :class:`SharedExclusiveLock` — a reentrant readers/writer lock.
+  *Structural* mutations (node growth, compaction: they swap partition
+  schemes, rename bucket files, resize slab maps) take the exclusive
+  side; ingest and queries take the shared side and therefore run
+  concurrently with each other.
+* :class:`StripedLock` — per-bucket-range mutual exclusion under the
+  shared side. An ingest appending to buckets ``{(0,1), (2,3)}`` and a
+  query composing bucket ``(4,4)`` touch disjoint stripes and proceed in
+  parallel; same-stripe access serializes, which is what keeps one
+  bucket's delta segments consistent under composition.
+* :class:`VersionCounter` — a seqlock-style counter for the node table.
+  The continual trainer's refresh write-back touches table *rows* (not
+  structure), so instead of blocking queries it bumps the counter odd →
+  writes → even; a query validates the counter around its read and
+  retries on a concurrent write, falling back to the writer mutex after
+  repeated collisions so progress is guaranteed.
+
+Lock ordering (outermost first), kept consistent everywhere to stay
+deadlock-free: ``LiveGraph.lock`` (writer mutex) → shared/exclusive →
+engine-local lock → stripes → delta-log mutex.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Tuple
+
+__all__ = ["SharedExclusiveLock", "StripedLock", "VersionCounter"]
+
+
+class SharedExclusiveLock:
+    """A reentrant readers/writer lock.
+
+    Many threads may hold the shared side at once; the exclusive side is
+    single-holder and excludes all sharers. Both sides are reentrant
+    within a thread, and the exclusive holder may freely acquire the
+    shared side (a compaction composes bucket reads while holding the
+    exclusive lock). Writer-preference: a waiting writer blocks *new*
+    readers, so a steady query stream cannot starve compaction.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0                      # active shared holds
+        self._writer: int | None = None        # thread id of the writer
+        self._writer_depth = 0
+        self._writers_waiting = 0
+        self._local = threading.local()        # per-thread shared depth
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    # -- shared side ---------------------------------------------------
+    def acquire_shared(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or self._depth() > 0:
+                # Reentrant (or writer downgrading for a nested read):
+                # no new global reader slot needed beyond bookkeeping.
+                self._local.depth = self._depth() + 1
+                if self._writer != me:
+                    self._readers += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self._local.depth = 1
+
+    def release_shared(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._depth()
+            if depth <= 0:
+                raise RuntimeError("release_shared without acquire_shared")
+            self._local.depth = depth - 1
+            if self._writer != me:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    # -- exclusive side ------------------------------------------------
+    def acquire_exclusive(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._depth() > 0:
+                raise RuntimeError(
+                    "cannot upgrade a shared hold to exclusive (deadlock)")
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+                self._writer = me
+                self._writer_depth = 1
+            finally:
+                self._writers_waiting -= 1
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_exclusive by a non-holder")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------
+    class _Guard:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire, release) -> None:
+            self._acquire, self._release = acquire, release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc):
+            self._release()
+
+    def shared(self) -> "_Guard":
+        return self._Guard(self.acquire_shared, self.release_shared)
+
+    def exclusive(self) -> "_Guard":
+        return self._Guard(self.acquire_exclusive, self.release_exclusive)
+
+
+class StripedLock:
+    """``num_stripes`` reentrant locks over the bucket grid.
+
+    Bucket ``(i, j)`` of a ``p``-partition grid maps to stripe
+    ``(i * p + j) % num_stripes`` — contiguous bucket-major ranges land
+    on distinct stripes, so an ingest batch and a query sweeping a
+    different partition row rarely collide. Multi-stripe acquisition is
+    always in ascending stripe order (deadlock-free).
+    """
+
+    def __init__(self, num_stripes: int) -> None:
+        if num_stripes < 1:
+            raise ValueError("num_stripes must be at least 1")
+        self.num_stripes = int(num_stripes)
+        self._locks = [threading.RLock() for _ in range(self.num_stripes)]
+
+    def stripe_of(self, i: int, j: int, p: int) -> int:
+        return (int(i) * int(p) + int(j)) % self.num_stripes
+
+    def _stripes_for(self, pairs: Iterable[Tuple[int, int]],
+                     p: int) -> List[int]:
+        return sorted({self.stripe_of(i, j, p) for i, j in pairs})
+
+    class _Guard:
+        __slots__ = ("_locks",)
+
+        def __init__(self, locks) -> None:
+            self._locks = locks
+
+        def __enter__(self):
+            for lock in self._locks:
+                lock.acquire()
+            return self
+
+        def __exit__(self, *exc):
+            for lock in reversed(self._locks):
+                lock.release()
+
+    def pairs(self, pairs: Iterable[Tuple[int, int]], p: int) -> "_Guard":
+        """Guard holding the stripes of the given buckets, in order."""
+        return self._Guard([self._locks[s] for s in self._stripes_for(pairs, p)])
+
+    def all(self) -> "_Guard":
+        return self._Guard(list(self._locks))
+
+
+class VersionCounter:
+    """Seqlock-style version counter: odd while a write is in flight.
+
+    Writers wrap row updates in :meth:`write` (the counter goes odd, the
+    rows change, the counter lands even+2). Readers call :meth:`begin`
+    (waits out any in-flight write, returns an even version), do the
+    read, then check :meth:`changed`; a change means the read may be
+    torn and must retry.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._cond = threading.Condition()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def begin(self) -> int:
+        with self._cond:
+            while self._value % 2:
+                self._cond.wait()
+            return self._value
+
+    def changed(self, token: int) -> bool:
+        return self._value != token
+
+    class _Write:
+        __slots__ = ("_counter",)
+
+        def __init__(self, counter) -> None:
+            self._counter = counter
+
+        def __enter__(self):
+            with self._counter._cond:
+                while self._counter._value % 2:
+                    self._counter._cond.wait()
+                self._counter._value += 1          # odd: write in flight
+            return self
+
+        def __exit__(self, *exc):
+            with self._counter._cond:
+                self._counter._value += 1          # even: settled
+                self._counter._cond.notify_all()
+
+    def write(self) -> "_Write":
+        return self._Write(self)

@@ -179,10 +179,12 @@ class ContinualTrainer(ListenerHooks):
         for parts, group_pairs in pack_pairs(pairs, self.buffer.capacity):
             trained.update(parts)
             # set_partitions writes the previous group's dirty partitions
-            # back to the shared store — locked, so a concurrent serving
-            # query never reads a half-written row. (Gradient application
-            # between swaps touches only this trainer's private slab.)
-            with live.lock:
+            # back to the shared store — under the table-version seqlock,
+            # so a concurrent serving query detects the write window and
+            # retries instead of reading a half-written row. (Gradient
+            # application between swaps touches only this trainer's
+            # private slab.)
+            with live.table_write():
                 self.buffer.set_partitions(parts)
             self.negatives.set_allowed(self.buffer.resident_nodes())
             chunks = [live.bucket_edges(i, j) for i, j in group_pairs]
@@ -200,12 +202,13 @@ class ContinualTrainer(ListenerHooks):
                 losses.append(loss)
         # Land the updates and tell the stream: the snapshot table must
         # reflect the refresh, and read-only serving buffers over the same
-        # live graph must re-read the retrained partitions. Locked so a
-        # concurrent query never reads the store between the row writes
-        # and the buffer re-sync.
-        with live.lock:
+        # live graph must re-read the retrained partitions. The row writes
+        # happen inside a table-version write window (queries racing them
+        # retry); between the flush and the re-sync a reader serves its
+        # still-consistent pre-refresh rows.
+        with live.table_write():
             self.buffer.flush()
-            live.notify_table_updated(sorted(trained))
+        live.notify_table_updated(sorted(trained))
         if not explicit:
             # The cursor only advances when the default full-coverage pass
             # ran; an explicit-pairs refresh may leave other touched

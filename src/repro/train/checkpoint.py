@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..nn.module import Module
+from ..storage.atomic import fsync_dir
 from ..storage.io_stats import crc_file as _crc_file
 
 SNAPSHOT_VERSION = 1
@@ -125,14 +126,6 @@ class SnapshotManager:
         if self.fault_hook is not None:
             self.fault_hook(point)
 
-    @staticmethod
-    def _fsync(path: Path) -> None:
-        fd = os.open(path, os.O_RDONLY)
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-
     def _sweep_tmp(self) -> None:
         if not self.root.is_dir():
             return
@@ -197,11 +190,11 @@ class SnapshotManager:
             json.dump(manifest, fh, indent=2)
             fh.flush()
             os.fsync(fh.fileno())
-        self._fsync(tmp)
+        fsync_dir(tmp)
 
         self._fire("snapshot-pre-rename")
         os.rename(tmp, final)
-        self._fsync(self.root)
+        fsync_dir(self.root)
         self._fire("snapshot-post-rename")
         self._prune()
         return final

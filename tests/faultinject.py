@@ -44,8 +44,24 @@ class CrashPoint:
     SNAPSHOT_PRE_RENAME = "snapshot-pre-rename"    # fully written, not visible
     SNAPSHOT_POST_RENAME = "snapshot-post-rename"  # visible, pruning pending
 
+    # WriteAheadLog hooks (streaming durability)
+    WAL_FRAME_MID = "wal-frame-mid"          # half a frame on disk — torn tail
+    WAL_TRUNCATE_PRE = "wal-truncate-pre"    # meta written, segments not yet
+                                             # unlinked
+
+    # GraphDeltaLog spill hook
+    SPILL_POST_WRITE = "spill-post-write"    # spill durable, WAL not truncated
+
+    # EdgeBucketStore compaction hooks
+    REWRITE_STAGED = "rewrite-staged"        # layout.next staged, bucket file
+                                             # still the old bytes
+    REWRITE_POST_RENAME = "rewrite-post-rename"  # new bytes committed, layout
+                                                 # sidecar not yet promoted
+
     ALL = (NODE_READ, NODE_WRITE, SWAP_EVICTED, PREFETCH_STAGED,
-           SNAPSHOT_BEGIN, SNAPSHOT_PRE_RENAME, SNAPSHOT_POST_RENAME)
+           SNAPSHOT_BEGIN, SNAPSHOT_PRE_RENAME, SNAPSHOT_POST_RENAME,
+           WAL_FRAME_MID, WAL_TRUNCATE_PRE, SPILL_POST_WRITE,
+           REWRITE_STAGED, REWRITE_POST_RENAME)
 
 
 class FaultInjector:

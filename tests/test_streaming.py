@@ -22,8 +22,11 @@ from repro.graph.partition import PartitionScheme
 from repro.serve.engine import ServingEngine
 from repro.storage.edge_store import EdgeBucketStore
 from repro.storage.node_store import NodeStore
-from repro.stream import (Compactor, ContinualTrainer, GraphDeltaLog,
-                          LiveGraph, pack_pairs)
+from repro.stream import (BackgroundCompactor, Compactor, ContinualTrainer,
+                          GraphDeltaLog, LiveGraph, SharedExclusiveLock,
+                          StripedLock, VersionCounter, WriteAheadLog,
+                          pack_pairs)
+from tests.faultinject import CrashPoint, FaultInjector, SimulatedCrash
 from repro.train import LinkPredictionConfig, SnapshotManager
 from repro.train.link_prediction import LinkPredictionModel
 
@@ -36,7 +39,8 @@ REPO = Path(__file__).resolve().parent.parent
 
 def make_live(tmp_path, num_nodes=120, num_edges=600, p=6, dim=8,
               with_rel=False, seed=0, spill_threshold=1 << 20,
-              name="live") -> LiveGraph:
+              name="live", wal=False, fsync_every=1,
+              lock_stripes=8, wal_segment_bytes=4 << 20) -> LiveGraph:
     rng = np.random.default_rng(seed)
     graph = Graph(num_nodes=num_nodes,
                   src=rng.integers(0, num_nodes, num_edges),
@@ -49,7 +53,33 @@ def make_live(tmp_path, num_nodes=120, num_edges=600, p=6, dim=8,
     store.initialize(rng=np.random.default_rng(seed + 1))
     edges = EdgeBucketStore(tmp_path / f"{name}-edges.bin", graph, scheme)
     return LiveGraph(store, edges, seed=seed + 7,
+                     spill_threshold=spill_threshold,
+                     wal_dir=tmp_path / f"{name}-wal" if wal else None,
+                     fsync_every=fsync_every, lock_stripes=lock_stripes,
+                     wal_segment_bytes=wal_segment_bytes)
+
+
+def recover_live(tmp_path, base_nodes, p=6, dim=8, seed=0,
+                 spill_threshold=1 << 20, name="live") -> LiveGraph:
+    """The crash-recovery composition (mirrors StreamJob's build): reattach
+    the durable stores at the *acknowledged* node count, restore the delta
+    log from spills + WAL, replay the suffix."""
+    wal_dir = tmp_path / f"{name}-wal"
+    recovery = WriteAheadLog.scan(wal_dir)
+    acked = max(base_nodes, recovery.num_nodes, recovery.max_nodes_recorded)
+    nodes_path = tmp_path / f"{name}-nodes.bin"
+    file_rows = nodes_path.stat().st_size // (4 * dim)
+    attach = min(acked, file_rows)
+    scheme = PartitionScheme.uniform(base_nodes, p).extended(
+        attach - base_nodes)
+    store = NodeStore.open(nodes_path, scheme, dim, learnable=True,
+                           truncate=True)
+    edges = EdgeBucketStore.open(tmp_path / f"{name}-edges.bin", scheme)
+    live = LiveGraph(store, edges, seed=seed + 7,
                      spill_threshold=spill_threshold)
+    frames = live.log.restore(edges.compacted_seq, recovery, wal_dir=wal_dir)
+    live.replay_wal(frames)
+    return live
 
 
 def base_order_edges(live: LiveGraph) -> np.ndarray:
@@ -745,3 +775,709 @@ def _cli_env():
     env["PYTHONPATH"] = str(REPO / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     return env
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead log (durability tentpole)
+# ---------------------------------------------------------------------------
+
+class TestWriteAheadLog:
+    def _append_some(self, wal, count, start=0):
+        rng = np.random.default_rng(3)
+        seq = start
+        for _ in range(count):
+            n = int(rng.integers(1, 6))
+            src = rng.integers(0, 50, n)
+            wal.append_edges(seq, 0, src, rng.integers(0, 50, n),
+                             np.zeros(n, dtype=np.int64), src % 4,
+                             rng.integers(0, 4, n))
+            seq += n
+        return seq
+
+    def test_scan_roundtrips_frames(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        end = self._append_some(wal, 7)
+        wal.append_nodes(end, 50, 55)
+        wal.close()
+        rec = WriteAheadLog.scan(tmp_path / "wal")
+        assert len(rec.frames) == 8
+        assert rec.max_seq == end
+        assert rec.max_nodes_recorded == 55
+        assert rec.torn_frames == 0
+        # Replaying front to back reproduces contiguous sequence numbers.
+        seq = 0
+        for frame in rec.frames[:-1]:
+            assert frame.seq_lo == seq
+            seq = frame.seq_end
+
+    def test_torn_tail_dropped_and_file_truncated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        self._append_some(wal, 5)
+        wal.close()
+        seg = sorted((tmp_path / "wal").glob("wal-*.log"))[-1]
+        clean_size = seg.stat().st_size
+        with open(seg, "ab") as fh:              # half a frame: torn write
+            fh.write(b"WFRM\x01" + b"\x00" * 9)
+        rec = WriteAheadLog.scan(tmp_path / "wal")
+        assert len(rec.frames) == 5
+        assert rec.torn_frames == 1 and rec.torn_bytes > 0
+        assert seg.stat().st_size == clean_size  # physically truncated
+        again = WriteAheadLog.scan(tmp_path / "wal")
+        assert again.torn_frames == 0            # idempotent after repair
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        from repro.stream import WalCorruption
+        wal = WriteAheadLog(tmp_path / "wal")
+        self._append_some(wal, 5)
+        wal.close()
+        seg = sorted((tmp_path / "wal").glob("wal-*.log"))[0]
+        blob = bytearray(seg.read_bytes())
+        blob[25] ^= 0xFF                         # flip a byte mid-file
+        seg.write_bytes(bytes(blob))
+        with pytest.raises(WalCorruption):
+            WriteAheadLog.scan(tmp_path / "wal")
+
+    def test_group_commit_window(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync_every=4)
+        self._append_some(wal, 10)
+        assert wal.stats()["syncs"] == 2         # at frames 4 and 8
+        wal.close()                              # flushes the remainder
+        rec = WriteAheadLog.scan(tmp_path / "wal")
+        assert len(rec.frames) == 10
+
+    def test_rotation_and_selective_truncation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_bytes=200)
+        end = self._append_some(wal, 12)
+        assert wal.stats()["rotations"] >= 2
+        segs = sorted((tmp_path / "wal").glob("wal-*.log"))
+        mid_cover = end // 2
+        wal.truncate_covered(mid_cover)
+        left = sorted((tmp_path / "wal").glob("wal-*.log"))
+        assert 0 < len(left) <= len(segs)        # partial truncation only
+        rec = WriteAheadLog.scan(tmp_path / "wal")
+        assert rec.covered_seq == mid_cover
+        # Truncation is whole-segment: every surviving *segment* still
+        # guards something past the horizon (sub-horizon frames inside it
+        # are filtered by the restore floor, not double-applied), and every
+        # event past the horizon is still present.
+        assert all(s.end_seq > mid_cover for s in rec.segments
+                   if s.end_seq)                # closed, edge-bearing segs
+        assert rec.max_seq == end
+        wal.truncate_covered(end)
+        rec2 = WriteAheadLog.scan(tmp_path / "wal")
+        # Every *closed* covered segment is gone; only the active segment
+        # (still open for appends) may linger below the horizon.
+        assert all(s.end_seq > end for s in rec2.segments[:-1] if s.end_seq)
+        wal.close()
+
+    def test_node_frames_guard_segments_until_covered(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_bytes=64)
+        wal.append_nodes(0, 50, 55)
+        self._append_some(wal, 4)                # forces rotation past 64B
+        end = wal.stats()["edge_events"]
+        removed = wal.truncate_covered(end, num_nodes=50)
+        rec = WriteAheadLog.scan(tmp_path / "wal")
+        assert rec.max_nodes_recorded == 55      # growth record survived
+        wal.truncate_covered(end, num_nodes=55)
+        rec2 = WriteAheadLog.scan(tmp_path / "wal")
+        assert rec2.num_nodes == 55              # now carried by the meta
+        wal.close()
+
+
+# ---------------------------------------------------------------------------
+# Crash matrix: every WAL/spill/compaction boundary recovers bit-identically
+# ---------------------------------------------------------------------------
+
+CRASH_MATRIX = (CrashPoint.WAL_FRAME_MID, CrashPoint.WAL_TRUNCATE_PRE,
+                CrashPoint.SPILL_POST_WRITE, CrashPoint.REWRITE_STAGED,
+                CrashPoint.REWRITE_POST_RENAME)
+
+
+class TestCrashMatrix:
+    """Drive a seeded WAL-journaled stream into a simulated crash at each
+    durability boundary, recover with the snapshot-free composition
+    (reattach stores -> restore log -> replay WAL), and require the
+    recovered view to be bit-identical to an offline rebuild of exactly
+    the acknowledged events — then keep streaming to prove the resumed
+    journal works."""
+
+    BASE_NODES = 80
+
+    def _wire(self, live, injector):
+        live.log.fault_hook = injector.fire
+        live.log.wal.fault_hook = injector.fire
+        live.edge_store.fault_hook = injector.fire
+
+    def _drive_to_crash(self, live, compactor, injector, rng):
+        ref = base_order_edges(live)
+        width = live.width
+        # The op that crashes is durable iff its WAL write completed before
+        # the crash point fired: true for spill/truncate boundaries (the
+        # journal accepted the batch first), false for a torn frame.
+        durable = injector.crash_at in (CrashPoint.WAL_TRUNCATE_PRE,
+                                        CrashPoint.SPILL_POST_WRITE)
+        for step in range(400):
+            roll = step % 11
+            try:
+                if roll == 8:
+                    live.add_nodes(int(rng.integers(1, 5)))
+                elif roll == 10:
+                    compactor.compact()
+                elif roll == 7 and len(ref):
+                    n = int(rng.integers(1, 6))
+                    rows = ref[rng.integers(0, len(ref), n)]
+                    live.delete_edges(rows)
+                    ref = apply_delete(ref, rows)
+                else:
+                    n = int(rng.integers(5, 30))
+                    ins = np.empty((n, width), dtype=np.int64)
+                    ins[:, 0] = rng.integers(0, live.num_nodes, n)
+                    ins[:, -1] = rng.integers(0, live.num_nodes, n)
+                    live.insert_edges(ins)
+                    ref = np.concatenate([ref, ins], axis=0)
+            except SimulatedCrash:
+                if durable:
+                    if roll == 7:
+                        ref = apply_delete(ref, rows)
+                    elif roll not in (8, 10):
+                        ref = np.concatenate([ref, ins], axis=0)
+                return ref
+        raise AssertionError(
+            f"crash point {injector.crash_at} never fired in 400 steps")
+
+    def _assert_matches_rebuild(self, tmp_path, live, ref, name):
+        rebuilt = rebuild_offline(tmp_path, live, ref, name=name)
+        p = live.num_partitions
+        for i in range(p):
+            for j in range(p):
+                assert np.array_equal(
+                    live.bucket_edges(i, j, record_io=False),
+                    rebuilt.read_bucket(i, j, record_io=False)), (i, j)
+        rebuilt.close()
+
+    @pytest.mark.parametrize("point", CRASH_MATRIX)
+    @pytest.mark.parametrize("after", [0, 3])
+    def test_recovers_bit_identical(self, tmp_path, point, after):
+        seed = CRASH_MATRIX.index(point) * 10 + after
+        live = make_live(tmp_path, num_nodes=self.BASE_NODES, num_edges=400,
+                         p=4, seed=seed, spill_threshold=60, wal=True,
+                         wal_segment_bytes=2048)
+        compactor = Compactor(live)
+        injector = FaultInjector(point, after=after)
+        self._wire(live, injector)
+        rng = np.random.default_rng(seed + 100)
+        ref = self._drive_to_crash(live, compactor, injector, rng)
+        assert injector.fired
+        nodes_acked = live.num_nodes if point != CrashPoint.WAL_FRAME_MID \
+            else live.num_nodes    # torn op never mutated the live graph
+        del live                   # "process death": in-memory state is gone
+
+        live2 = recover_live(tmp_path, base_nodes=self.BASE_NODES, p=4,
+                             seed=seed, spill_threshold=60)
+        assert live2.num_nodes == nodes_acked
+        self._assert_matches_rebuild(tmp_path, live2, ref, "rebuilt-crash")
+
+        # The service keeps going: the restored journal accepts new events
+        # and a fresh compaction folds old + replayed + new together.
+        width = live2.width
+        for _ in range(5):
+            n = int(rng.integers(5, 20))
+            ins = np.empty((n, width), dtype=np.int64)
+            ins[:, 0] = rng.integers(0, live2.num_nodes, n)
+            ins[:, -1] = rng.integers(0, live2.num_nodes, n)
+            live2.insert_edges(ins)
+            ref = np.concatenate([ref, ins], axis=0)
+        Compactor(live2).compact()
+        self._assert_matches_rebuild(tmp_path, live2, ref, "rebuilt-after")
+
+    def test_node_rows_regenerated_identically(self, tmp_path):
+        """Recovered growth regenerates the same deterministic rows the
+        original adds produced (acknowledged adds survive even when the
+        store file never saw them)."""
+        live = make_live(tmp_path, num_nodes=40, num_edges=100, p=4,
+                         seed=3, wal=True)
+        live.add_nodes(7)
+        original, _ = live.node_store.read_partition(live.num_partitions - 1)
+        original = original.copy()
+        del live
+        live2 = recover_live(tmp_path, base_nodes=40, p=4, seed=3)
+        assert live2.num_nodes == 47
+        recovered, _ = live2.node_store.read_partition(
+            live2.num_partitions - 1)
+        assert np.array_equal(original, recovered)
+
+    def test_background_compaction_crash_recovers(self, tmp_path):
+        """Crash while the *background* worker is mid-compaction: the main
+        thread's acknowledged events survive recovery."""
+        live = make_live(tmp_path, num_nodes=self.BASE_NODES, num_edges=300,
+                         p=4, seed=9, wal=True)
+        injector = FaultInjector(CrashPoint.REWRITE_STAGED)
+        live.edge_store.fault_hook = injector.fire
+        bg = BackgroundCompactor(Compactor(live), staleness_threshold=80,
+                                 poll_interval=0.005, max_backoff=0.01,
+                                 seed=9)
+        ref = base_order_edges(live)
+        rng = np.random.default_rng(42)
+        with bg:
+            for _ in range(40):
+                n = int(rng.integers(5, 20))
+                ins = np.empty((n, live.width), dtype=np.int64)
+                ins[:, 0] = rng.integers(0, live.num_nodes, n)
+                ins[:, -1] = rng.integers(0, live.num_nodes, n)
+                live.insert_edges(ins)
+                ref = np.concatenate([ref, ins], axis=0)
+                if injector.fired:
+                    break
+        assert injector.fired                   # the worker hit the crash
+        assert bg.failures >= 1                 # ... and degraded gracefully
+        del live
+        live2 = recover_live(tmp_path, base_nodes=self.BASE_NODES, p=4,
+                             seed=9)
+        self._assert_matches_rebuild(tmp_path, live2, ref, "rebuilt-bg")
+
+
+# ---------------------------------------------------------------------------
+# Background compactor: retry/backoff and graceful degradation
+# ---------------------------------------------------------------------------
+
+class TestBackgroundCompactor:
+    def _fill(self, live, rng, events=200):
+        n = events
+        ins = np.empty((n, live.width), dtype=np.int64)
+        ins[:, 0] = rng.integers(0, live.num_nodes, n)
+        ins[:, -1] = rng.integers(0, live.num_nodes, n)
+        live.insert_edges(ins)
+        return ins
+
+    def test_compacts_when_staleness_crosses_threshold(self, tmp_path):
+        import time
+        live = make_live(tmp_path, p=4, num_nodes=60, num_edges=200, seed=2)
+        bg = BackgroundCompactor(Compactor(live), staleness_threshold=100,
+                                 poll_interval=0.005, seed=2)
+        events = []
+        bg.add_listener(lambda e, info: events.append((e, info)))
+        rng = np.random.default_rng(5)
+        with bg:
+            self._fill(live, rng, 150)
+            bg.kick()
+            deadline = time.monotonic() + 10
+            while live.staleness() > 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert live.staleness() == 0
+        assert bg.runs >= 1 and bg.failures == 0
+        assert any(e == "compaction-done" for e, _ in events)
+        health = live.health()["compaction"]
+        assert health["state"] == "idle" and health["runs"] >= 1
+
+    def test_degrades_then_recovers_with_backoff(self, tmp_path):
+        import time
+        live = make_live(tmp_path, p=4, num_nodes=60, num_edges=200, seed=4)
+        fails = {"left": 2}
+
+        def flaky(point):
+            if point == CrashPoint.REWRITE_STAGED and fails["left"] > 0:
+                fails["left"] -= 1
+                raise OSError("transient disk error")
+
+        live.edge_store.fault_hook = flaky
+        bg = BackgroundCompactor(Compactor(live), staleness_threshold=50,
+                                 poll_interval=0.005, max_backoff=0.02,
+                                 seed=4)
+        events = []
+        bg.add_listener(lambda e, info: events.append(e))
+        rng = np.random.default_rng(6)
+        with bg:
+            self._fill(live, rng, 120)
+            bg.kick()
+            deadline = time.monotonic() + 10
+            while ("compaction-done" not in events
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+        assert events.count("compaction-failed") == 2
+        assert "compaction-done" in events
+        assert bg.failures == 2 and bg.runs >= 1
+        assert live.staleness() == 0
+        health = bg.health()
+        assert health["consecutive_failures"] == 0    # success reset it
+        assert health["failures"] == 2                # history is kept
+
+    def test_degraded_service_keeps_serving(self, tmp_path):
+        """While compaction is failing, ingest and queries proceed from the
+        overlay — degradation, not an outage."""
+        import time
+        live = make_live(tmp_path, p=4, num_nodes=60, num_edges=200, seed=8)
+        live.edge_store.fault_hook = lambda point: (_ for _ in ()).throw(
+            OSError("disk gone")) if point == CrashPoint.REWRITE_STAGED \
+            else None
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none", seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        engine = ServingEngine.over_live(live, model, buffer_capacity=3)
+        bg = BackgroundCompactor(Compactor(live), staleness_threshold=10,
+                                 poll_interval=0.005, max_backoff=0.01,
+                                 seed=8)
+        rng = np.random.default_rng(11)
+        ref = base_order_edges(live)
+        with bg:
+            deadline = time.monotonic() + 10
+            while bg.failures < 2 and time.monotonic() < deadline:
+                n = 20
+                ins = np.empty((n, live.width), dtype=np.int64)
+                ins[:, 0] = rng.integers(0, live.num_nodes, n)
+                ins[:, -1] = rng.integers(0, live.num_nodes, n)
+                live.insert_edges(ins)
+                ref = np.concatenate([ref, ins], axis=0)
+                rows = engine.get_embeddings(np.arange(20))
+                assert np.isfinite(rows).all()
+        assert bg.failures >= 2
+        assert bg.health()["state"] == "degraded"
+        assert live.staleness() > 0               # merges kept failing...
+        rebuilt = rebuild_offline(tmp_path, live, ref, name="degraded")
+        p = live.num_partitions
+        for i in range(p):                        # ...but the view is exact
+            for j in range(p):
+                assert np.array_equal(
+                    live.bucket_edges(i, j, record_io=False),
+                    rebuilt.read_bucket(i, j, record_io=False))
+        rebuilt.close()
+
+
+# ---------------------------------------------------------------------------
+# Lock primitives
+# ---------------------------------------------------------------------------
+
+class TestLockPrimitives:
+    def test_shared_is_concurrent_exclusive_is_not(self):
+        import threading
+        import time
+        lock = SharedExclusiveLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.shared():
+                inside.wait()                     # both readers in at once
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.exclusive():
+                acquired.set()
+                release.wait(timeout=5)
+
+        w = threading.Thread(target=writer)
+        w.start()
+        assert acquired.wait(timeout=5)
+        got_shared = threading.Event()
+
+        def late_reader():
+            with lock.shared():
+                got_shared.set()
+
+        r = threading.Thread(target=late_reader)
+        r.start()
+        time.sleep(0.05)
+        assert not got_shared.is_set()            # excluded while held
+        release.set()
+        assert got_shared.wait(timeout=5)
+        w.join(timeout=5)
+        r.join(timeout=5)
+
+    def test_shared_reentrant_and_upgrade_refused(self):
+        lock = SharedExclusiveLock()
+        with lock.shared():
+            with lock.shared():                   # reentrant
+                with pytest.raises(RuntimeError):
+                    lock.acquire_exclusive()      # upgrade would deadlock
+
+    def test_exclusive_holder_may_read(self):
+        lock = SharedExclusiveLock()
+        with lock.exclusive():
+            with lock.shared():
+                pass
+
+    def test_striped_lock_orders_overlapping_sets(self):
+        import threading
+        stripes = StripedLock(4)
+        counter = {"v": 0}
+        pairs_a = [(0, 1), (2, 3), (1, 2)]
+        pairs_b = list(reversed(pairs_a))
+
+        def bump(pairs):
+            for _ in range(200):
+                with stripes.pairs(pairs, 4):
+                    counter["v"] += 1
+
+        threads = [threading.Thread(target=bump, args=(p,))
+                   for p in (pairs_a, pairs_b)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)   # no deadlock
+        assert counter["v"] == 400
+
+    def test_version_counter_detects_writes(self):
+        version = VersionCounter()
+        token = version.begin()
+        assert not version.changed(token)
+        with version.write():
+            pass
+        assert version.changed(token)
+        token2 = version.begin()
+        assert not version.changed(token2)
+
+
+# ---------------------------------------------------------------------------
+# Bounded request batcher (satellite)
+# ---------------------------------------------------------------------------
+
+class _StubEngine:
+    """Minimal engine: optional gate event stalls execution."""
+
+    def __init__(self, gate=None, dim=4):
+        self.gate = gate
+        self.dim = dim
+
+    def _maybe_block(self):
+        if self.gate is not None:
+            assert self.gate.wait(timeout=10)
+
+    def get_embeddings(self, ids):
+        self._maybe_block()
+        return np.zeros((len(np.asarray(ids)), self.dim), dtype=np.float32)
+
+    def score_edges(self, pairs):
+        self._maybe_block()
+        return np.zeros(len(pairs), dtype=np.float32)
+
+    def topk_targets_batch(self, srcs, k, rel=None):
+        self._maybe_block()
+        n = len(np.asarray(srcs))
+        return (np.zeros((n, k), dtype=np.int64),
+                np.zeros((n, k), dtype=np.float32))
+
+
+class TestBatcherBounds:
+    def test_overload_raises_typed_error_and_counts(self):
+        import threading
+        from repro.serve import Overloaded, RequestBatcher
+        gate = threading.Event()
+        engine = _StubEngine(gate=gate)
+        with RequestBatcher(engine, max_batch=64, max_wait_ms=50.0,
+                            max_queue=3) as batcher:
+            pending = [batcher.submit("embed", np.arange(2))
+                       for _ in range(3)]
+            with pytest.raises(Overloaded):
+                batcher.submit("embed", np.arange(2))
+            assert batcher.stats()["overloads"] == 1
+            gate.set()
+            for req in pending:
+                assert req.wait().shape == (2, 4)
+        assert batcher.stats()["requests"] == 3
+
+    def test_timeout_delivered_and_counted(self):
+        import threading
+        from repro.serve import RequestBatcher, RequestTimeout
+        gate = threading.Event()
+        engine = _StubEngine(gate=gate)
+        batcher = RequestBatcher(engine, max_batch=4, max_wait_ms=1.0,
+                                 timeout_ms=30.0)
+        with batcher:
+            req = batcher.submit("embed", np.arange(3))
+            with pytest.raises(RequestTimeout):
+                req.wait()
+            gate.set()
+        assert batcher.stats()["timeouts"] == 1
+
+    def test_expired_requests_dropped_by_worker(self):
+        import threading
+        import time
+        from repro.serve import RequestBatcher, RequestTimeout
+        gate = threading.Event()
+        engine = _StubEngine(gate=gate)
+        with RequestBatcher(engine, max_batch=1, max_wait_ms=0.5) as batcher:
+            slow = batcher.submit("embed", np.arange(2))    # occupies worker
+            doomed = batcher.submit("embed", np.arange(2), timeout_ms=20.0)
+            time.sleep(0.1)                                 # let it expire
+            gate.set()
+            assert slow.wait().shape == (2, 4)
+            with pytest.raises(RequestTimeout):
+                doomed.wait()
+        assert batcher.stats()["timeouts"] == 1
+
+    def test_per_request_override_beats_default(self):
+        from repro.serve import RequestBatcher
+        engine = _StubEngine()
+        with RequestBatcher(engine, max_batch=4, max_wait_ms=1.0,
+                            timeout_ms=1.0) as batcher:
+            # Generous per-request override on a stalled-free engine: must
+            # complete even though the batcher default is 1ms.
+            req = batcher.submit("embed", np.arange(2), timeout_ms=5000.0)
+            assert req.wait().shape == (2, 4)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent ingest + serve under the striped-lock surface
+# ---------------------------------------------------------------------------
+
+class TestConcurrentIngestServe:
+    @pytest.mark.parametrize("stripes", [1, 4])
+    def test_parallel_writers_readers_and_background_compaction(
+            self, tmp_path, stripes):
+        """Multiple ingest threads, multiple query threads, and the
+        background compactor all running at once: no torn reads, no
+        errors, and the final view is bit-identical to an offline rebuild
+        of everything ingested."""
+        import threading
+        live = make_live(tmp_path, num_nodes=200, num_edges=800, p=4,
+                         seed=31 + stripes, lock_stripes=stripes)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none", seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        engine = ServingEngine.over_live(live, model, buffer_capacity=3)
+        bg = BackgroundCompactor(Compactor(live), staleness_threshold=400,
+                                 poll_interval=0.005, seed=1)
+        base_ref = base_order_edges(live)
+        errors = []
+        chunks = [[] for _ in range(3)]
+
+        def writer(k):
+            rng = np.random.default_rng(100 + k)
+            try:
+                for _ in range(25):
+                    n = int(rng.integers(10, 30))
+                    ins = np.empty((n, 2), dtype=np.int64)
+                    ins[:, 0] = rng.integers(0, 200, n)
+                    ins[:, 1] = rng.integers(0, 200, n)
+                    live.insert_edges(ins)
+                    chunks[k].append(ins)
+            except Exception as exc:    # pragma: no cover - failure path
+                errors.append(exc)
+
+        stop = threading.Event()
+
+        def reader(k):
+            rng = np.random.default_rng(200 + k)
+            try:
+                while not stop.is_set():
+                    rows = engine.get_embeddings(rng.integers(0, 200, 16))
+                    assert rows.shape == (16, 8)
+                    assert np.isfinite(rows).all()
+            except Exception as exc:    # pragma: no cover - failure path
+                errors.append(exc)
+
+        with bg:
+            writers = [threading.Thread(target=writer, args=(k,))
+                       for k in range(3)]
+            readers = [threading.Thread(target=reader, args=(k,))
+                       for k in range(2)]
+            for t in writers + readers:
+                t.start()
+            for t in writers:
+                t.join(timeout=60)
+            stop.set()
+            for t in readers:
+                t.join(timeout=60)
+        assert not errors
+        # Equivalence: streamed state == offline rebuild of base + all
+        # inserted chunks (writer interleaving does not affect the set;
+        # per-bucket order is seq order, which any serial reference with
+        # the same per-bucket arrival order reproduces — compare sets).
+        final = live.materialize()
+        total = sum(len(c) for ch in chunks for c in ch)
+        assert live.log.events_appended == total
+        ref = np.concatenate(
+            [base_ref] + [c for ch in chunks for c in ch])
+        assert final.num_edges == len(ref)
+        a = np.sort(np.stack([final.src, final.dst], axis=1).view(
+            [("s", np.int64), ("d", np.int64)]).ravel())
+        b = np.sort(ref.copy().view(
+            [("s", np.int64), ("d", np.int64)]).ravel())
+        assert np.array_equal(a, b)
+
+    def test_refresh_writeback_overlaps_queries(self, tmp_path):
+        """Seqlock write-back: queries running concurrently with a
+        refresh's table write-back always see finite, well-formed rows."""
+        import threading
+        live = make_live(tmp_path, num_nodes=160, num_edges=800, p=4,
+                         seed=17)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none",
+                                   batch_size=64, num_negatives=8,
+                                   num_epochs=1, seed=17)
+        trainer = ContinualTrainer(live, cfg, num_relations=1,
+                                   buffer_capacity=2)
+        engine = ServingEngine.over_live(live, trainer.model,
+                                         buffer_capacity=2)
+        rng = np.random.default_rng(3)
+        ins = np.empty((600, 2), dtype=np.int64)
+        ins[:, 0] = rng.integers(0, 160, 600)
+        ins[:, 1] = rng.integers(0, 160, 600)
+        live.insert_edges(ins)
+        Compactor(live).compact()
+        errors = []
+        stop = threading.Event()
+
+        def query():
+            qrng = np.random.default_rng(5)
+            try:
+                while not stop.is_set():
+                    rows = engine.get_embeddings(qrng.integers(0, 160, 8))
+                    assert np.isfinite(rows).all()
+            except Exception as exc:    # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=query) for _ in range(2)]
+        for t in readers:
+            t.start()
+        try:
+            for _ in range(3):
+                trainer.refresh()
+        finally:
+            stop.set()
+            for t in readers:
+                t.join(timeout=60)
+        assert not errors
+        assert live.table_version.value % 2 == 0
+        assert live.table_version.value > 0
+
+
+# ---------------------------------------------------------------------------
+# Durable stream job: crash + resume through the API (satellite)
+# ---------------------------------------------------------------------------
+
+class TestDurableStreamJob:
+    def test_wal_run_reattaches_and_resumes_service(self, tmp_path):
+        from repro.api import (DataSpec, JobSpec, ModelSpec, StorageSpec,
+                               StreamSpec)
+        from repro.api import run as api_run
+
+        def spec(events, compact_every):
+            return JobSpec(
+                kind="stream",
+                data=DataSpec(dataset="fb15k237", scale=0.02),
+                model=ModelSpec(dim=8),
+                storage=StorageSpec(partitions=4, buffer=2,
+                                    workdir=str(tmp_path / "wd")),
+                stream=StreamSpec(events=events, event_batch=200,
+                                  compact_every=compact_every, verify=True,
+                                  wal=True, background_compaction=True,
+                                  lock_stripes=4))
+
+        first = api_run(spec(600, 400))
+        assert first["health"]["compaction"]["state"] in ("idle",
+                                                          "compacting")
+        assert (tmp_path / "wd" / "wal").is_dir()
+        assert (tmp_path / "wd" / "stream-state.json").exists()
+        # Second run over the same workdir: recovery reattaches the stores
+        # and replays the journal instead of rebuilding from the dataset;
+        # verify=True then proves the recovered view equals a rebuild.
+        second = api_run(spec(300, 0))
+        assert second["num_nodes"] >= first["num_nodes"]
+        # Deletes can come up short when a sampled bucket is empty.
+        assert 250 <= second["events_appended"] <= 300
