@@ -321,7 +321,10 @@ class ServeJob(Job):
             engine = serve_link_prediction(snap, workdir,
                                            num_partitions=storage.partitions,
                                            buffer_capacity=storage.buffer,
-                                           graph=graph)
+                                           graph=graph,
+                                           ann=bool(spec.serve.ann),
+                                           ann_cluster_size=(
+                                               spec.serve.ann_cluster_size))
         self.snapshot_path, self.snapshot_kind, self.engine = snap, kind, engine
         if verbose:
             print(f"serving {kind} snapshot {snap.name}: "
@@ -364,12 +367,15 @@ class ServeJob(Job):
             src, k = int(serve.topk[0]), int(serve.topk[1])
             try:
                 ids, scores = engine.topk_targets(src, k, rel=serve.rel,
-                                                  exclude=[src])
+                                                  exclude=[src],
+                                                  exact=serve.exact)
             except RuntimeError as exc:  # e.g. encoder snapshots refuse top-k
                 raise JobError(f"--topk: {exc}") from exc
             results["topk"] = (ids, scores)
             if verbose:
-                print(f"  top-{k} targets for source {src} (rel {serve.rel}):")
+                mode = ("exact" if serve.exact or not serve.ann else "ann")
+                print(f"  top-{k} targets for source {src} "
+                      f"(rel {serve.rel}, {mode} sweep):")
                 for rank, (node, score) in enumerate(zip(ids, scores), 1):
                     print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
         if serve.classify:
@@ -383,7 +389,10 @@ class ServeJob(Job):
             s = engine.stats
             print(f"engine stats: {s.lookups} lookups, "
                   f"{s.edges_scored} edges scored, "
-                  f"{s.topk_queries} topk, {s.swaps} partition swaps")
+                  f"{s.topk_queries} topk "
+                  f"({s.topk_parts_scanned} parts scanned, "
+                  f"{s.topk_parts_pruned} pruned), "
+                  f"{s.swaps} partition swaps")
         results["stats"] = engine.stats
         return results
 

@@ -135,7 +135,8 @@ _declare(KindInfo(
     kind=SERVE,
     description="out-of-core query serving over a trained snapshot",
     sections=("data", "storage", "serve"),
-    defaults={"storage.buffer": 4, "data.feat_dim": 32, "data.seed": 0}))
+    defaults={"storage.buffer": 4, "data.feat_dim": 32, "data.seed": 0,
+              "serve.ann": True}))
 _declare(KindInfo(
     kind=STREAM,
     description="live-graph streaming driver (ingest, compact, query)",

@@ -124,6 +124,12 @@ class ServeSpec:
     score: Tuple[str, ...] = _f((), "edges to score: 'S:D' or 'S:R:D'")
     topk: Optional[Tuple[int, int]] = _f(None, "[source, k] best-K targets")
     rel: int = _f(0, "relation for topk")
+    ann: Optional[bool] = _f(None, "serve top-k through the per-partition "
+                                   "ANN index (kind default: on; the exact "
+                                   "sweep stays available per query)")
+    ann_cluster_size: int = _f(64, "target rows per ANN cluster")
+    exact: bool = _f(False, "force the exact blockwise sweep for topk "
+                            "(the ANN path's correctness oracle)")
     classify: Optional[str] = _f(None, "comma-separated node ids to classify")
     bench: int = _f(0, "N-query lookup throughput probe (0 = off)")
     mix: str = _f("zipf", "bench query mix: zipf | random")

@@ -153,7 +153,10 @@ def _serve_spec(args: argparse.Namespace) -> JobSpec:
                             buffer=args.buffer),
         serve=ServeSpec(snapshot=args.snapshot, embed=args.embed,
                         score=tuple(args.score) if args.score else (),
-                        topk=topk, rel=args.rel, classify=args.classify,
+                        topk=topk, rel=args.rel,
+                        ann=False if args.no_ann else None,
+                        ann_cluster_size=args.ann_cluster_size,
+                        exact=args.exact, classify=args.classify,
                         bench=args.bench, mix=args.mix,
                         max_batch=args.max_batch, seed=args.seed))
 
@@ -378,6 +381,14 @@ def build_parser() -> Tuple[argparse.ArgumentParser,
     p.add_argument("--topk", nargs=2, default=None, metavar=("SRC", "K"),
                    help="best-K destinations for a source node")
     p.add_argument("--rel", type=int, default=0, help="relation for --topk")
+    p.add_argument("--no-ann", action="store_true",
+                   help="disable the per-partition ANN index for --topk "
+                        "(every query runs the exact blockwise sweep)")
+    p.add_argument("--ann-cluster-size", type=int, default=64,
+                   help="target rows per ANN cluster")
+    p.add_argument("--exact", action="store_true",
+                   help="force the exact sweep for this --topk query "
+                        "(the ANN path's correctness oracle)")
     p.add_argument("--classify", default=None, metavar="IDS",
                    help="comma-separated node ids to classify (NC snapshots)")
     p.add_argument("--bench", type=int, default=0, metavar="N",

@@ -50,6 +50,16 @@ class DistMult(Module):
         rel_emb = F.embedding(self.relations, rel)
         return (src * rel_emb).matmul(candidates.T)
 
+    def target_query_rows(self, src: np.ndarray, rel: np.ndarray) -> np.ndarray:
+        """The query vector ``q`` with ``score(s, r, d) = q . h_d``.
+
+        Every decoder whose ``score_against`` is linear in the candidate
+        row exposes this; the ANN index uses it to bound the best possible
+        score of a cluster (``q . centroid + |q| * radius``) without
+        scoring any member.
+        """
+        return src * self.relations.data[np.asarray(rel, dtype=np.int64)]
+
 
 class DotProduct(Module):
     """Relation-free dot-product decoder (used for homogeneous graphs)."""
@@ -62,6 +72,10 @@ class DotProduct(Module):
 
     def score_against(self, src: Tensor, rel: np.ndarray, candidates: Tensor) -> Tensor:
         return src.matmul(candidates.T)
+
+    def target_query_rows(self, src: np.ndarray, rel: np.ndarray) -> np.ndarray:
+        """``score(s, d) = s . d`` — the query vector is the source row."""
+        return src
 
 
 class ComplExDecoder(Module):
@@ -110,6 +124,15 @@ class ComplExDecoder(Module):
         c = (sr * ri).matmul(ci.T)
         d = (si * ri).matmul(cr.T)
         return a + b + c - d
+
+    def target_query_rows(self, src: np.ndarray, rel: np.ndarray) -> np.ndarray:
+        """Fold (src, rel) into one vector: ``Re(<s, r, conj(c)>) = q . c``
+        with ``q = [sr*rr - si*ri, si*rr + sr*ri]`` against ``c = [cr, ci]``."""
+        rel_emb = self.relations.data[np.asarray(rel, dtype=np.int64)]
+        h = self.half
+        sr, si = src[:, :h], src[:, h:]
+        rr, ri = rel_emb[:, :h], rel_emb[:, h:]
+        return np.concatenate([sr * rr - si * ri, si * rr + sr * ri], axis=1)
 
 
 def _col_split(t: Tensor, half: int) -> Tuple[Tensor, Tensor]:

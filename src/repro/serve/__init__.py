@@ -8,12 +8,13 @@ snapshot without ever holding the full table in memory. See
 ``docs/serving.md``.
 """
 
+from .ann import AnnIndex
 from .batcher import Overloaded, RequestBatcher, RequestTimeout, ServeRequest
 from .engine import ServingEngine
 from .loader import serve_link_prediction, serve_node_classification
 from .stats import ServeStats, latency_summary, make_query_stream
 
-__all__ = ["ServingEngine", "RequestBatcher", "ServeRequest", "ServeStats",
-           "Overloaded", "RequestTimeout",
+__all__ = ["AnnIndex", "ServingEngine", "RequestBatcher", "ServeRequest",
+           "ServeStats", "Overloaded", "RequestTimeout",
            "latency_summary", "make_query_stream", "serve_link_prediction",
            "serve_node_classification"]

@@ -214,15 +214,18 @@ class RequestBatcher:
         """Blocking edge scoring through the micro-batching queue."""
         return self.submit(SCORE, np.asarray(pairs, dtype=np.int64)).wait()
 
-    def topk_targets(self, src: int, k: int, rel: int = 0):
+    def topk_targets(self, src: int, k: int, rel: int = 0,
+                     exact: bool = False):
         """Blocking top-k query through the micro-batching queue.
 
-        Concurrent top-k requests with the same ``k`` are coalesced into
-        one :meth:`ServingEngine.topk_targets_batch` call, so n waiting
-        queries share a single partition sweep instead of paying n sweeps.
-        Returns ``(ids, scores)`` for this source, best first.
+        Concurrent top-k requests with the same ``(k, exact)`` are
+        coalesced into one :meth:`ServingEngine.topk_targets_batch` call,
+        so n waiting queries share a single (pruned or exact) partition
+        sweep instead of paying n sweeps. Returns ``(ids, scores)`` for
+        this source, best first.
         """
-        payload = np.array([int(src), int(rel), int(k)], dtype=np.int64)
+        payload = np.array([int(src), int(rel), int(k), int(bool(exact))],
+                           dtype=np.int64)
         return self.submit(TOPK, payload).wait()
 
     def latency_percentiles(self) -> Dict[str, float]:
@@ -285,9 +288,13 @@ class RequestBatcher:
         groups: Dict[tuple, List[ServeRequest]] = {}
         for request in batch:
             if request.kind == TOPK:
-                # Top-k requests coalesce per k: one multi-source partition
-                # sweep answers the whole group, row i per request i.
-                key = (TOPK, int(request.payload[2]))
+                # Top-k requests coalesce per (k, exact): one multi-source
+                # partition sweep answers the whole group, row i per
+                # request i. (A 3-entry payload predates the exact flag
+                # and means the default ANN path.)
+                exact = (len(request.payload) > 3
+                         and bool(request.payload[3]))
+                key = (TOPK, (int(request.payload[2]), exact))
             else:
                 width = (request.payload.shape[1]
                          if request.payload.ndim == 2 else 0)
@@ -305,8 +312,9 @@ class RequestBatcher:
                 elif kind == TOPK:
                     srcs = np.array([p[0] for p in payloads], dtype=np.int64)
                     rels = np.array([p[1] for p in payloads], dtype=np.int64)
+                    group_k, group_exact = extra
                     ids, scores = self.engine.topk_targets_batch(
-                        srcs, extra, rel=rels)
+                        srcs, group_k, rel=rels, exact=group_exact)
                     for row, request in enumerate(requests):
                         request.finish(result=(ids[row], scores[row]))
                     result = None

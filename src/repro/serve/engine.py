@@ -43,6 +43,7 @@ from ..nn.tensor import Tensor, no_grad
 from ..policies.query_lru import QueryLRU
 from ..storage.buffer import PartitionBuffer
 from ..storage.node_store import NodeStore
+from .ann import AnnIndex
 from .stats import ServeStats
 
 
@@ -69,13 +70,23 @@ class ServingEngine:
         sampler's partition-aware index follows buffer swaps incrementally.
     fanouts / directions:
         Sampling shape for encode-on-read (ignored without ``edge_source``).
+    ann:
+        Serve top-k through the per-partition :class:`AnnIndex` (built
+        lazily on the first top-k query, kept current by the live-stream
+        listeners). ``exact=True`` on a query is the per-call escape
+        hatch; decoders without a linear ``target_query_rows`` form fall
+        back to the exact sweep automatically.
+    ann_cluster_size:
+        Target rows per IVF cluster (recall is bound-sound at any value;
+        this only trades pruning granularity against bound-pass cost).
     """
 
     def __init__(self, model: Module, store: NodeStore, buffer_capacity: int,
                  policy: Optional[QueryLRU] = None,
                  edge_source: Optional[Callable] = None,
                  fanouts: Sequence[int] = (), directions: str = "both",
-                 seed: int = 0) -> None:
+                 seed: int = 0, ann: bool = True,
+                 ann_cluster_size: int = 64) -> None:
         self.model = model
         self.model.eval()
         self.store = store
@@ -94,6 +105,9 @@ class ServingEngine:
         self.stats = ServeStats()
         self.buffer.add_swap_listener(self._on_swap)
         self.decoder = getattr(model, "decoder", None)
+        self.ann_enabled = bool(ann)
+        self.ann_cluster_size = int(ann_cluster_size)
+        self.ann_index: Optional[AnnIndex] = None   # built on first ANN top-k
         self.sampler: Optional[DenseSampler] = None
         if edge_source is not None and len(fanouts) > 0:
             self.sampler = DenseSampler.from_partitions(
@@ -113,7 +127,8 @@ class ServingEngine:
     def over_live(cls, live, model: Module, buffer_capacity: int,
                   policy: Optional[QueryLRU] = None,
                   fanouts: Sequence[int] = (), directions: str = "both",
-                  seed: int = 0) -> "ServingEngine":
+                  seed: int = 0, ann: bool = True,
+                  ann_cluster_size: int = 64) -> "ServingEngine":
         """A serving engine over a :class:`~repro.stream.live.LiveGraph`.
 
         The engine queries the live view, not a frozen snapshot: its
@@ -126,7 +141,8 @@ class ServingEngine:
         """
         engine = cls(model, live.node_store, buffer_capacity, policy=policy,
                      edge_source=live.bucket_endpoints, fanouts=fanouts,
-                     directions=directions, seed=seed)
+                     directions=directions, seed=seed, ann=ann,
+                     ann_cluster_size=ann_cluster_size)
         # Queries take the live graph's *shared* lock (so they run
         # concurrently with ingest and with each other's lock-free
         # sections, but drain for structural mutations — growth,
@@ -198,14 +214,20 @@ class ServingEngine:
             # Only the last partition's rows changed (the growth rule).
             self.buffer.refresh_from_store(
                 parts=[new_scheme.num_partitions - 1])
+            if self.ann_index is not None:
+                self.ann_index.invalidate([new_scheme.num_partitions - 1])
 
     def _on_live_compact(self) -> None:
         with self._live_lock:
             self.buffer.refresh_from_store()
+            if self.ann_index is not None:
+                self.ann_index.invalidate()
 
     def _on_live_table(self, parts: List[int]) -> None:
         with self._live_lock:
             self.buffer.refresh_from_store(parts=parts)
+            if self.ann_index is not None:
+                self.ann_index.invalidate(parts)
 
     def _on_swap(self, added: List[int], removed: List[int]) -> None:
         self.stats.swaps += len(added)
@@ -310,32 +332,48 @@ class ServingEngine:
         return scores
 
     def topk_targets(self, src: int, k: int, rel: int = 0,
-                     exclude: Sequence[int] = ()) -> Tuple[np.ndarray, np.ndarray]:
+                     exclude: Sequence[int] = (),
+                     exact: bool = False) -> Tuple[np.ndarray, np.ndarray]:
         """Best-``k`` destination nodes for ``(src, rel, ?)``, best first.
 
         The single-source form of :meth:`topk_targets_batch` (exactly its
-        ``n = 1`` case — one implementation, no drift): the sweep streams
-        every candidate partition through the buffer with a running
-        best-k, memory O(partition + k), never touching the replacement
-        policy (scan resistance), decoder-only snapshots only.
+        ``n = 1`` case — one implementation, no drift); see there for the
+        ANN/exact split and the return-shape contract.
         """
         ids, scores = self.topk_targets_batch([int(src)], k, rel=rel,
-                                              exclude=exclude)
+                                              exclude=exclude, exact=exact)
         return ids[0], scores[0]
 
     def topk_targets_batch(self, srcs: Sequence[int], k: int,
-                           rel=0, exclude: Sequence[int] = ()
+                           rel=0, exclude: Sequence[int] = (),
+                           exact: bool = False
                            ) -> Tuple[np.ndarray, np.ndarray]:
         """Best-``k`` destinations for *many* sources in one partition sweep.
 
-        The multi-source form of :meth:`topk_targets`: every candidate
-        partition is paged in **once** and scored against all sources with
-        a single dense ``score_against`` — n queries cost one sweep's IO
-        instead of n. ``rel`` is a scalar or a per-source array; ``exclude``
-        is a shared candidate blacklist applied to every source. Returns
-        ``(ids, scores)`` of shape ``(len(srcs), k)``, each row best-first.
-        Same scan-resistance and decoder-only restrictions as the
-        single-source query.
+        By default the sweep is **pruned** by the per-partition
+        :class:`AnnIndex`: a first pass bounds every cluster's best
+        possible score (``q . centroid + |q| * radius``, sound by
+        Cauchy-Schwarz) and partitions whose every cluster falls below
+        every source's running k-th best are skipped without being paged
+        in. ``exact=True`` — or a decoder without the linear
+        ``target_query_rows`` form, or ``ann=False`` at construction —
+        runs the exact blockwise scan over every candidate partition.
+        Both paths never touch the replacement policy (scan resistance)
+        and serve decoder-only snapshots.
+
+        ``rel`` is a scalar or a per-source array; ``exclude`` is a shared
+        candidate blacklist applied to every source (excluded ids are
+        removed, never returned).
+
+        Return-shape contract: ``(ids, scores)`` of shape
+        ``(len(srcs), k_eff)``, each row best-first with ties broken by
+        ascending node id, where ``k_eff = min(k, num_candidates)`` and
+        ``num_candidates`` counts the table's nodes *net of the excluded
+        ids* — a large ``exclude`` list narrows the result instead of
+        silently returning fewer than the clamped ``k``. Over a live view
+        the candidate count is read from the dynamic scheme inside the
+        query guard, so concurrent growth cannot leave the clamp and the
+        sweep disagreeing.
         """
         decoder = self._require_decoder()
         if getattr(self.model, "encoder", None) is not None:
@@ -343,51 +381,163 @@ class ServingEngine:
                 "topk_targets_batch serves decoder-only snapshots; an "
                 "encoder model would need every candidate encoded-on-read "
                 "(use score_edges over an explicit candidate set instead)")
-        srcs = self._check_ids(np.asarray(srcs, dtype=np.int64))
+        srcs = np.asarray(srcs, dtype=np.int64).ravel()
         n = len(srcs)
-        rel_arr = np.broadcast_to(np.asarray(rel, dtype=np.int64), (n,))
-        k = int(min(k, self.store.num_nodes))
+        k = int(k)
         if n == 0 or k <= 0:
             return (np.empty((n, 0), dtype=np.int64),
                     np.empty((n, 0), dtype=np.float32))
-        excluded = np.asarray(sorted(set(int(x) for x in exclude)), dtype=np.int64)
+        rel_arr = np.broadcast_to(np.asarray(rel, dtype=np.int64), (n,))
+        excluded = np.asarray(sorted(set(int(x) for x in exclude)),
+                              dtype=np.int64)
+        use_ann = (not exact and self.ann_enabled
+                   and hasattr(decoder, "target_query_rows"))
 
         def sweep() -> Tuple[np.ndarray, np.ndarray]:
-            best_ids = np.empty((n, 0), dtype=np.int64)
-            best_scores = np.empty((n, 0), dtype=np.float32)
-            all_parts = np.arange(self.scheme.num_partitions)
+            self._check_ids(srcs)
+            total = int(self.scheme.num_nodes)
+            valid = excluded[(excluded >= 0) & (excluded < total)]
+            k_eff = min(k, total - len(valid))
+            if k_eff <= 0:
+                return (np.empty((n, 0), dtype=np.int64),
+                        np.empty((n, 0), dtype=np.float32))
             src_t = Tensor(self._gather_rows(srcs))
-            for part in self._partition_order(all_parts):
-                self.buffer.ensure_resident([part])
-                lo = int(self.scheme.boundaries[part])
-                hi = int(self.scheme.boundaries[part + 1])
-                block = Tensor(self.buffer.partition_view(part))
-                scores = decoder.score_against(src_t, rel_arr, block).data
-                ids = np.arange(lo, hi, dtype=np.int64)
-                if len(excluded):
-                    drop = excluded[(excluded >= lo) & (excluded < hi)] - lo
-                    if len(drop):        # remove, don't mask: an excluded id
-                        keep = np.ones(hi - lo, dtype=bool)   # must never be
-                        keep[drop] = False                    # returned
-                        scores, ids = scores[:, keep], ids[keep]
-                merged_scores = np.concatenate(
-                    [best_scores, scores.astype(np.float32)], axis=1)
-                merged_ids = np.concatenate(
-                    [best_ids, np.broadcast_to(ids, (n, len(ids)))], axis=1)
-                if merged_scores.shape[1] > k:
-                    keep = np.argpartition(merged_scores, -k, axis=1)[:, -k:]
-                    merged_scores = np.take_along_axis(merged_scores, keep, axis=1)
-                    merged_ids = np.take_along_axis(merged_ids, keep, axis=1)
-                best_scores, best_ids = merged_scores, merged_ids
-            return best_ids, best_scores
+            if use_ann:
+                return self._sweep_ann(decoder, src_t, rel_arr, valid, k_eff)
+            return self._sweep_exact(decoder, src_t, rel_arr, valid, k_eff)
 
         with self._query_guard(), no_grad():
             best_ids, best_scores = self._table_read(sweep)
-        order = np.argsort(-best_scores, axis=1, kind="stable")
         self.stats.requests += 1
         self.stats.topk_queries += n
-        return (np.take_along_axis(best_ids, order, axis=1),
-                np.take_along_axis(best_scores, order, axis=1))
+        return best_ids, best_scores
+
+    @staticmethod
+    def _merge_topk(best_ids: np.ndarray, best_scores: np.ndarray,
+                    ids: np.ndarray, scores: np.ndarray,
+                    k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold new candidates into the running best-k, rows kept sorted
+        by (score descending, node id ascending).
+
+        The id tie-break is the determinism fix: truncating with a bare
+        ``argpartition`` over scores let *which* of several tied-score
+        candidates survived depend on partition visit order — and the
+        visit order depends on buffer residency, so the same query could
+        return different ids under different cache states. Here the sort
+        key is the single complex scalar ``-score + id*i``: numpy orders
+        complex lexicographically (real, then imaginary), giving the
+        total (score desc, id asc) order, and keys are *unique* (one id
+        appears once per row) — so even the unstable k-selection below
+        picks a deterministic set, and only the k survivors pay a sort.
+        The kept set is a pure function of the candidate set, at O(w)
+        selection cost instead of an O(w log w) full-width sort.
+        """
+        merged_scores = np.concatenate(
+            [best_scores, scores.astype(np.float32)], axis=1)
+        merged_ids = np.concatenate([best_ids, ids], axis=1)
+        key = -merged_scores.astype(np.float64) + 1j * merged_ids
+        if key.shape[1] > k:
+            sel = np.argpartition(key, k - 1, axis=1)[:, :k]
+            merged_ids = np.take_along_axis(merged_ids, sel, axis=1)
+            merged_scores = np.take_along_axis(merged_scores, sel, axis=1)
+            key = np.take_along_axis(key, sel, axis=1)
+        order = np.argsort(key, axis=1)
+        return (np.take_along_axis(merged_ids, order, axis=1),
+                np.take_along_axis(merged_scores, order, axis=1))
+
+    def _sweep_exact(self, decoder, src_t: Tensor, rel_arr: np.ndarray,
+                     excluded: np.ndarray,
+                     k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The oracle: page every candidate partition, score every row."""
+        n = src_t.data.shape[0]
+        best_ids = np.empty((n, 0), dtype=np.int64)
+        best_scores = np.empty((n, 0), dtype=np.float32)
+        all_parts = np.arange(self.scheme.num_partitions)
+        for part in self._partition_order(all_parts):
+            self.buffer.ensure_resident([part])
+            lo = int(self.scheme.boundaries[part])
+            hi = int(self.scheme.boundaries[part + 1])
+            block = Tensor(self.buffer.partition_view(part))
+            scores = decoder.score_against(src_t, rel_arr, block).data
+            ids = np.arange(lo, hi, dtype=np.int64)
+            if len(excluded):
+                drop = excluded[(excluded >= lo) & (excluded < hi)] - lo
+                if len(drop):        # remove, don't mask: an excluded id
+                    keep = np.ones(hi - lo, dtype=bool)   # must never be
+                    keep[drop] = False                    # returned
+                    scores, ids = scores[:, keep], ids[keep]
+            best_ids, best_scores = self._merge_topk(
+                best_ids, best_scores, np.broadcast_to(ids, (n, len(ids))),
+                scores, k)
+            self.stats.topk_parts_scanned += 1
+        return best_ids, best_scores
+
+    def _require_ann(self) -> AnnIndex:
+        """The lazily-built cluster index, rebuilt where stale.
+
+        Built on the first ANN top-k (engines that never answer top-k
+        never pay for clustering) and invalidated by the live-stream
+        listeners; rebuilds read partitions straight from the store, so
+        index maintenance cannot evict query-hot buffer partitions.
+        """
+        if self.ann_index is None:
+            self.ann_index = AnnIndex(self.store,
+                                      cluster_size=self.ann_cluster_size)
+        self.ann_index.ensure_current()
+        return self.ann_index
+
+    def _sweep_ann(self, decoder, src_t: Tensor, rel_arr: np.ndarray,
+                   excluded: np.ndarray,
+                   k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The pruned sweep: bound first, page and score only survivors.
+
+        Partitions are visited in descending order of their best cluster
+        bound (so the running thresholds tighten as early as possible);
+        within a surviving partition only the clusters some source still
+        needs are gathered and scored — the exact blockwise math over a
+        subset of rows. Visit order is a pure function of the table and
+        the query (never of buffer residency), and pruning is sound, so
+        the result matches the exact sweep up to float32 rounding of the
+        candidate scores.
+        """
+        n = src_t.data.shape[0]
+        index = self._require_ann()
+        queries = decoder.target_query_rows(src_t.data, rel_arr)
+        bounds = index.cluster_bounds(queries)
+        best_ids = np.empty((n, 0), dtype=np.int64)
+        best_scores = np.empty((n, 0), dtype=np.float32)
+        thresholds = np.full(n, -np.inf)
+        order = np.argsort([-float(b.max()) if b.size else np.inf
+                            for b in bounds], kind="stable")
+        for part in order:
+            part = int(part)
+            ub = bounds[part]                        # (n, clusters)
+            if ub.size == 0 or (ub.max(axis=1) < thresholds).all():
+                self.stats.topk_parts_pruned += 1
+                continue
+            surviving = (ub >= thresholds[:, None]).any(axis=0)
+            pc = index.partition(part)
+            row_mask = np.repeat(surviving, np.diff(pc.indptr))
+            rows = pc.rows[row_mask]
+            lo = int(self.scheme.boundaries[part])
+            ids = lo + rows
+            if len(excluded):
+                keep = ~np.isin(ids, excluded)
+                rows, ids = rows[keep], ids[keep]
+            if len(rows) == 0:
+                self.stats.topk_parts_pruned += 1
+                continue
+            self.buffer.ensure_resident([part])
+            block = Tensor(self.buffer.partition_view(part)[rows])
+            scores = decoder.score_against(src_t, rel_arr, block).data
+            best_ids, best_scores = self._merge_topk(
+                best_ids, best_scores, np.broadcast_to(ids, (n, len(ids))),
+                scores, k)
+            if best_scores.shape[1] == k:
+                thresholds = best_scores[:, -1].astype(np.float64)
+            self.stats.topk_parts_scanned += 1
+            self.stats.ann_rows_scored += len(rows)
+        return best_ids, best_scores
 
     # ------------------------------------------------------------------
     # Query family 3: GNN encode-on-read

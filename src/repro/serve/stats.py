@@ -23,6 +23,9 @@ class ServeStats:
     topk_queries: int = 0
     nodes_encoded: int = 0
     swaps: int = 0             # partitions admitted (disk reads)
+    topk_parts_scanned: int = 0   # partitions paged + scored by top-k sweeps
+    topk_parts_pruned: int = 0    # partitions skipped by the ANN bound
+    ann_rows_scored: int = 0      # candidate rows scored on the ANN path
 
     def swaps_per_1k(self, queries: int) -> float:
         """Partition reads per thousand queries of the given stream."""
@@ -34,7 +37,10 @@ class ServeStats:
         return {"requests": self.requests, "lookups": self.lookups,
                 "edges_scored": self.edges_scored,
                 "topk_queries": self.topk_queries,
-                "nodes_encoded": self.nodes_encoded, "swaps": self.swaps}
+                "nodes_encoded": self.nodes_encoded, "swaps": self.swaps,
+                "topk_parts_scanned": self.topk_parts_scanned,
+                "topk_parts_pruned": self.topk_parts_pruned,
+                "ann_rows_scored": self.ann_rows_scored}
 
 
 def make_query_stream(mix: str, num_queries: int, num_nodes: int,

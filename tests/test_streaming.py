@@ -459,6 +459,36 @@ class TestLiveServing:
                                                 live.node_store.dim)
             assert np.allclose(rows[k], expected.astype(np.float32))
 
+    def test_grown_nodes_rankable_by_topk(self, tmp_path):
+        """Regression: the top-k clamp used to read the node count outside
+        the query guard, so a query racing growth could clamp from the old
+        total while the sweep iterated the grown scheme. The clamp now
+        reads the dynamic scheme inside the guard: immediately after
+        growth, k = new total must be honored and the grown nodes must be
+        rankable — on the exact sweep and the (invalidated-then-rebuilt)
+        ANN sweep alike."""
+        live = make_live(tmp_path, seed=15)
+        cfg = LinkPredictionConfig(embedding_dim=8, encoder="none", seed=5)
+        model = LinkPredictionModel(cfg, 1, rng=np.random.default_rng(5))
+        engine = ServingEngine.over_live(live, model, buffer_capacity=3)
+        engine.topk_targets(0, 5)                # pre-growth index build
+        before = live.num_nodes
+        grown = live.add_nodes(7)
+        total = live.num_nodes
+        assert total == before + 7
+        for exact in (True, False):
+            ids, scores = engine.topk_targets(2, total, exact=exact)
+            assert ids.shape == scores.shape == (total,)
+            assert np.isin(grown, ids).all()
+            # Best-first with deterministic id tie-break: re-sorting by
+            # (score desc, id asc) must be the identity.
+            order = np.lexsort((ids, -scores))
+            assert np.array_equal(order, np.arange(total))
+        ids_x, sc_x = engine.topk_targets(2, 10, exact=True)
+        ids_a, sc_a = engine.topk_targets(2, 10)
+        assert np.array_equal(ids_x, ids_a)
+        assert np.allclose(sc_x, sc_a, atol=1e-5)
+
 
 # ---------------------------------------------------------------------------
 # Batched multi-source top-k (satellite)
