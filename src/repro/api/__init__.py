@@ -21,23 +21,45 @@ shims that build a spec from flags and delegate here. See
 
 from __future__ import annotations
 
-from typing import Any
+from pathlib import Path
+from typing import Any, Optional
 
 from . import registry
 from .registry import (JOB_KINDS, JobError, KindInfo, get_factory,
                        job_kinds, kind_info)
-from .specs import (CheckpointSpec, DataSpec, JobSpec, ModelSpec, ServeSpec,
-                    StorageSpec, StreamSpec, TrainSpec, default_checkpoint_dir,
-                    load_spec, save_spec, schema_lines)
+from .specs import (CheckpointSpec, DataSpec, JobSpec, ModelSpec, ObsSpec,
+                    ServeSpec, StorageSpec, StreamSpec, TrainSpec,
+                    default_checkpoint_dir, load_spec, save_spec,
+                    schema_lines)
 
 __all__ = [
     "JobSpec", "DataSpec", "ModelSpec", "TrainSpec", "StorageSpec",
-    "CheckpointSpec", "ServeSpec", "StreamSpec",
+    "CheckpointSpec", "ServeSpec", "StreamSpec", "ObsSpec",
     "load_spec", "save_spec", "schema_lines",
     "JOB_KINDS", "JobError", "KindInfo", "job_kinds", "kind_info",
     "get_factory", "default_checkpoint_dir",
     "build_job", "run", "registry",
 ]
+
+
+def _telemetry_recorder(spec: JobSpec):
+    """A :class:`~repro.obs.sinks.Recorder` for a resolved spec, or
+    ``None`` when telemetry is off. The default log path lands next to
+    the job's data (``<storage.workdir>/telemetry.<ext>``) when the kind
+    has a workdir, else in the current directory."""
+    tele = spec.telemetry
+    if tele.sink == "none":
+        return None
+    from ..obs.sinks import Recorder, make_sink
+    ext = "jsonl" if tele.sink == "jsonl" else "csv"
+    if tele.path:
+        path = Path(tele.path)
+    elif "storage" in spec.sections and spec.storage.workdir:
+        path = Path(spec.storage.workdir) / f"telemetry.{ext}"
+    else:
+        path = Path(f"telemetry.{ext}")
+    return Recorder(make_sink(tele.sink, path),
+                    flush_every=tele.flush_every)
 
 
 def build_job(spec: JobSpec, verbose: bool = False, on_event=None):
@@ -47,12 +69,22 @@ def build_job(spec: JobSpec, verbose: bool = False, on_event=None):
     trainer/engine is reachable (``job.trainer`` / ``job.engine``) for
     callers that need more than :func:`run`'s result object. ``on_event``
     is an optional ``fn(event, payload)`` progress/checkpoint listener
-    (see :mod:`repro.train.hooks`).
+    (see :mod:`repro.train.hooks`). With ``spec.telemetry.sink`` set, a
+    :class:`~repro.obs.sinks.Recorder` rides the same listener hook and
+    is reachable as ``job.recorder`` (closed by :func:`run`; direct
+    ``build_job`` callers close it themselves).
     """
     spec = spec.resolve()
+    recorder = _telemetry_recorder(spec)
     listeners = [on_event] if on_event is not None else []
+    if recorder is not None:
+        listeners.append(recorder.listener)
     job = get_factory(spec.kind)(spec)
     job.build(verbose=verbose, listeners=listeners)
+    if recorder is not None:
+        job.recorder = recorder
+        for name, fn in job.telemetry_sources().items():
+            recorder.add_source(name, fn)
     return job
 
 
@@ -66,7 +98,11 @@ def run(spec: JobSpec, verbose: bool = False, on_event=None) -> Any:
     jobs). ``verbose=True`` reproduces the legacy CLI output.
     """
     job = build_job(spec, verbose=verbose, on_event=on_event)
-    if ("checkpoint" in job.spec.sections
-            and job.spec.checkpoint.resume_from):
-        job.resume(verbose=verbose)
-    return job.run(verbose=verbose)
+    try:
+        if ("checkpoint" in job.spec.sections
+                and job.spec.checkpoint.resume_from):
+            job.resume(verbose=verbose)
+        return job.run(verbose=verbose)
+    finally:
+        if job.recorder is not None:
+            job.recorder.close()

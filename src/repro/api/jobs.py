@@ -114,10 +114,16 @@ class Job:
 
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
+        self.recorder = None     # attached by build_job when telemetry is on
 
     @property
     def kind(self) -> str:
         return self.spec.kind
+
+    def telemetry_sources(self) -> Dict[str, Any]:
+        """``name -> zero-arg callable`` pull sources the telemetry
+        recorder polls on every metrics flush (flat numeric dicts)."""
+        return {}
 
     def build(self, verbose: bool = False,
               listeners: Iterable[ProgressListener] = ()) -> "Job":
@@ -153,6 +159,12 @@ class _TrainJob(Job):
     """Shared build/run/resume shape of the six trainer-backed kinds."""
 
     trainer = None
+
+    def telemetry_sources(self) -> Dict[str, Any]:
+        io = getattr(self.trainer, "io", None)
+        if io is None:
+            io = getattr(getattr(self.trainer, "buffer", None), "stats", None)
+        return {"storage": io.as_dict} if io is not None else {}
 
     def _resume_path(self, path: Optional[Path]) -> Optional[Path]:
         if path is not None:
@@ -332,6 +344,10 @@ class ServeJob(Job):
                   f"{engine.scheme.num_partitions} partitions, "
                   f"buffer {engine.buffer.capacity}")
         return self
+
+    def telemetry_sources(self) -> Dict[str, Any]:
+        return {"serve": self.engine.stats.as_dict,
+                "storage": self.engine.buffer.stats.as_dict}
 
     # ------------------------------------------------------------------
     def run(self, verbose: bool = False) -> Dict[str, Any]:
@@ -567,6 +583,12 @@ class StreamJob(Job):
                   f"p={storage.partitions}, buffer {storage.buffer}, "
                   f"workdir {workdir}")
         return self
+
+    def telemetry_sources(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"stream": self.live.stats}
+        if self.background is not None:
+            out["compactor"] = self.background.health
+        return out
 
     # ------------------------------------------------------------------
     def resume(self, path: Optional[Path] = None,

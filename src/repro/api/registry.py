@@ -102,45 +102,47 @@ def _declare(info: KindInfo) -> None:
 _declare(KindInfo(
     kind=LP_MEM,
     description="in-memory link prediction trainer (M-GNN_Mem)",
-    sections=("data", "model", "train", "checkpoint"),
+    sections=("data", "model", "train", "checkpoint", "telemetry"),
     defaults=dict(_LP_TRAIN_DEFAULTS)))
 _declare(KindInfo(
     kind=LP_DISK,
     description="out-of-core link prediction (partition buffer + COMET/BETA)",
-    sections=("data", "model", "train", "storage", "checkpoint"),
+    sections=("data", "model", "train", "storage", "checkpoint", "telemetry"),
     defaults={**_LP_TRAIN_DEFAULTS,
               "storage.partitions": 16, "storage.buffer": 4}))
 _declare(KindInfo(
     kind=LP_PIPELINED,
     description="threaded mini-batch pipeline link prediction (Figure 2)",
-    sections=("data", "model", "train", "checkpoint"),
+    sections=("data", "model", "train", "checkpoint", "telemetry"),
     defaults=dict(_LP_TRAIN_DEFAULTS)))
 _declare(KindInfo(
     kind=NC_MEM,
     description="in-memory node classification trainer",
-    sections=("data", "model", "train", "checkpoint"),
+    sections=("data", "model", "train", "checkpoint", "telemetry"),
     defaults=dict(_NC_TRAIN_DEFAULTS)))
 _declare(KindInfo(
     kind=NC_DISK,
     description="out-of-core node classification (training-node caching)",
-    sections=("data", "model", "train", "storage", "checkpoint"),
+    sections=("data", "model", "train", "storage", "checkpoint", "telemetry"),
     defaults={**_NC_TRAIN_DEFAULTS,
               "storage.partitions": 16, "storage.buffer": 8}))
 _declare(KindInfo(
     kind=LP_STREAM,
     description="continual training over a live stream (refresh on compact)",
-    sections=("data", "model", "train", "storage", "stream", "checkpoint"),
+    sections=("data", "model", "train", "storage", "stream", "checkpoint",
+              "telemetry"),
     defaults={**_STREAM_DEFAULTS, "stream.refresh": True}))
 _declare(KindInfo(
     kind=SERVE,
     description="out-of-core query serving over a trained snapshot",
-    sections=("data", "storage", "serve"),
+    sections=("data", "storage", "serve", "telemetry"),
     defaults={"storage.buffer": 4, "data.feat_dim": 32, "data.seed": 0,
               "serve.ann": True}))
 _declare(KindInfo(
     kind=STREAM,
     description="live-graph streaming driver (ingest, compact, query)",
-    sections=("data", "model", "train", "storage", "stream", "checkpoint"),
+    sections=("data", "model", "train", "storage", "stream", "checkpoint",
+              "telemetry"),
     defaults=dict(_STREAM_DEFAULTS)))
 
 #: Every runnable job kind, in display order.

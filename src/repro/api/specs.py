@@ -164,9 +164,21 @@ class StreamSpec:
                               "(1 = a single lock)")
 
 
+@dataclass
+class ObsSpec:
+    """Telemetry sink configuration (every kind reads it; off by default)."""
+
+    sink: str = _f("none", "run-log sink: none | jsonl | csv")
+    path: Optional[str] = _f(None, "run-log path (default: "
+                                   "<workdir>/telemetry.<ext> when the kind "
+                                   "has storage.workdir, else ./telemetry.<ext>)")
+    flush_every: int = _f(25, "emit a metrics record every N events")
+
+
 _SECTION_TYPES = {"data": DataSpec, "model": ModelSpec, "train": TrainSpec,
                   "storage": StorageSpec, "checkpoint": CheckpointSpec,
-                  "serve": ServeSpec, "stream": StreamSpec}
+                  "serve": ServeSpec, "stream": StreamSpec,
+                  "telemetry": ObsSpec}
 
 # Fields parsed back from JSON lists into tuples.
 _TUPLE_FIELDS = {("model", "fanouts"), ("serve", "score"), ("serve", "topk")}
@@ -184,6 +196,7 @@ class JobSpec:
     checkpoint: CheckpointSpec = field(default_factory=CheckpointSpec)
     serve: ServeSpec = field(default_factory=ServeSpec)
     stream: StreamSpec = field(default_factory=StreamSpec)
+    telemetry: ObsSpec = field(default_factory=ObsSpec)
 
     # ------------------------------------------------------------------
     @property
@@ -237,6 +250,12 @@ class JobSpec:
                 raise JobError("storage.buffer must be positive")
             if storage.partitions is not None and storage.partitions <= 0:
                 raise JobError("storage.partitions must be positive")
+        from ..obs.sinks import SINK_KINDS
+        if self.telemetry.sink not in SINK_KINDS:
+            raise JobError(f"telemetry.sink must be one of "
+                           f"{list(SINK_KINDS)}, not {self.telemetry.sink!r}")
+        if self.telemetry.flush_every <= 0:
+            raise JobError("telemetry.flush_every must be positive")
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -222,7 +222,102 @@ def cmd_run(args: argparse.Namespace) -> int:
         spec = api.load_spec(args.spec)
     except api.JobError as exc:
         raise SystemExit(str(exc)) from exc
+    if args.telemetry is not None:
+        # --telemetry forces a JSONL run log on top of whatever the spec
+        # says; a non-empty value overrides the log path too.
+        if spec.telemetry.sink == "none":
+            spec.telemetry.sink = "jsonl"
+        if args.telemetry:
+            spec.telemetry.path = args.telemetry
     return _execute(spec, args)
+
+
+def _span_rows(records: List[dict]) -> List[Tuple[str, dict]]:
+    """(name, summary) histogram rows of the last metrics record."""
+    last = None
+    for record in records:
+        if record.get("type") == "metrics":
+            last = record
+    if last is None:
+        return []
+    rows = []
+    for name, value in sorted(last.get("metrics", {}).items()):
+        if isinstance(value, dict) and "count" in value and value["count"]:
+            rows.append((name, value))
+    return rows
+
+
+def _scalar_metrics(records: List[dict]) -> Dict[str, float]:
+    """Numeric (counter / gauge / source) entries of the last metrics
+    record."""
+    last = None
+    for record in records:
+        if record.get("type") == "metrics":
+            last = record
+    if last is None:
+        return {}
+    return {name: value for name, value in last.get("metrics", {}).items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)}
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render a telemetry run log: event counts, duration tails, counters."""
+    from .obs import read_jsonl
+    target = Path(args.run_dir)
+    if target.is_dir():
+        logs = sorted(target.rglob("telemetry.jsonl"))
+        if not logs:
+            raise SystemExit(f"no telemetry.jsonl under {target} "
+                             f"(run with --telemetry or telemetry.sink=jsonl)")
+    elif target.is_file():
+        logs = [target]
+    else:
+        raise SystemExit(f"no such file or directory: {target}")
+    for path in logs:
+        try:
+            records = read_jsonl(path)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        events: Dict[str, int] = {}
+        t_lo = t_hi = None
+        for record in records:
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)):
+                t_lo = ts if t_lo is None else min(t_lo, ts)
+                t_hi = ts if t_hi is None else max(t_hi, ts)
+            if record.get("type") == "event":
+                name = record.get("event", "?")
+                events[name] = events.get(name, 0) + 1
+        seconds = (t_hi - t_lo) if (t_lo is not None and t_hi is not None) \
+            else 0.0
+        print(f"{path} — {len(records)} records over {seconds:.1f}s")
+        if events:
+            line = ", ".join(f"{name} x{count}"
+                             for name, count in sorted(events.items()))
+            print(f"  events: {line}")
+        rows = _span_rows(records)
+        if rows:
+            print(f"  {'metric':<36} {'count':>7} {'total':>12} "
+                  f"{'p50':>10} {'p99':>10} {'max':>10}")
+            for name, h in rows:
+                print(f"  {name:<36} {h['count']:>7} {h['sum']:>12.1f} "
+                      f"{h['p50']:>10.3f} {h['p99']:>10.3f} "
+                      f"{h['max']:>10.3f}")
+        scalars = _scalar_metrics(records)
+        if scalars:
+            print(f"  {'counter':<36} {'value':>12} {'per sec':>10}")
+            for name, value in sorted(scalars.items()):
+                rate = value / seconds if seconds > 0 else 0.0
+                print(f"  {name:<36} {value:>12,.0f} {rate:>10,.1f}")
+        scanned = scalars.get("serve.topk_parts_scanned", 0)
+        pruned = scalars.get("serve.topk_parts_pruned", 0)
+        if scanned or pruned:
+            ratio = pruned / (scanned + pruned)
+            print(f"  ann prune ratio: {ratio:.1%} "
+                  f"({pruned:.0f} of {scanned + pruned:.0f} candidate "
+                  f"partitions skipped)")
+        print()
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -271,6 +366,15 @@ def build_parser() -> Tuple[argparse.ArgumentParser,
                                 "and docs/api.md)")
     p.add_argument("--dump-spec", action="store_true",
                    help="print the resolved spec and exit without running")
+    p.add_argument("--telemetry", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="write a JSONL telemetry run log (optional PATH; "
+                        "default <workdir>/telemetry.jsonl); overrides "
+                        "the spec's telemetry.sink=none")
+
+    p = subparser("top", help="render a telemetry run log")
+    p.add_argument("run_dir", help="run directory (searched recursively for "
+                                   "telemetry.jsonl) or a log file")
 
     p = subparser("train-lp", help="train link prediction")
     p.add_argument("--config", help="JSON file of option defaults "
@@ -428,7 +532,7 @@ def build_parser() -> Tuple[argparse.ArgumentParser,
 
 
 COMMANDS = {"info": cmd_info, "autotune": cmd_autotune,
-            "run": cmd_run,
+            "run": cmd_run, "top": cmd_top,
             "train-lp": cmd_train_lp, "train-nc": cmd_train_nc,
             "serve": cmd_serve, "stream": cmd_stream}
 

@@ -1,0 +1,297 @@
+"""Process-wide metrics: counters, gauges, and bounded histograms.
+
+One :class:`MetricsRegistry` holds every metric the subsystems publish,
+under hierarchical dotted names (``serve.topk.latency_ms``) with
+optional labeled children (``registry.counter("storage.swaps",
+store="nodes")``). Two constraints from the telemetry literature the
+roadmap cites shape the design:
+
+* **bounded memory** — a :class:`Histogram` is a fixed set of log-spaced
+  buckets plus streamed count/sum/min/max: O(1) space no matter how many
+  samples flow through, never an unbounded per-sample list;
+* **tail-first reporting** — summaries carry p50/p95/p99/max, not just
+  means, because the worst case is what an out-of-core system's users
+  actually feel (an unlucky partition swap, a slow fsync).
+
+Everything is thread-safe: each metric carries its own lock, and the
+registry's get-or-create is serialized, so concurrent trainers, serving
+workers, and stream ingest threads can publish without coordination.
+:meth:`MetricsRegistry.snapshot` exports the raw state as a flat dict;
+:meth:`MetricsRegistry.delta` renders activity *since* a snapshot
+(counter differences, interval histogram percentiles) — the shape the
+run-log sinks write.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, Optional, Tuple, Type
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "get_registry", "summarize_histogram", "delta_state"]
+
+# Log-spaced bucket geometry shared by every histogram: 20 buckets per
+# decade over 1e-3 .. 1e9 (covers sub-millisecond latencies through
+# multi-gigabyte sizes). The geometric bucket midpoint bounds the
+# relative quantization error of any reported quantile by
+# 10**(1/40) - 1 ~= 5.9%.
+_BUCKETS_PER_DECADE = 20
+_DECADES = 12
+_NUM_BUCKETS = _BUCKETS_PER_DECADE * _DECADES
+_LOW = 1e-3
+_LOG_LOW = math.log10(_LOW)
+
+
+def _bucket_index(value: float) -> int:
+    i = int(math.floor((math.log10(value) - _LOG_LOW) * _BUCKETS_PER_DECADE))
+    return min(max(i, 0), _NUM_BUCKETS - 1)
+
+
+def _bucket_value(index: int) -> float:
+    return 10.0 ** (_LOG_LOW + (index + 0.5) / _BUCKETS_PER_DECADE)
+
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _full_name(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class _Metric:
+    """Shared shape: a name, optional labels, and a private lock."""
+
+    kind = ""
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+
+class Counter(_Metric):
+    """A monotonically increasing integer."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += int(n)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def state(self) -> int:
+        return self._value
+
+
+class Gauge(_Metric):
+    """A point-in-time value (queue depth, resident partitions)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def state(self) -> float:
+        return self._value
+
+
+class Histogram(_Metric):
+    """A bounded distribution sketch: fixed log-spaced buckets plus
+    streamed count/sum/min/max. ``observe`` is O(1) time and the whole
+    histogram is O(1) space; quantiles interpolate at the geometric
+    midpoint of the covering bucket (clamped into the observed
+    [min, max]). Values ``<= 0`` land in a dedicated zero bucket."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._zero = 0
+        self._counts: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if value <= 0.0:
+                self._zero += 1
+            else:
+                i = _bucket_index(value)
+                self._counts[i] = self._counts.get(i, 0) + 1
+
+    def state(self) -> Dict[str, Any]:
+        """Raw exportable state (the sparse bucket counts travel along so
+        :func:`delta_state` can difference two exports)."""
+        with self._lock:
+            return {"count": self.count, "sum": self.sum,
+                    "min": self.min if self.count else 0.0,
+                    "max": self.max if self.count else 0.0,
+                    "zero": self._zero, "buckets": dict(self._counts)}
+
+    def quantile(self, q: float) -> float:
+        return _quantile(self.state(), q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The tail-first summary: count/sum/mean/min/max/p50/p95/p99."""
+        return summarize_histogram(self.state())
+
+
+def _quantile(state: Dict[str, Any], q: float) -> float:
+    count = state["count"]
+    if count == 0:
+        return 0.0
+    target = q * (count - 1) + 1.0          # rank in [1, count]
+    cum = state["zero"]
+    if cum >= target:
+        return min(0.0, state["min"])
+    for i in sorted(state["buckets"]):
+        cum += state["buckets"][i]
+        if cum >= target:
+            value = _bucket_value(i)
+            return min(max(value, state["min"]), state["max"])
+    return state["max"]
+
+
+def summarize_histogram(state: Dict[str, Any],
+                        quantiles: Iterable[float] = (0.5, 0.95, 0.99)
+                        ) -> Dict[str, float]:
+    """Render a histogram state (or state delta) as a summary dict."""
+    count = state["count"]
+    out = {"count": count, "sum": state["sum"],
+           "mean": state["sum"] / count if count else 0.0,
+           "min": state["min"] if count else 0.0,
+           "max": state["max"] if count else 0.0}
+    for q in quantiles:
+        out[f"p{int(q * 100)}"] = _quantile(state, q)
+    return out
+
+
+def delta_state(current: Dict[str, Any],
+                baseline: Dict[str, Any]) -> Dict[str, Any]:
+    """Histogram activity between two :meth:`Histogram.state` exports.
+
+    Bucket counts and count/sum subtract exactly; min/max are not
+    recoverable for an interval from bucket counts alone, so the
+    current (since-construction) extremes are carried through.
+    """
+    buckets = dict(current["buckets"])
+    for i, n in baseline.get("buckets", {}).items():
+        left = buckets.get(i, 0) - n
+        if left > 0:
+            buckets[i] = left
+        else:
+            buckets.pop(i, None)
+    return {"count": current["count"] - baseline.get("count", 0),
+            "sum": current["sum"] - baseline.get("sum", 0.0),
+            "min": current["min"], "max": current["max"],
+            "zero": current["zero"] - baseline.get("zero", 0),
+            "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric, keyed by name + labels."""
+
+    _TYPES: Tuple[Type[_Metric], ...] = (Counter, Gauge, Histogram)
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get(self, cls: Type[_Metric], name: str,
+             labels: Dict[str, Any]) -> _Metric:
+        key = _labels_key(labels)
+        full = _full_name(name, key)
+        with self._lock:
+            metric = self._metrics.get(full)
+            if metric is None:
+                metric = cls(name, key)
+                self._metrics[full] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(f"metric {full!r} is a {metric.kind}, not a "
+                                f"{cls.kind}")
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def metrics(self) -> Dict[str, _Metric]:
+        with self._lock:
+            return dict(self._metrics)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat raw-state export: counters/gauges as numbers, histograms
+        as their :meth:`Histogram.state` dicts. The baseline input of
+        :meth:`delta`."""
+        return {full: m.state() for full, m in self.metrics().items()}
+
+    def delta(self, baseline: Optional[Dict[str, Any]] = None
+              ) -> Dict[str, Any]:
+        """Readable activity since ``baseline`` (a prior :meth:`snapshot`;
+        ``None`` means since process start): counters differenced, gauges
+        at their current value, histograms as interval summaries."""
+        baseline = baseline or {}
+        out: Dict[str, Any] = {}
+        for full, metric in sorted(self.metrics().items()):
+            if isinstance(metric, Counter):
+                base = baseline.get(full, 0)
+                out[full] = metric.value - (base if isinstance(base, int) else 0)
+            elif isinstance(metric, Gauge):
+                out[full] = metric.value
+            else:
+                state = metric.state()
+                base = baseline.get(full)
+                if isinstance(base, dict):
+                    state = delta_state(state, base)
+                out[full] = summarize_histogram(state)
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# The process-wide default every instrumentation site publishes into.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,290 @@
+"""Run-log sinks and the :class:`Recorder` that drives them.
+
+A sink persists timestamped records for one run. Two record shapes,
+one JSON object per line in the :class:`JsonlSink` form::
+
+    {"ts": 1722.5, "type": "event", "event": "epoch", "payload": {...}}
+    {"ts": 1724.1, "type": "metrics", "label": "periodic", "metrics": {...}}
+
+Event records mirror the trainer listener hook
+(:mod:`repro.train.hooks`) verbatim; metrics records carry the registry
+delta since the recorder started (counters as numbers, histograms as
+tail summaries) merged with any registered pull *sources* (e.g. a
+serving engine's :class:`~repro.serve.stats.ServeStats`).
+
+Durability follows the storage layer's discipline scaled to an
+append-only log: each flush appends complete lines and fsyncs (the
+parent directory is fsynced once at creation, via
+:func:`~repro.storage.atomic.fsync_dir`). A crash mid-flush can tear at
+most the trailing line, which :func:`read_jsonl` detects and drops — the
+prefix is always a valid record sequence. The ``sink-flush-mid`` crash
+point (see ``tests/faultinject.py``) lands half a flush on disk to prove
+exactly that.
+
+:class:`NullSink` is the Comet-style silent default: telemetry off means
+zero records and zero files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..storage.atomic import fsync_dir
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["Sink", "NullSink", "JsonlSink", "CsvSink", "Recorder",
+           "make_sink", "read_jsonl", "SINK_KINDS", "CRASH_FLUSH_MID"]
+
+#: Crash point fired between the two halves of a flush's bytes.
+CRASH_FLUSH_MID = "sink-flush-mid"
+
+SINK_KINDS = ("none", "jsonl", "csv")
+
+
+def _json_default(obj: Any) -> Any:
+    if hasattr(obj, "item"):                 # numpy scalars
+        return obj.item()
+    return str(obj)                          # paths and friends
+
+
+def _flatten(payload: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """``{"a": {"b": 1}} -> {"a.b": 1}`` — nested dicts join with dots."""
+    out: Dict[str, Any] = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, prefix=name + "."))
+        else:
+            out[name] = value
+    return out
+
+
+class Sink:
+    """Record sink protocol: :meth:`emit` buffers one record in memory;
+    :meth:`flush` makes the buffered records durable; :meth:`close`
+    flushes a final time."""
+
+    path: Optional[Path] = None
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.flush()
+
+
+class NullSink(Sink):
+    """Telemetry disabled: drops everything, touches no files."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+class _AppendingSink(Sink):
+    """Shared append+fsync machinery of the file-backed sinks."""
+
+    def __init__(self, path: os.PathLike,
+                 fault_hook: Optional[Callable[[str], None]] = None) -> None:
+        self.path = Path(path)
+        self.fault_hook = fault_hook
+        self._lock = threading.Lock()
+        self._buffer: List[Any] = []
+        self._synced_dir = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._buffer.extend(self._encode(record))
+
+    def _encode(self, record: Dict[str, Any]) -> List[Any]:
+        raise NotImplementedError
+
+    def _serialize(self, items: List[Any]) -> bytes:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        with self._lock:
+            items, self._buffer = self._buffer, []
+        if not items:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = self._serialize(items)
+        with open(self.path, "ab") as fh:
+            if self.fault_hook is not None and len(data) > 1:
+                # Crash-injection path: land the first half so the
+                # torn-tail reader has a real partial record to drop.
+                half = len(data) // 2
+                fh.write(data[:half])
+                fh.flush()
+                os.fsync(fh.fileno())
+                self.fault_hook(CRASH_FLUSH_MID)
+                fh.write(data[half:])
+            else:
+                fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if not self._synced_dir:
+            fsync_dir(self.path.parent)
+            self._synced_dir = True
+
+
+class JsonlSink(_AppendingSink):
+    """One JSON object per line, appended durably per flush."""
+
+    def _encode(self, record: Dict[str, Any]) -> List[Any]:
+        return [record]
+
+    def _serialize(self, items: List[Any]) -> bytes:
+        return "".join(json.dumps(r, default=_json_default) + "\n"
+                       for r in items).encode("utf-8")
+
+
+class CsvSink(_AppendingSink):
+    """Flat ``ts,type,name,value`` rows (numeric values only; histogram
+    summaries arrive pre-flattened as ``name.p99`` etc.)."""
+
+    HEADER = ("ts", "type", "name", "value")
+
+    def _encode(self, record: Dict[str, Any]) -> List[Any]:
+        ts = record.get("ts", time.time())
+        rows: List[Tuple[Any, ...]] = []
+        if record.get("type") == "event":
+            event = record.get("event", "?")
+            rows.append((ts, "event", event, 1))
+            for key, value in _flatten(record.get("payload", {})).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    rows.append((ts, "event", f"{event}.{key}", value))
+        elif record.get("type") == "metrics":
+            label = record.get("label", "metrics")
+            for key, value in _flatten(record.get("metrics", {})).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    rows.append((ts, label, key, value))
+        return rows
+
+    def _serialize(self, items: List[Any]) -> bytes:
+        out = io.StringIO()
+        writer = csv.writer(out)
+        if not self.path.exists():
+            writer.writerow(self.HEADER)
+        writer.writerows(items)
+        return out.getvalue().encode("utf-8")
+
+
+def make_sink(kind: Optional[str], path: Optional[os.PathLike] = None,
+              fault_hook: Optional[Callable[[str], None]] = None) -> Sink:
+    """Build a sink from its spec spelling (``none`` | ``jsonl`` | ``csv``)."""
+    if kind in (None, "none"):
+        return NullSink()
+    if kind not in SINK_KINDS:
+        raise ValueError(f"unknown telemetry sink {kind!r} "
+                         f"(expected one of {list(SINK_KINDS)})")
+    if path is None:
+        raise ValueError(f"telemetry sink {kind!r} needs a path")
+    if kind == "jsonl":
+        return JsonlSink(path, fault_hook=fault_hook)
+    return CsvSink(path, fault_hook=fault_hook)
+
+
+def read_jsonl(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Parse a JSONL run log, dropping at most one torn trailing line.
+
+    A crash mid-flush leaves the durable prefix plus possibly a partial
+    final line; that tail is silently dropped. A malformed record
+    anywhere *else* is real corruption and raises ``ValueError``.
+    """
+    raw = Path(path).read_bytes().decode("utf-8", errors="replace")
+    lines = raw.split("\n")
+    records: List[Dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break                        # torn tail from a crash
+            raise ValueError(f"{path}: corrupt record at line {i + 1}")
+    return records
+
+
+class Recorder:
+    """One run's telemetry pump: listener events in, records out.
+
+    Attach :meth:`listener` wherever a ``fn(event, payload)`` progress
+    hook is accepted (every trainer, via
+    :class:`~repro.train.hooks.ListenerHooks`); each event becomes an
+    event record, and every ``flush_every`` events a metrics record is
+    written alongside — the registry's delta since the recorder was
+    created, merged with the registered pull sources. :meth:`close`
+    writes a final metrics record and flushes. All entry points are
+    thread-safe and swallow nothing: a sink error propagates, a *source*
+    error is skipped (a dead stats object must not kill the run).
+    """
+
+    def __init__(self, sink: Sink,
+                 registry: Optional[MetricsRegistry] = None,
+                 flush_every: int = 25) -> None:
+        self.sink = sink
+        self.registry = registry if registry is not None else get_registry()
+        self.flush_every = max(1, int(flush_every))
+        self._baseline = self.registry.snapshot()
+        self._sources: Dict[str, Callable[[], Dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+        self._events = 0
+        self._closed = False
+
+    def add_source(self, name: str,
+                   fn: Callable[[], Dict[str, Any]]) -> None:
+        """Register a pull feeder: ``fn()`` returns a (possibly nested)
+        dict sampled into every metrics record under ``<name>.`` keys."""
+        self._sources[name] = fn
+
+    # ------------------------------------------------------------------
+    def listener(self, event: str, payload: Dict[str, Any]) -> None:
+        """The trainer hook shape (:mod:`repro.train.hooks`)."""
+        self.sink.emit({"ts": time.time(), "type": "event", "event": event,
+                        "payload": payload})
+        with self._lock:
+            self._events += 1
+            due = self._events % self.flush_every == 0
+        if due:
+            self.record_metrics("periodic")
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    def _metrics(self) -> Dict[str, Any]:
+        metrics = self.registry.delta(self._baseline)
+        for name, fn in list(self._sources.items()):
+            try:
+                values = fn()
+            except Exception:
+                continue
+            for key, value in _flatten(values).items():
+                metrics[f"{name}.{key}"] = value
+        return metrics
+
+    def record_metrics(self, label: str = "periodic") -> None:
+        """Write one metrics record and flush the sink."""
+        self.sink.emit({"ts": time.time(), "type": "metrics",
+                        "label": label, "metrics": self._metrics()})
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Final metrics record + flush; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.record_metrics("final")
+        self.sink.close()

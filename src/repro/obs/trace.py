@@ -1,0 +1,128 @@
+"""Tracing spans: timed blocks feeding duration histograms.
+
+``span("swap.load")`` times its block into the ``trace.swap.load.ms``
+histogram of the default registry (tags become metric labels — keep them
+low-cardinality). Spans nest through a :mod:`contextvars` variable, so a
+child's duration is attributed to its parent: every finished span knows
+its inclusive time *and* its self time (inclusive minus direct
+children), and the :class:`SpanRecord` ring keeps the most recent
+completions in a bounded deque for post-mortem inspection without any
+persistence cost.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import functools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["span", "traced", "SpanRecord", "recent_spans",
+           "set_ring_capacity", "clear_spans"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: wall-clock start, inclusive and self duration."""
+
+    name: str
+    parent: Optional[str]
+    ts: float
+    ms: float
+    self_ms: float
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+
+class _ActiveSpan:
+    __slots__ = ("name", "tags", "child_ms")
+
+    def __init__(self, name: str, tags: Dict[str, Any]) -> None:
+        self.name = name
+        self.tags = tags
+        self.child_ms = 0.0
+
+
+_current: "contextvars.ContextVar[Optional[_ActiveSpan]]" = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+_ring_lock = threading.Lock()
+_ring: deque = deque(maxlen=256)
+
+
+def set_ring_capacity(n: int) -> None:
+    """Resize the recent-span ring (keeps the newest records)."""
+    global _ring
+    with _ring_lock:
+        _ring = deque(_ring, maxlen=max(0, int(n)))
+
+
+def recent_spans(n: Optional[int] = None) -> List[SpanRecord]:
+    """The newest completed spans, oldest first (all, or the last ``n``)."""
+    with _ring_lock:
+        items = list(_ring)
+    return items if n is None else items[-n:]
+
+
+def clear_spans() -> None:
+    with _ring_lock:
+        _ring.clear()
+
+
+@contextlib.contextmanager
+def span(name: str, registry: Optional[MetricsRegistry] = None, **tags: Any):
+    """Time a block into ``trace.<name>.ms`` and the recent-span ring.
+
+    Nested spans attribute time upward: the parent accumulates each
+    child's inclusive duration, so its record's ``self_ms`` is the time
+    it spent outside its children. ``tags`` label the histogram child
+    and ride along on the :class:`SpanRecord`.
+    """
+    reg = registry if registry is not None else get_registry()
+    parent = _current.get()
+    node = _ActiveSpan(name, tags)
+    token = _current.set(node)
+    ts = time.time()
+    t0 = time.perf_counter()
+    try:
+        yield node
+    finally:
+        ms = 1000.0 * (time.perf_counter() - t0)
+        _current.reset(token)
+        if parent is not None:
+            parent.child_ms += ms
+        reg.histogram(f"trace.{name}.ms", **tags).observe(ms)
+        record = SpanRecord(name=name,
+                            parent=parent.name if parent else None,
+                            ts=ts, ms=ms,
+                            self_ms=max(0.0, ms - node.child_ms),
+                            tags=dict(tags))
+        with _ring_lock:
+            _ring.append(record)
+
+
+def traced(name: Optional[Any] = None,
+           registry: Optional[MetricsRegistry] = None) -> Callable:
+    """Decorator form of :func:`span`: ``@traced`` or ``@traced("label")``
+    wraps every call of the function in a span (default label: the
+    function's qualified name)."""
+    if callable(name):                       # bare @traced
+        fn = name
+        return traced(fn.__qualname__)(fn)
+
+    def deco(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with span(label, registry=registry):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco

@@ -27,8 +27,8 @@ from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.registry import Gauge, Histogram
 from .engine import ServingEngine
-from .stats import latency_summary
 
 EMBED = "embed"
 SCORE = "score"
@@ -140,8 +140,11 @@ class RequestBatcher:
         self._cond = threading.Condition()
         self._stopping = False
         self._worker: Optional[threading.Thread] = None
-        self.latencies_ms: List[float] = []
-        self.batch_sizes: List[int] = []
+        # Standalone (not registry-global) so each batcher instance keeps
+        # its own counts; bounded sketches, never per-request lists.
+        self.latency_hist = Histogram("serve.batch.latency_ms")
+        self.batch_hist = Histogram("serve.batch.size")
+        self.queue_depth = Gauge("serve.batch.queue_depth")
         self.overloads = 0
         self.timeouts = 0
 
@@ -202,6 +205,7 @@ class RequestBatcher:
                     f"serve queue is full ({len(self._queue)} waiting, "
                     f"max_queue={self.max_queue}); back off and retry")
             self._queue.append(request)
+            self.queue_depth.set(len(self._queue))
             self._cond.notify_all()
         return request
 
@@ -229,17 +233,30 @@ class RequestBatcher:
         return self.submit(TOPK, payload).wait()
 
     def latency_percentiles(self) -> Dict[str, float]:
-        return latency_summary(self.latencies_ms)
+        """p50/p99/mean/max of per-request end-to-end latency, from the
+        bounded histogram (same keys :func:`~repro.serve.stats.latency_summary`
+        produced from the old per-request list)."""
+        h = self.latency_hist
+        if h.count == 0:
+            return {"n": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0,
+                    "max_ms": 0.0}
+        return {"n": int(h.count),
+                "p50_ms": float(h.quantile(0.5)),
+                "p99_ms": float(h.quantile(0.99)),
+                "mean_ms": float(h.sum / h.count),
+                "max_ms": float(h.max)}
 
     def stats(self) -> Dict[str, float]:
         """Operational counters: completed request latencies plus the two
         bounded-queue outcomes (rejected submits, missed deadlines)."""
-        return {"requests": len(self.latencies_ms),
-                "batches": len(self.batch_sizes),
-                "mean_batch": (float(np.mean(self.batch_sizes))
-                               if self.batch_sizes else 0.0),
+        batches = self.batch_hist.count
+        return {"requests": int(self.latency_hist.count),
+                "batches": int(batches),
+                "mean_batch": (float(self.batch_hist.sum / batches)
+                               if batches else 0.0),
                 "overloads": self.overloads,
                 "timeouts": self.timeouts,
+                "queue_depth": int(self.queue_depth.value),
                 "max_queue": self.max_queue or 0,
                 "timeout_ms": self.timeout_ms or 0.0}
 
@@ -260,6 +277,7 @@ class RequestBatcher:
             batch = []
             while self._queue and len(batch) < self.max_batch:
                 batch.append(self._queue.popleft())
+            self.queue_depth.set(len(self._queue))
             return batch
 
     def _run(self) -> None:
@@ -267,7 +285,7 @@ class RequestBatcher:
             batch = self._collect()
             if not batch:
                 return
-            self.batch_sizes.append(len(batch))
+            self.batch_hist.observe(len(batch))
             self._execute(batch)
 
     def _execute(self, batch: List[ServeRequest]) -> None:
@@ -281,7 +299,7 @@ class RequestBatcher:
                 request.mark_timeout()
                 request.finish(error=RequestTimeout(
                     f"{request.kind} request expired in queue"))
-                self.latencies_ms.append(request.latency_ms)
+                self.latency_hist.observe(request.latency_ms)
             else:
                 live.append(request)
         batch = live
@@ -331,4 +349,4 @@ class RequestBatcher:
                     if not request._event.is_set():
                         request.finish(error=exc)
             for request in requests:
-                self.latencies_ms.append(request.latency_ms)
+                self.latency_hist.observe(request.latency_ms)

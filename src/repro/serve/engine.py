@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.sampler import DenseSampler
+from ..obs.registry import get_registry
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
 from ..policies.query_lru import QueryLRU
@@ -272,11 +274,14 @@ class ServingEngine:
         one residency check per partition, one vectorized gather per
         partition group — and returns rows aligned with the input.
         """
+        t0 = time.perf_counter()
         with self._query_guard():
             out = self._table_read(
                 lambda: self._gather_rows(self._check_ids(node_ids)))
         self.stats.requests += 1
         self.stats.lookups += len(out)
+        get_registry().histogram("serve.embed.latency_ms").observe(
+            1000.0 * (time.perf_counter() - t0))
         return out
 
     # ------------------------------------------------------------------
@@ -312,6 +317,7 @@ class ServingEngine:
         src, rel, dst = self._split_pairs(pairs)
         if len(src) == 0:
             return np.empty(0, dtype=np.float32)
+        t0 = time.perf_counter()
         with self._query_guard():
             if getattr(self.model, "encoder", None) is None:
                 embs = self._table_read(lambda: self._gather_rows(
@@ -329,6 +335,8 @@ class ServingEngine:
             scores = decoder.score_edges(src_repr, rel, dst_repr).data
         self.stats.requests += 1
         self.stats.edges_scored += len(src)
+        get_registry().histogram("serve.score.latency_ms").observe(
+            1000.0 * (time.perf_counter() - t0))
         return scores
 
     def topk_targets(self, src: int, k: int, rel: int = 0,
@@ -406,10 +414,13 @@ class ServingEngine:
                 return self._sweep_ann(decoder, src_t, rel_arr, valid, k_eff)
             return self._sweep_exact(decoder, src_t, rel_arr, valid, k_eff)
 
+        t0 = time.perf_counter()
         with self._query_guard(), no_grad():
             best_ids, best_scores = self._table_read(sweep)
         self.stats.requests += 1
         self.stats.topk_queries += n
+        get_registry().histogram("serve.topk.latency_ms").observe(
+            1000.0 * (time.perf_counter() - t0))
         return best_ids, best_scores
 
     @staticmethod
@@ -572,11 +583,14 @@ class ServingEngine:
         the in-buffer subgraph between calls. Without a seed, execution is
         locality-optimized (resident partitions first, leftovers kept).
         """
+        t0 = time.perf_counter()
         with self._query_guard():
             out = self._table_read(
                 lambda: self._encode_rows(self._check_ids(node_ids), seed))
         self.stats.requests += 1
         self.stats.nodes_encoded += len(out)
+        get_registry().histogram("serve.encode.latency_ms").observe(
+            1000.0 * (time.perf_counter() - t0))
         return out
 
     def _encoder_out_dim(self) -> int:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Sequence
 
 import numpy as np
@@ -34,13 +34,9 @@ class ServeStats:
         return 1000.0 * self.swaps / queries
 
     def as_dict(self) -> Dict[str, int]:
-        return {"requests": self.requests, "lookups": self.lookups,
-                "edges_scored": self.edges_scored,
-                "topk_queries": self.topk_queries,
-                "nodes_encoded": self.nodes_encoded, "swaps": self.swaps,
-                "topk_parts_scanned": self.topk_parts_scanned,
-                "topk_parts_pruned": self.topk_parts_pruned,
-                "ann_rows_scored": self.ann_rows_scored}
+        """Every counter field, generated from the dataclass itself so a
+        newly added counter can never silently fall out of the export."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 def make_query_stream(mix: str, num_queries: int, num_nodes: int,

@@ -29,11 +29,13 @@ instead of a precomputed epoch plan.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..nn.optim import RowAdagrad
+from ..obs.registry import get_registry
 from .io_stats import IOStats
 from .node_store import NodeStore
 
@@ -139,7 +141,12 @@ class PartitionBuffer:
             raise RuntimeError(
                 f"buffer full ({self.capacity}); evict before admitting {part}"
             )
+        t0 = time.perf_counter()
         data, state = self.store.read_partition(part)
+        obs = get_registry()
+        obs.histogram("storage.swap.load_ms").observe(
+            1000.0 * (time.perf_counter() - t0))
+        obs.counter("storage.swaps").inc()
         self._install(part, data, state)
 
     def admit_preloaded(self, part: int, data: np.ndarray,

@@ -12,7 +12,7 @@ from __future__ import annotations
 import os
 import zlib
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 
 def crc_file(path: os.PathLike, chunk: int = 1 << 20) -> int:
@@ -58,6 +58,17 @@ class IOStats:
     def smallest_read(self) -> int:
         """The paper's quantity R: the smallest disk read size in bytes."""
         return min(self.read_sizes) if self.read_sizes else 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter export for telemetry (the unbounded per-read size list
+        collapses to the paper's quantity R, smallest_read)."""
+        return {"bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+                "reads": self.num_reads,
+                "writes": self.num_writes,
+                "partition_loads": self.partition_loads,
+                "partition_evictions": self.partition_evictions,
+                "smallest_read": self.smallest_read}
 
     def reset(self) -> None:
         self.bytes_read = 0

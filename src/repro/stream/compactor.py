@@ -244,7 +244,8 @@ class BackgroundCompactor:
     # ------------------------------------------------------------------
     def health(self) -> dict:
         with self._mutex:
-            out = {"state": self._state,
+            out = {"ts": time.time(),
+                   "state": self._state,
                    "runs": self.runs,
                    "failures": self.failures,
                    "consecutive_failures": self._consecutive_failures,

@@ -47,11 +47,13 @@ from __future__ import annotations
 import os
 import shutil
 import threading
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.registry import get_registry
 from ..storage.atomic import atomic_write
 from .wal import KIND_EDGES, KIND_NODES, WalFrame, WalRecovery, WriteAheadLog
 
@@ -211,6 +213,7 @@ class GraphDeltaLog:
                else np.zeros(n, dtype=np.int64))
         bi = np.asarray(bi, dtype=np.int64)
         bj = np.asarray(bj, dtype=np.int64)
+        t0 = time.perf_counter()
         with self._mutex:
             lo = self.seq
             if self.wal is not None:
@@ -227,6 +230,8 @@ class GraphDeltaLog:
             if (self.spill_dir is not None
                     and self._mem_events > self.spill_threshold):
                 self._spill()
+            get_registry().histogram("stream.append_ms").observe(
+                1000.0 * (time.perf_counter() - t0))
             return lo, self.seq
 
     def _ingest_segment(self, ops: np.ndarray, src: np.ndarray,

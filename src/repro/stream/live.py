@@ -36,6 +36,7 @@ from __future__ import annotations
 import contextlib
 import os
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -406,7 +407,8 @@ class LiveGraph:
         """One dict describing the service's liveness: overlay staleness,
         journal state, lock configuration, and every registered source
         (e.g. background-compaction status)."""
-        out = {"num_nodes": self.num_nodes,
+        out = {"ts": time.time(),
+               "num_nodes": self.num_nodes,
                "nodes_added": self.nodes_added,
                "base_edges": self.edge_store.num_edges,
                "staleness": self.staleness(),

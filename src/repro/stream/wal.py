@@ -40,6 +40,7 @@ import json
 import logging
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.registry import get_registry
 from ..storage.atomic import atomic_write_json, fsync_dir
 
 logger = logging.getLogger(__name__)
@@ -361,8 +363,11 @@ class WriteAheadLog:
         far survives a crash."""
         if self._pending == 0:
             return
+        t0 = time.perf_counter()
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        get_registry().histogram("stream.wal.fsync_ms").observe(
+            1000.0 * (time.perf_counter() - t0))
         self._pending = 0
         self._synced_nodes = self._latest_nodes
         self.syncs += 1

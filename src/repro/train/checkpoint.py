@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..nn.module import Module
+from ..obs.trace import traced
 from ..storage.atomic import fsync_dir
 from ..storage.io_stats import crc_file as _crc_file
 
@@ -133,6 +134,7 @@ class SnapshotManager:
             shutil.rmtree(leftover, ignore_errors=True)
 
     # ------------------------------------------------------------------
+    @traced("snapshot.save")
     def save(self, step_id: int, meta: Dict[str, Any],
              arrays: Dict[str, np.ndarray],
              base: Optional[str] = None) -> Path:
@@ -253,6 +255,7 @@ class SnapshotManager:
         snaps = self.list()
         return snaps[-1] if snaps else None
 
+    @traced("snapshot.load")
     def load(self, path: Optional[os.PathLike] = None, compose: bool = True
              ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
         """Read and validate a snapshot; returns ``(meta, arrays)``.

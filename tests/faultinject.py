@@ -58,10 +58,14 @@ class CrashPoint:
     REWRITE_POST_RENAME = "rewrite-post-rename"  # new bytes committed, layout
                                                  # sidecar not yet promoted
 
+    # Telemetry sink hook (repro.obs.sinks)
+    SINK_FLUSH_MID = "sink-flush-mid"        # half a flush on disk — torn
+                                             # trailing record
+
     ALL = (NODE_READ, NODE_WRITE, SWAP_EVICTED, PREFETCH_STAGED,
            SNAPSHOT_BEGIN, SNAPSHOT_PRE_RENAME, SNAPSHOT_POST_RENAME,
            WAL_FRAME_MID, WAL_TRUNCATE_PRE, SPILL_POST_WRITE,
-           REWRITE_STAGED, REWRITE_POST_RENAME)
+           REWRITE_STAGED, REWRITE_POST_RENAME, SINK_FLUSH_MID)
 
 
 class FaultInjector:

@@ -233,11 +233,13 @@ def test_batcher_results_match_direct_calls(lp_data, lp_snapshot, lp_engine):
         for i, req in enumerate(embed_reqs):
             np.testing.assert_array_equal(req.wait(), table[[i, i + 1]])
         np.testing.assert_array_equal(score_req.wait(), offline)
-    assert len(batcher.latencies_ms) == 11
-    assert all(lat >= 0.0 for lat in batcher.latencies_ms)
-    assert max(batcher.batch_sizes) <= 8
+    # Latencies and batch sizes live in bounded histograms, not lists.
+    assert batcher.latency_hist.count == 11
+    assert batcher.latency_hist.min >= 0.0
+    assert batcher.batch_hist.max <= 8
     summary = batcher.latency_percentiles()
     assert summary["n"] == 11 and summary["p99_ms"] >= summary["p50_ms"]
+    assert batcher.stats()["requests"] == 11
 
 
 def test_batcher_blocking_helpers_and_errors(lp_snapshot, lp_engine):
