@@ -27,14 +27,14 @@ from typing import Any, Optional
 from . import registry
 from .registry import (JOB_KINDS, JobError, KindInfo, get_factory,
                        job_kinds, kind_info)
-from .specs import (CheckpointSpec, DataSpec, JobSpec, ModelSpec, ObsSpec,
-                    ServeSpec, StorageSpec, StreamSpec, TrainSpec,
+from .specs import (CheckpointSpec, DataSpec, FleetSpec, JobSpec, ModelSpec,
+                    ObsSpec, ServeSpec, StorageSpec, StreamSpec, TrainSpec,
                     default_checkpoint_dir, load_spec, save_spec,
                     schema_lines)
 
 __all__ = [
     "JobSpec", "DataSpec", "ModelSpec", "TrainSpec", "StorageSpec",
-    "CheckpointSpec", "ServeSpec", "StreamSpec", "ObsSpec",
+    "CheckpointSpec", "ServeSpec", "StreamSpec", "FleetSpec", "ObsSpec",
     "load_spec", "save_spec", "schema_lines",
     "JOB_KINDS", "JobError", "KindInfo", "job_kinds", "kind_info",
     "get_factory", "default_checkpoint_dir",

@@ -301,42 +301,54 @@ class NodeClassificationJob(_TrainJob):
 # Serving job
 # ---------------------------------------------------------------------------
 
+def build_serving_engine(spec: JobSpec, workdir: Optional[Path] = None):
+    """Build the serving engine a resolved serve/serve-fleet spec asks for.
+
+    Returns ``(snapshot_path, snapshot_kind, engine)``. This is the one
+    snapshot->engine path, shared by :class:`ServeJob` and each fleet
+    worker process (every worker calls it against its own private
+    workdir, so N workers page the same snapshot independently).
+    """
+    from ..serve import serve_link_prediction, serve_node_classification
+    storage = spec.storage
+    snap = _resolve_snapshot_dir(spec.serve.snapshot)
+    meta = json.loads((snap / "manifest.json").read_text())["meta"]
+    kind = meta["trainer"]
+    if workdir is None:
+        workdir = Path(storage.workdir) if storage.workdir else Path(
+            tempfile.mkdtemp(prefix="repro-serve-"))
+    if kind in registry.NC_SNAPSHOT_KINDS:
+        dataset = _nc_dataset(spec)
+        engine = serve_node_classification(
+            snap, dataset, workdir, num_partitions=storage.partitions,
+            buffer_capacity=storage.buffer)
+    else:
+        graph = None
+        if meta.get("config", {}).get("encoder", "none") != "none":
+            # Encoder snapshots sample neighborhoods on read; the job
+            # regenerates the training graph the same way train-lp does.
+            if not spec.data.dataset:
+                raise JobError(
+                    "this snapshot has a GNN encoder: pass data.dataset/"
+                    "scale (the training data) so encode-on-read can "
+                    "sample neighborhoods")
+            graph = training_graph(_lp_dataset(spec))
+        engine = serve_link_prediction(snap, workdir,
+                                       num_partitions=storage.partitions,
+                                       buffer_capacity=storage.buffer,
+                                       graph=graph,
+                                       ann=bool(spec.serve.ann),
+                                       ann_cluster_size=(
+                                           spec.serve.ann_cluster_size))
+    return snap, kind, engine
+
+
 class ServeJob(Job):
     """``serve``: query a trained snapshot out-of-core (docs/serving.md)."""
 
     def build(self, verbose: bool = False,
               listeners: Iterable[ProgressListener] = ()) -> "ServeJob":
-        from ..serve import serve_link_prediction, serve_node_classification
-        spec = self.spec
-        storage = spec.storage
-        snap = _resolve_snapshot_dir(spec.serve.snapshot)
-        meta = json.loads((snap / "manifest.json").read_text())["meta"]
-        kind = meta["trainer"]
-        workdir = Path(storage.workdir) if storage.workdir else Path(
-            tempfile.mkdtemp(prefix="repro-serve-"))
-        if kind in registry.NC_SNAPSHOT_KINDS:
-            dataset = _nc_dataset(spec)
-            engine = serve_node_classification(
-                snap, dataset, workdir, num_partitions=storage.partitions,
-                buffer_capacity=storage.buffer)
-        else:
-            graph = None
-            if meta.get("config", {}).get("encoder", "none") != "none":
-                # Encoder snapshots sample neighborhoods on read; the job
-                # regenerates the training graph the same way train-lp does.
-                if not spec.data.dataset:
-                    raise JobError(
-                        "this snapshot has a GNN encoder: pass data.dataset/"
-                        "scale (the training data) so encode-on-read can "
-                        "sample neighborhoods")
-                graph = training_graph(_lp_dataset(spec))
-            engine = serve_link_prediction(snap, workdir,
-                                           num_partitions=storage.partitions,
-                                           buffer_capacity=storage.buffer,
-                                           graph=graph,
-                                           ann=bool(spec.serve.ann),
-                                           ann_cluster_size=(
-                                               spec.serve.ann_cluster_size))
+        snap, kind, engine = build_serving_engine(self.spec)
         self.snapshot_path, self.snapshot_kind, self.engine = snap, kind, engine
         if verbose:
             print(f"serving {kind} snapshot {snap.name}: "
@@ -354,46 +366,15 @@ class ServeJob(Job):
         serve = self.spec.serve
         engine = self.engine
         results: Dict[str, Any] = {}
-        if serve.embed:
-            ids = _parse_ids(serve.embed)
-            rows = engine.get_embeddings(ids)
-            results["embed"] = (ids, rows)   # parallel arrays, duplicates kept
-            if verbose:
-                for node, row in zip(ids, rows):
-                    head = ", ".join(f"{v:+.4f}" for v in row[:6])
-                    more = ", ..." if len(row) > 6 else ""
-                    print(f"  node {node}: [{head}{more}]")
-        if serve.score:
-            rows = []
-            for edge_spec in serve.score:
-                fields = [int(x) for x in edge_spec.split(":")]
-                if len(fields) == 2:            # S:D — relation 0
-                    fields = [fields[0], 0, fields[1]]
-                elif len(fields) != 3:
-                    raise JobError(f"bad --score spec {edge_spec!r}: "
-                                     f"expected SRC:DST or SRC:REL:DST")
-                rows.append(fields)
-            pairs = np.array(rows, dtype=np.int64)
-            scores = engine.score_edges(pairs)
-            results["score"] = scores        # aligned with serve.score order
-            if verbose:
-                for edge_spec, score in zip(serve.score, scores):
-                    print(f"  score({edge_spec}) = {score:.6f}")
-        if serve.topk:
-            src, k = int(serve.topk[0]), int(serve.topk[1])
-            try:
-                ids, scores = engine.topk_targets(src, k, rel=serve.rel,
-                                                  exclude=[src],
-                                                  exact=serve.exact)
-            except RuntimeError as exc:  # e.g. encoder snapshots refuse top-k
-                raise JobError(f"--topk: {exc}") from exc
-            results["topk"] = (ids, scores)
-            if verbose:
-                mode = ("exact" if serve.exact or not serve.ann else "ann")
-                print(f"  top-{k} targets for source {src} "
-                      f"(rel {serve.rel}, {mode} sweep):")
-                for rank, (node, score) in enumerate(zip(ids, scores), 1):
-                    print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
+        if serve.embed or serve.score or serve.topk:
+            # Query execution rides a micro-batcher wrapped in a drain
+            # guard: SIGINT/SIGTERM stops admitting, finishes what's
+            # queued, then exits 128+signum — the same drain discipline
+            # the fleet workers reuse (docs/serving.md).
+            from ..serve import GracefulDrain, RequestBatcher
+            with RequestBatcher(engine, max_batch=serve.max_batch) as batcher:
+                with GracefulDrain(batcher.stop):
+                    self._run_queries(batcher, results, verbose)
         if serve.classify:
             preds = engine.classify(_parse_ids(serve.classify), seed=0)
             results["classify"] = preds
@@ -411,6 +392,50 @@ class ServeJob(Job):
                   f"{s.swaps} partition swaps")
         results["stats"] = engine.stats
         return results
+
+    def _run_queries(self, batcher, results: Dict[str, Any],
+                     verbose: bool) -> None:
+        serve = self.spec.serve
+        if serve.embed:
+            ids = _parse_ids(serve.embed)
+            rows = batcher.get_embeddings(ids)
+            results["embed"] = (ids, rows)   # parallel arrays, duplicates kept
+            if verbose:
+                for node, row in zip(ids, rows):
+                    head = ", ".join(f"{v:+.4f}" for v in row[:6])
+                    more = ", ..." if len(row) > 6 else ""
+                    print(f"  node {node}: [{head}{more}]")
+        if serve.score:
+            rows = []
+            for edge_spec in serve.score:
+                fields = [int(x) for x in edge_spec.split(":")]
+                if len(fields) == 2:            # S:D — relation 0
+                    fields = [fields[0], 0, fields[1]]
+                elif len(fields) != 3:
+                    raise JobError(f"bad --score spec {edge_spec!r}: "
+                                     f"expected SRC:DST or SRC:REL:DST")
+                rows.append(fields)
+            pairs = np.array(rows, dtype=np.int64)
+            scores = batcher.score_edges(pairs)
+            results["score"] = scores        # aligned with serve.score order
+            if verbose:
+                for edge_spec, score in zip(serve.score, scores):
+                    print(f"  score({edge_spec}) = {score:.6f}")
+        if serve.topk:
+            src, k = int(serve.topk[0]), int(serve.topk[1])
+            try:
+                ids, scores = batcher.topk_targets(src, k, rel=serve.rel,
+                                                   exclude=[src],
+                                                   exact=serve.exact)
+            except RuntimeError as exc:  # e.g. encoder snapshots refuse top-k
+                raise JobError(f"--topk: {exc}") from exc
+            results["topk"] = (ids, scores)
+            if verbose:
+                mode = ("exact" if serve.exact or not serve.ann else "ann")
+                print(f"  top-{k} targets for source {src} "
+                      f"(rel {serve.rel}, {mode} sweep):")
+                for rank, (node, score) in enumerate(zip(ids, scores), 1):
+                    print(f"    #{rank:<3} node {node:<10} score {score:.6f}")
 
     def _bench(self, verbose: bool) -> Dict[str, float]:
         """Quick QPS probe over a random or Zipf-skewed single-lookup stream
@@ -435,6 +460,63 @@ class ServeJob(Job):
         return {"queries": len(queries), "seconds": seconds,
                 "qps": len(queries) / seconds,
                 "swaps_per_1k": 1000 * swaps / len(queries)}
+
+
+class ServeFleetJob(Job):
+    """``serve-fleet``: N engine workers behind the partition-affinity
+    HTTP gateway (docs/serving.md, "Serving fleet")."""
+
+    def build(self, verbose: bool = False,
+              listeners: Iterable[ProgressListener] = ()) -> "ServeFleetJob":
+        from ..fleet import Fleet
+        spec = self.spec
+        # The snapshot is resolved eagerly so a bad path fails here, not
+        # in N spawned children.
+        self.snapshot_path = _resolve_snapshot_dir(spec.serve.snapshot)
+        workdir = Path(spec.storage.workdir) if spec.storage.workdir else Path(
+            tempfile.mkdtemp(prefix="repro-fleet-"))
+        self.workdir = workdir
+        self.fleet = Fleet(spec.to_dict(), workdir)
+        return self
+
+    def telemetry_sources(self) -> Dict[str, Any]:
+        # Engines live in the worker processes; each worker writes its
+        # own run log (worker-<i>/telemetry.jsonl), merged by `repro top`.
+        return {}
+
+    def run(self, verbose: bool = False) -> Dict[str, Any]:
+        from ..serve import GracefulDrain
+        fleet = self.fleet
+        duration = float(self.spec.fleet.duration)
+        with GracefulDrain(exit_after=False) as drain:
+            fleet.start()
+            try:
+                if verbose:
+                    info = fleet.worker_info[0]
+                    print(f"serving fleet: {fleet.num_workers} workers x "
+                          f"({info['num_nodes']:,} nodes x {info['dim']}, "
+                          f"{info['num_partitions']} partitions, "
+                          f"{info['kind']} snapshot)")
+                    print(f"gateway listening on {fleet.url} "
+                          f"(affinity={fleet.affinity}); Ctrl-C drains")
+                if duration > 0:
+                    drain.wait(duration)
+                else:
+                    while not drain.wait(1.0):
+                        pass
+                stats = fleet.worker_stats()
+            finally:
+                exitcodes = fleet.stop()
+        if verbose:
+            for entry in stats:
+                serve = entry.get("serve", {})
+                print(f"  worker {entry.get('worker')}: "
+                      f"{serve.get('requests', 0)} requests, "
+                      f"{serve.get('lookups', 0)} lookups, "
+                      f"{serve.get('swaps', 0)} swaps")
+            print(f"fleet drained; worker exit codes {exitcodes}")
+        return {"url": fleet.url, "workers": fleet.num_workers,
+                "exitcodes": exitcodes, "worker_stats": stats}
 
 
 # ---------------------------------------------------------------------------
@@ -844,5 +926,6 @@ for _kind in (registry.LP_MEM, registry.LP_DISK, registry.LP_PIPELINED):
 for _kind in (registry.NC_MEM, registry.NC_DISK):
     registry.bind(_kind, NodeClassificationJob)
 registry.bind(registry.SERVE, ServeJob)
+registry.bind(registry.SERVE_FLEET, ServeFleetJob)
 registry.bind(registry.STREAM, StreamJob)
 registry.bind(registry.LP_STREAM, StreamJob)

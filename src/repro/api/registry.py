@@ -41,6 +41,7 @@ NC_MEM = "nc-mem"
 NC_DISK = "nc-disk"
 LP_STREAM = "lp-stream"
 SERVE = "serve"
+SERVE_FLEET = "serve-fleet"
 STREAM = "stream"
 
 #: Snapshot kinds the link prediction serving loader accepts.
@@ -136,6 +137,13 @@ _declare(KindInfo(
     kind=SERVE,
     description="out-of-core query serving over a trained snapshot",
     sections=("data", "storage", "serve", "telemetry"),
+    defaults={"storage.buffer": 4, "data.feat_dim": 32, "data.seed": 0,
+              "serve.ann": True}))
+_declare(KindInfo(
+    kind=SERVE_FLEET,
+    description="multi-worker serving fleet behind a partition-affinity "
+                "HTTP gateway",
+    sections=("data", "storage", "serve", "fleet", "telemetry"),
     defaults={"storage.buffer": 4, "data.feat_dim": 32, "data.seed": 0,
               "serve.ann": True}))
 _declare(KindInfo(

@@ -165,6 +165,24 @@ class StreamSpec:
 
 
 @dataclass
+class FleetSpec:
+    """Serving-fleet topology: workers, gateway, routing, batching."""
+
+    workers: int = _f(2, "serving worker processes (each owns a full "
+                         "read-only engine over the snapshot)")
+    host: str = _f("127.0.0.1", "bind address for gateway and workers")
+    port: int = _f(0, "gateway HTTP port (0 = ephemeral; printed at start)")
+    affinity: str = _f("range", "request routing: range (partition "
+                                "ownership) | random (round-robin control)")
+    max_batch: int = _f(256, "per-worker micro-batch size")
+    max_wait_ms: float = _f(2.0, "per-worker micro-batch linger window")
+    max_queue: int = _f(1024, "per-worker admission bound (0 = unbounded)")
+    timeout_ms: float = _f(0.0, "per-request queue deadline (0 = none)")
+    duration: float = _f(0.0, "seconds to serve before draining "
+                              "(0 = until SIGINT/SIGTERM)")
+
+
+@dataclass
 class ObsSpec:
     """Telemetry sink configuration (every kind reads it; off by default)."""
 
@@ -178,7 +196,7 @@ class ObsSpec:
 _SECTION_TYPES = {"data": DataSpec, "model": ModelSpec, "train": TrainSpec,
                   "storage": StorageSpec, "checkpoint": CheckpointSpec,
                   "serve": ServeSpec, "stream": StreamSpec,
-                  "telemetry": ObsSpec}
+                  "fleet": FleetSpec, "telemetry": ObsSpec}
 
 # Fields parsed back from JSON lists into tuples.
 _TUPLE_FIELDS = {("model", "fanouts"), ("serve", "score"), ("serve", "topk")}
@@ -196,6 +214,7 @@ class JobSpec:
     checkpoint: CheckpointSpec = field(default_factory=CheckpointSpec)
     serve: ServeSpec = field(default_factory=ServeSpec)
     stream: StreamSpec = field(default_factory=StreamSpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
     telemetry: ObsSpec = field(default_factory=ObsSpec)
 
     # ------------------------------------------------------------------
@@ -233,9 +252,27 @@ class JobSpec:
 
     def _validate(self) -> None:
         info = registry.kind_info(self.kind)
-        if self.kind == registry.SERVE and not self.serve.snapshot:
-            raise JobError("serve jobs need serve.snapshot (a snapshot "
-                             "dir or checkpoint root)")
+        if (self.kind in (registry.SERVE, registry.SERVE_FLEET)
+                and not self.serve.snapshot):
+            raise JobError(f"{self.kind} jobs need serve.snapshot (a "
+                             "snapshot dir or checkpoint root)")
+        if self.kind == registry.SERVE_FLEET:
+            fleet = self.fleet
+            if fleet.workers < 1:
+                raise JobError("fleet.workers must be at least 1")
+            if fleet.affinity not in ("range", "random"):
+                raise JobError("fleet.affinity must be 'range' or "
+                               f"'random', not {fleet.affinity!r}")
+            if fleet.max_batch < 1:
+                raise JobError("fleet.max_batch must be positive")
+            if fleet.max_wait_ms < 0 or fleet.timeout_ms < 0:
+                raise JobError("fleet.max_wait_ms and fleet.timeout_ms "
+                               "must be non-negative")
+            if fleet.max_queue < 0 or fleet.duration < 0:
+                raise JobError("fleet.max_queue and fleet.duration "
+                               "must be non-negative")
+            if not 0 <= fleet.port < 65536:
+                raise JobError("fleet.port must be in [0, 65535]")
         if self.train.deterministic and self.kind != registry.LP_PIPELINED:
             raise JobError("train.deterministic only applies to the "
                              "lp-pipelined kind (the other trainers are "

@@ -25,11 +25,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from . import api
-from .api import (CheckpointSpec, DataSpec, JobSpec, ModelSpec, ServeSpec,
-                  StorageSpec, StreamSpec, TrainSpec)
+from .api import (CheckpointSpec, DataSpec, FleetSpec, JobSpec, ModelSpec,
+                  ServeSpec, StorageSpec, StreamSpec, TrainSpec)
 from .api import registry as job_registry
 from .graph import PAPER_DATASETS, paper_stats
 from .policies import autotune_from_dataset
@@ -161,6 +161,24 @@ def _serve_spec(args: argparse.Namespace) -> JobSpec:
                         max_batch=args.max_batch, seed=args.seed))
 
 
+def _serve_fleet_spec(args: argparse.Namespace) -> JobSpec:
+    return JobSpec(
+        kind=job_registry.SERVE_FLEET,
+        data=DataSpec(dataset=args.dataset, scale=args.scale,
+                      nodes=args.nc_nodes, feat_dim=args.nc_dim,
+                      seed=args.nc_seed),
+        storage=StorageSpec(workdir=args.workdir, partitions=args.partitions,
+                            buffer=args.buffer),
+        serve=ServeSpec(snapshot=args.snapshot,
+                        ann=False if args.no_ann else None,
+                        ann_cluster_size=args.ann_cluster_size),
+        fleet=FleetSpec(workers=args.workers, host=args.host, port=args.port,
+                        affinity=args.affinity, max_batch=args.max_batch,
+                        max_wait_ms=args.max_wait_ms,
+                        max_queue=args.max_queue, timeout_ms=args.timeout_ms,
+                        duration=args.duration))
+
+
 def _stream_spec(args: argparse.Namespace) -> JobSpec:
     return JobSpec(
         kind=job_registry.STREAM,
@@ -212,6 +230,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return _execute(_serve_spec(args), args)
 
 
+def cmd_serve_fleet(args: argparse.Namespace) -> int:
+    return _execute(_serve_fleet_spec(args), args)
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
     return _execute(_stream_spec(args), args)
 
@@ -232,47 +254,94 @@ def cmd_run(args: argparse.Namespace) -> int:
     return _execute(spec, args)
 
 
-def _span_rows(records: List[dict]) -> List[Tuple[str, dict]]:
-    """(name, summary) histogram rows of the last metrics record."""
+def _last_metrics(records: List[dict]) -> Dict[str, Any]:
+    """The metrics dict of the last metrics record (cumulative deltas)."""
     last = None
     for record in records:
         if record.get("type") == "metrics":
             last = record
-    if last is None:
-        return []
-    rows = []
-    for name, value in sorted(last.get("metrics", {}).items()):
-        if isinstance(value, dict) and "count" in value and value["count"]:
-            rows.append((name, value))
-    return rows
+    return {} if last is None else (last.get("metrics") or {})
+
+
+def _span_rows(records: List[dict]) -> List[Tuple[str, dict]]:
+    """(name, summary) histogram rows of the last metrics record."""
+    return [(name, value)
+            for name, value in sorted(_last_metrics(records).items())
+            if isinstance(value, dict) and value.get("count")]
 
 
 def _scalar_metrics(records: List[dict]) -> Dict[str, float]:
     """Numeric (counter / gauge / source) entries of the last metrics
     record."""
-    last = None
-    for record in records:
-        if record.get("type") == "metrics":
-            last = record
-    if last is None:
-        return {}
-    return {name: value for name, value in last.get("metrics", {}).items()
+    return {name: value for name, value in _last_metrics(records).items()
             if isinstance(value, (int, float)) and not isinstance(value, bool)}
 
 
-def cmd_top(args: argparse.Namespace) -> int:
-    """Render a telemetry run log: event counts, duration tails, counters."""
-    from .obs import read_jsonl
-    target = Path(args.run_dir)
+def _top_logs(raw: str) -> List[Path]:
+    """Resolve a ``repro top`` target: a log file, a directory searched
+    recursively, or a glob pattern (e.g. ``work/worker-*/telemetry.jsonl``)."""
+    import glob as globlib
+    target = Path(raw)
     if target.is_dir():
         logs = sorted(target.rglob("telemetry.jsonl"))
         if not logs:
             raise SystemExit(f"no telemetry.jsonl under {target} "
                              f"(run with --telemetry or telemetry.sink=jsonl)")
-    elif target.is_file():
-        logs = [target]
-    else:
-        raise SystemExit(f"no such file or directory: {target}")
+        return logs
+    if target.is_file():
+        return [target]
+    if any(ch in raw for ch in "*?["):
+        logs = sorted(Path(p) for p in globlib.glob(raw, recursive=True)
+                      if Path(p).is_file())
+        if not logs:
+            raise SystemExit(f"no run logs match {raw!r}")
+        return logs
+    raise SystemExit(f"no such file or directory: {target}")
+
+
+def _render_sections(header: str, seconds: float, record_count: int,
+                     events: Dict[str, int], rows: List[Tuple[str, dict]],
+                     scalars: Dict[str, float]) -> None:
+    print(f"{header} — {record_count} records over {seconds:.1f}s")
+    if events:
+        line = ", ".join(f"{name} x{count}"
+                         for name, count in sorted(events.items()))
+        print(f"  events: {line}")
+    if rows:
+        print(f"  {'metric':<36} {'count':>7} {'total':>12} "
+              f"{'p50':>10} {'p99':>10} {'max':>10}")
+        for name, h in rows:
+            print(f"  {name:<36} {h['count']:>7} {h['sum']:>12.1f} "
+                  f"{h['p50']:>10.3f} {h['p99']:>10.3f} "
+                  f"{h['max']:>10.3f}")
+    if scalars:
+        print(f"  {'counter':<36} {'value':>12} {'per sec':>10}")
+        for name, value in sorted(scalars.items()):
+            rate = value / seconds if seconds > 0 else 0.0
+            print(f"  {name:<36} {value:>12,.0f} {rate:>10,.1f}")
+    scanned = scalars.get("serve.topk_parts_scanned", 0)
+    pruned = scalars.get("serve.topk_parts_pruned", 0)
+    if scanned or pruned:
+        ratio = pruned / (scanned + pruned)
+        print(f"  ann prune ratio: {ratio:.1%} "
+              f"({pruned:.0f} of {scanned + pruned:.0f} candidate "
+              f"partitions skipped)")
+    print()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render telemetry run logs: event counts, duration tails, counters.
+
+    Multiple logs (a directory of per-worker fleet logs, or a glob) each
+    render individually and then as one merged view — counters summed,
+    histograms merged exactly by bucket addition."""
+    from .obs import read_jsonl
+    logs = _top_logs(args.run_dir)
+    merged_events: Dict[str, int] = {}
+    merged_scalars: Dict[str, float] = {}
+    merged_hists: Dict[str, List[dict]] = {}
+    merged_records = 0
+    m_lo = m_hi = None
     for path in logs:
         try:
             records = read_jsonl(path)
@@ -290,33 +359,29 @@ def cmd_top(args: argparse.Namespace) -> int:
                 events[name] = events.get(name, 0) + 1
         seconds = (t_hi - t_lo) if (t_lo is not None and t_hi is not None) \
             else 0.0
-        print(f"{path} — {len(records)} records over {seconds:.1f}s")
-        if events:
-            line = ", ".join(f"{name} x{count}"
-                             for name, count in sorted(events.items()))
-            print(f"  events: {line}")
-        rows = _span_rows(records)
-        if rows:
-            print(f"  {'metric':<36} {'count':>7} {'total':>12} "
-                  f"{'p50':>10} {'p99':>10} {'max':>10}")
-            for name, h in rows:
-                print(f"  {name:<36} {h['count']:>7} {h['sum']:>12.1f} "
-                      f"{h['p50']:>10.3f} {h['p99']:>10.3f} "
-                      f"{h['max']:>10.3f}")
         scalars = _scalar_metrics(records)
-        if scalars:
-            print(f"  {'counter':<36} {'value':>12} {'per sec':>10}")
-            for name, value in sorted(scalars.items()):
-                rate = value / seconds if seconds > 0 else 0.0
-                print(f"  {name:<36} {value:>12,.0f} {rate:>10,.1f}")
-        scanned = scalars.get("serve.topk_parts_scanned", 0)
-        pruned = scalars.get("serve.topk_parts_pruned", 0)
-        if scanned or pruned:
-            ratio = pruned / (scanned + pruned)
-            print(f"  ann prune ratio: {ratio:.1%} "
-                  f"({pruned:.0f} of {scanned + pruned:.0f} candidate "
-                  f"partitions skipped)")
-        print()
+        _render_sections(str(path), seconds, len(records), events,
+                         _span_rows(records), scalars)
+        if len(logs) > 1:
+            merged_records += len(records)
+            if t_lo is not None:
+                m_lo = t_lo if m_lo is None else min(m_lo, t_lo)
+                m_hi = t_hi if m_hi is None else max(m_hi, t_hi)
+            for name, count in events.items():
+                merged_events[name] = merged_events.get(name, 0) + count
+            for name, value in scalars.items():
+                merged_scalars[name] = merged_scalars.get(name, 0) + value
+            for name, state in _last_metrics(records).items():
+                if isinstance(state, dict) and state.get("count"):
+                    merged_hists.setdefault(name, []).append(state)
+    if len(logs) > 1:
+        from .obs import merge_histogram_states, summarize_histogram
+        rows = [(name, summarize_histogram(merge_histogram_states(states)))
+                for name, states in sorted(merged_hists.items())]
+        seconds = (m_hi - m_lo) if (m_lo is not None and m_hi is not None) \
+            else 0.0
+        _render_sections(f"merged ({len(logs)} logs)", seconds,
+                         merged_records, merged_events, rows, merged_scalars)
     return 0
 
 
@@ -372,9 +437,10 @@ def build_parser() -> Tuple[argparse.ArgumentParser,
                         "default <workdir>/telemetry.jsonl); overrides "
                         "the spec's telemetry.sink=none")
 
-    p = subparser("top", help="render a telemetry run log")
+    p = subparser("top", help="render telemetry run logs (merging many)")
     p.add_argument("run_dir", help="run directory (searched recursively for "
-                                   "telemetry.jsonl) or a log file")
+                                   "telemetry.jsonl), a log file, or a glob; "
+                                   "multiple logs also render a merged view")
 
     p = subparser("train-lp", help="train link prediction")
     p.add_argument("--config", help="JSON file of option defaults "
@@ -508,6 +574,56 @@ def build_parser() -> Tuple[argparse.ArgumentParser,
     p.add_argument("--nc-dim", type=int, default=32)
     p.add_argument("--nc-seed", type=int, default=0)
 
+    p = subparser("serve-fleet", help="serve a snapshot over HTTP through "
+                                      "N workers + affinity gateway")
+    p.add_argument("--config", help="JSON file of option defaults "
+                                    "(explicit flags win)")
+    p.add_argument("--dump-spec", action="store_true",
+                   help="print the resolved JobSpec and exit")
+    p.add_argument("--snapshot", required=True,
+                   help="snapshot dir (or checkpoint root; latest wins)")
+    p.add_argument("--workdir", default=None,
+                   help="fleet workdir: per-worker paged tables and run "
+                        "logs land in worker-<i>/ (default: temp)")
+    p.add_argument("--dataset", default=None,
+                   help="LP training dataset (required for encoder "
+                        "snapshots: enables encode-on-read sampling)")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="dataset scale used at training time")
+    p.add_argument("--partitions", type=int, default=None,
+                   help="partition count (default: the snapshot's layout)")
+    p.add_argument("--buffer", type=int, default=4,
+                   help="partitions held in memory per worker")
+    p.add_argument("--workers", type=int, default=2,
+                   help="serving worker processes")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for gateway and workers")
+    p.add_argument("--port", type=int, default=0,
+                   help="gateway HTTP port (0 = ephemeral, printed at start)")
+    p.add_argument("--affinity", default="range",
+                   choices=["range", "random"],
+                   help="request routing: partition ownership or round-robin")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="per-worker micro-batch size")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="per-worker micro-batch linger window")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="per-worker admission bound (0 = unbounded)")
+    p.add_argument("--timeout-ms", type=float, default=0.0,
+                   help="per-request queue deadline (0 = none)")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="seconds to serve before draining "
+                        "(0 = until SIGINT/SIGTERM)")
+    p.add_argument("--no-ann", action="store_true",
+                   help="disable the per-partition ANN index for top-k")
+    p.add_argument("--ann-cluster-size", type=int, default=64,
+                   help="target rows per ANN cluster")
+    p.add_argument("--nc-nodes", type=int, default=4000,
+                   help="NC snapshots: dataset size to regenerate (must "
+                        "match training)")
+    p.add_argument("--nc-dim", type=int, default=32)
+    p.add_argument("--nc-seed", type=int, default=0)
+
     p = subparser("train-nc", help="train node classification")
     p.add_argument("--config", help="JSON file of option defaults "
                                     "(explicit flags win)")
@@ -534,7 +650,8 @@ def build_parser() -> Tuple[argparse.ArgumentParser,
 COMMANDS = {"info": cmd_info, "autotune": cmd_autotune,
             "run": cmd_run, "top": cmd_top,
             "train-lp": cmd_train_lp, "train-nc": cmd_train_nc,
-            "serve": cmd_serve, "stream": cmd_stream}
+            "serve": cmd_serve, "serve-fleet": cmd_serve_fleet,
+            "stream": cmd_stream}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

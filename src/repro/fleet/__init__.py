@@ -1,0 +1,29 @@
+"""Serving fleet: N engine workers behind a partition-affinity gateway.
+
+One :class:`~repro.fleet.fleet.Fleet` runs the paper's out-of-core
+serving engine as a deployable service: worker processes each own a
+read-only :class:`~repro.serve.engine.ServingEngine` plus a
+:class:`~repro.serve.batcher.RequestBatcher` over the same snapshot,
+speaking a length-prefixed JSON protocol (:mod:`~repro.fleet.protocol`);
+an HTTP/JSON gateway (:mod:`~repro.fleet.gateway`, stdlib
+``ThreadingHTTPServer``) exposes the four query families as POST
+endpoints plus ``/healthz`` and ``/statz``; and the
+:class:`~repro.fleet.affinity.AffinityRouter` maps each request's lead
+node id to the worker owning its partition range, so micro-batches
+coalesce per worker and buffer swaps stay near the single-engine floor.
+Run it as the ``serve-fleet`` job kind (``repro serve-fleet`` /
+``repro run``); see ``docs/serving.md``.
+"""
+
+from .affinity import AffinityRouter
+from .fleet import Fleet
+from .gateway import Gateway
+from .pool import ConnectionPool
+from .protocol import (MAX_FRAME, ProtocolError, WorkerClient,
+                       WorkerUnavailable, recv_frame, send_frame)
+from .worker import WorkerConfig, worker_main
+
+__all__ = ["AffinityRouter", "Fleet", "Gateway", "ConnectionPool",
+           "ProtocolError", "WorkerClient", "WorkerUnavailable",
+           "WorkerConfig", "worker_main", "send_frame", "recv_frame",
+           "MAX_FRAME"]

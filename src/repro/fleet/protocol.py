@@ -1,0 +1,143 @@
+"""Length-prefixed JSON frames: the gateway <-> worker wire protocol.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON. Requests are objects with an ``op`` field
+(``embed`` / ``score`` / ``topk`` / ``encode`` / ``health`` / ``stats``
+/ ``drain``); responses are ``{"ok": true, ...}`` or ``{"ok": false,
+"error": {"code": ..., "message": ...}}`` — the same error DTO shape the
+HTTP gateway returns, so a worker-side failure forwards without
+translation.
+
+Floats cross the wire as JSON numbers printed by Python's
+shortest-round-trip ``repr``: a float32 table value widens exactly to
+double, prints losslessly, parses back to the same double, and narrows
+back to the identical float32 — which is what makes the fleet's HTTP
+responses bit-identical to in-process engine results.
+
+Framing is deliberately dumb: no pipelining, one response per request in
+order, so a connection is a unit of mutual exclusion and the gateway's
+per-worker :class:`~repro.fleet.pool.ConnectionPool` provides the
+concurrency instead.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = ["MAX_FRAME", "ProtocolError", "WorkerUnavailable",
+           "send_frame", "recv_frame", "WorkerClient"]
+
+#: Upper bound on one frame's JSON payload. Generous for real batches
+#: (a 64 MiB frame is ~2M embedding floats) while refusing a corrupt or
+#: hostile length prefix before allocating anything.
+MAX_FRAME = 64 << 20
+
+_LEN = struct.Struct("!I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame: bad length prefix, oversized, or invalid JSON."""
+
+
+class WorkerUnavailable(ConnectionError):
+    """The worker's socket is gone (crashed, draining, or never up)."""
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    data = json.dumps(payload).encode("utf-8")
+    if len(data) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the "
+                            f"{MAX_FRAME} byte limit")
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """``n`` bytes or ``None`` on clean EOF at a frame boundary; EOF
+    mid-frame is a torn peer and raises."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise WorkerUnavailable("connection closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """The next frame's payload, or ``None`` when the peer closed cleanly."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds the "
+                            f"{MAX_FRAME} byte limit")
+    data = _recv_exact(sock, length)
+    if data is None:
+        raise WorkerUnavailable("connection closed between header and body")
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+class WorkerClient:
+    """One blocking request/response connection to a worker.
+
+    Not thread-safe by design — the gateway keeps a pool of these per
+    worker and checks one out per in-flight request, which is also what
+    lets concurrent HTTP requests reach the worker's batcher *as*
+    concurrent submissions and coalesce into one engine call.
+    """
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 5.0,
+                 timeout: Optional[float] = None) -> None:
+        self.host, self.port = host, int(port)
+        try:
+            self._sock = socket.create_connection((host, self.port),
+                                                  timeout=connect_timeout)
+        except OSError as exc:
+            raise WorkerUnavailable(
+                f"cannot connect to worker at {host}:{port}: {exc}") from exc
+        self._sock.settimeout(timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one op, block for its response frame."""
+        payload = {"op": op, **fields}
+        try:
+            send_frame(self._sock, payload)
+            response = recv_frame(self._sock)
+        except (OSError, WorkerUnavailable) as exc:
+            self.close()
+            raise WorkerUnavailable(
+                f"worker at {self.host}:{self.port} dropped the "
+                f"connection: {exc}") from exc
+        if response is None:
+            self.close()
+            raise WorkerUnavailable(
+                f"worker at {self.host}:{self.port} closed the connection")
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WorkerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,286 @@
+"""One fleet worker: a serving engine + batcher behind a socket server.
+
+``worker_main`` is the ``multiprocessing`` (spawn-safe, module-level)
+entry point. The worker builds its own read-only
+:class:`~repro.serve.engine.ServingEngine` from the shared snapshot
+(each worker pages the same table through a private partition buffer),
+fronts it with a :class:`~repro.serve.batcher.RequestBatcher`, and
+answers length-prefixed JSON requests (:mod:`~repro.fleet.protocol`) on
+an ephemeral port it reports back through the ready queue. Every
+connection gets a handler thread; concurrent connections therefore reach
+the batcher as concurrent submissions and coalesce into one engine call
+— the same micro-batching win as in-process serving, per worker.
+
+Shutdown is drain-first, from either trigger (SIGTERM/SIGINT via
+:class:`~repro.serve.lifecycle.GracefulDrain`, or the gateway's
+``drain`` op): stop accepting connections, stop the batcher (new
+submits are rejected, queued requests finish and their responses are
+sent), let handler threads retire, write the final telemetry record,
+exit 0. A request the worker has accepted is never dropped without a
+response.
+
+With telemetry on, each worker writes its own run log
+(``<workdir>/worker-<i>/telemetry.jsonl``) through a private
+:class:`~repro.obs.sinks.Recorder` — one event per protocol request,
+periodic metrics with engine/buffer/batcher pull sources. ``repro top
+<workdir>`` merges the per-worker logs.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+from ..serve.batcher import Overloaded, RequestBatcher, RequestTimeout
+from ..serve.lifecycle import GracefulDrain
+from .protocol import ProtocolError, recv_frame, send_frame
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+#: Protocol ops answered by a worker.
+OPS = ("embed", "score", "topk", "encode", "health", "stats", "drain")
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a spawned worker needs, in picklable form."""
+
+    index: int
+    spec: Dict[str, Any]          # resolved serve-fleet JobSpec, as a dict
+    workdir: str                  # fleet workdir; the worker uses worker-<i>/
+    host: str = "127.0.0.1"
+    telemetry: bool = False
+    flush_every: int = 25
+
+    @property
+    def worker_dir(self) -> Path:
+        return Path(self.workdir) / f"worker-{self.index}"
+
+
+def _error(code: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+def _int_list(value: Any, name: str) -> np.ndarray:
+    if not isinstance(value, list) or not all(
+            isinstance(x, int) and not isinstance(x, bool) for x in value):
+        raise ValueError(f"{name!r} must be a list of integers")
+    return np.asarray(value, dtype=np.int64)
+
+
+class _Dispatcher:
+    """Maps protocol ops onto the worker's batcher/engine."""
+
+    def __init__(self, cfg: WorkerConfig, engine, batcher: RequestBatcher,
+                 drain: GracefulDrain, recorder=None) -> None:
+        self.cfg = cfg
+        self.engine = engine
+        self.batcher = batcher
+        self.drain = drain
+        self.recorder = recorder
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op not in OPS:
+            return _error("bad_request",
+                          f"unknown op {op!r} (expected one of {list(OPS)})")
+        if self.recorder is not None:
+            self.recorder.listener("request", {"op": op,
+                                               "worker": self.cfg.index})
+        try:
+            return getattr(self, f"_op_{op}")(request)
+        except (ValueError, KeyError, TypeError) as exc:
+            return _error("bad_request", str(exc))
+        except Overloaded as exc:
+            return _error("overloaded", str(exc))
+        except RequestTimeout as exc:
+            return _error("timeout", str(exc))
+        except RuntimeError as exc:
+            if "stopping" in str(exc):
+                return _error("draining", "worker is draining")
+            return _error("internal", str(exc))
+        except Exception as exc:      # answer, never kill the connection
+            return _error("internal", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def _op_embed(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        ids = _int_list(request.get("ids"), "ids")
+        rows = self.batcher.get_embeddings(ids)
+        return {"ok": True, "embeddings": rows.tolist()}
+
+    def _op_score(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        pairs = request.get("pairs")
+        if (not isinstance(pairs, list) or not pairs
+                or not all(isinstance(p, list) and len(p) in (2, 3)
+                           and all(isinstance(x, int) and
+                                   not isinstance(x, bool) for x in p)
+                           for p in pairs)):
+            raise ValueError("'pairs' must be a non-empty list of "
+                             "[src, dst] or [src, rel, dst] integer rows")
+        width = len(pairs[0])
+        if any(len(p) != width for p in pairs):
+            raise ValueError("'pairs' rows must all be the same width")
+        scores = self.batcher.score_edges(np.asarray(pairs, dtype=np.int64))
+        return {"ok": True, "scores": scores.tolist()}
+
+    def _op_topk(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        src = request.get("source")
+        k = request.get("k")
+        if not isinstance(src, int) or isinstance(src, bool):
+            raise ValueError("'source' must be an integer node id")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ValueError("'k' must be a positive integer")
+        rel = request.get("rel", 0)
+        if not isinstance(rel, int) or isinstance(rel, bool):
+            raise ValueError("'rel' must be an integer relation id")
+        exact = bool(request.get("exact", False))
+        exclude = _int_list(request.get("exclude", []), "exclude")
+        ids, scores = self.batcher.topk_targets(src, k, rel=rel, exact=exact,
+                                                exclude=exclude)
+        return {"ok": True, "ids": ids.tolist(), "scores": scores.tolist()}
+
+    def _op_encode(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        ids = _int_list(request.get("ids"), "ids")
+        seed = request.get("seed")
+        if seed is not None and (not isinstance(seed, int)
+                                 or isinstance(seed, bool)):
+            raise ValueError("'seed' must be an integer or null")
+        rows = self.batcher.encode_nodes(ids, seed=seed)
+        return {"ok": True, "embeddings": rows.tolist()}
+
+    def _op_health(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True,
+                "status": "draining" if self.drain.triggered else "ok",
+                "worker": self.cfg.index, "pid": os.getpid()}
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "worker": self.cfg.index,
+                "serve": self.engine.stats.as_dict(),
+                "storage": self.engine.buffer.stats.as_dict(),
+                "batcher": self.batcher.stats(),
+                "latency": self.batcher.latency_percentiles()}
+
+    def _op_drain(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # Reply first setting only the flag: the batcher is stopped by the
+        # main loop after the listener closes, so queued requests finish.
+        self.drain.request_drain()
+        return {"ok": True, "draining": True}
+
+
+def _serve_connection(conn: socket.socket, dispatcher: _Dispatcher) -> None:
+    """One connection's request loop: answer until EOF or drain."""
+    conn.settimeout(0.5)
+    try:
+        while True:
+            try:
+                request = recv_frame(conn)
+            except socket.timeout:
+                if dispatcher.drain.triggered:
+                    break
+                continue
+            except (ProtocolError, ConnectionError):
+                break
+            if request is None:
+                break
+            try:
+                send_frame(conn, dispatcher.handle(request))
+            except OSError:
+                break
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _build_engine(cfg: WorkerConfig):
+    """The worker-side engine build: same path as ``repro serve``."""
+    from ..api.jobs import build_serving_engine
+    from ..api.specs import JobSpec
+    spec = JobSpec.from_dict(cfg.spec)
+    worker_dir = cfg.worker_dir
+    worker_dir.mkdir(parents=True, exist_ok=True)
+    return build_serving_engine(spec, worker_dir)
+
+
+def _make_recorder(cfg: WorkerConfig):
+    if not cfg.telemetry:
+        return None
+    from ..obs.sinks import JsonlSink, Recorder
+    return Recorder(JsonlSink(cfg.worker_dir / "telemetry.jsonl"),
+                    flush_every=cfg.flush_every)
+
+
+def worker_main(cfg: WorkerConfig, ready_queue) -> None:
+    """The spawned worker process body (module-level for pickling)."""
+    drain = GracefulDrain(exit_after=False)
+    try:
+        snap, kind, engine = _build_engine(cfg)
+    except Exception as exc:
+        ready_queue.put({"worker": cfg.index,
+                         "error": f"{type(exc).__name__}: {exc}"})
+        return
+    fleet = cfg.spec.get("fleet", {})
+    batcher = RequestBatcher(
+        engine,
+        max_batch=int(fleet.get("max_batch", 256)),
+        max_wait_ms=float(fleet.get("max_wait_ms", 2.0)),
+        max_queue=int(fleet.get("max_queue", 0)) or None,
+        timeout_ms=float(fleet.get("timeout_ms", 0.0)) or None)
+    recorder = _make_recorder(cfg)
+    if recorder is not None:
+        recorder.add_source("serve", engine.stats.as_dict)
+        recorder.add_source("storage", engine.buffer.stats.as_dict)
+        recorder.add_source("batcher", batcher.stats)
+    dispatcher = _Dispatcher(cfg, engine, batcher, drain, recorder)
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((cfg.host, 0))
+    listener.listen(128)
+    listener.settimeout(0.2)
+    port = listener.getsockname()[1]
+
+    threads = []
+    with drain, batcher:
+        ready_queue.put({"worker": cfg.index, "port": port,
+                         "pid": os.getpid(),
+                         "num_nodes": int(engine.store.num_nodes),
+                         "num_partitions": int(engine.scheme.num_partitions),
+                         "dim": int(engine.store.dim),
+                         "boundaries": [int(b) for b in
+                                        engine.scheme.boundaries],
+                         "kind": kind})
+        parent = os.getppid()
+        while not drain.triggered:
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                if os.getppid() != parent:
+                    # Orphaned: the fleet parent died without draining us
+                    # (crash, SIGKILL). Serving with no gateway is useless
+                    # — drain and exit instead of leaking forever.
+                    drain.request_drain()
+                    break
+                continue
+            except OSError:
+                break
+            t = threading.Thread(target=_serve_connection,
+                                 args=(conn, dispatcher),
+                                 name=f"fleet-worker-{cfg.index}-conn")
+            t.start()
+            threads.append(t)
+        listener.close()
+        # The with-block's batcher.stop() drains queued requests before the
+        # worker thread exits; handler threads then observe the drain flag
+        # on their next receive timeout and retire.
+    for t in threads:
+        t.join(timeout=5.0)
+    if recorder is not None:
+        recorder.close()

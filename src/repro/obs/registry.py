@@ -29,7 +29,8 @@ import threading
 from typing import Any, Dict, Iterable, Optional, Tuple, Type
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "get_registry", "summarize_histogram", "delta_state"]
+           "get_registry", "summarize_histogram", "delta_state",
+           "merge_histogram_states"]
 
 # Log-spaced bucket geometry shared by every histogram: 20 buckets per
 # decade over 1e-3 .. 1e9 (covers sub-millisecond latencies through
@@ -220,6 +221,34 @@ def delta_state(current: Dict[str, Any],
             "buckets": buckets}
 
 
+def merge_histogram_states(states: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum histogram states (or summaries carrying raw buckets) exactly.
+
+    Bucket counts from the same fixed geometry add; count/sum/zero add;
+    min/max combine. The result is a state :func:`summarize_histogram`
+    accepts, so per-worker run logs merge into one distribution with no
+    loss beyond each worker's own bucket quantization — the ``repro top``
+    multi-log path. Bucket keys may arrive as strings (JSON round trip).
+    """
+    out: Dict[str, Any] = {"count": 0, "sum": 0.0, "min": math.inf,
+                           "max": -math.inf, "zero": 0, "buckets": {}}
+    for state in states:
+        count = int(state.get("count", 0))
+        if not count:
+            continue
+        out["count"] += count
+        out["sum"] += float(state.get("sum", 0.0))
+        out["min"] = min(out["min"], float(state.get("min", 0.0)))
+        out["max"] = max(out["max"], float(state.get("max", 0.0)))
+        out["zero"] += int(state.get("zero", 0))
+        for key, n in (state.get("buckets") or {}).items():
+            i = int(key)
+            out["buckets"][i] = out["buckets"].get(i, 0) + int(n)
+    if not out["count"]:
+        out["min"] = out["max"] = 0.0
+    return out
+
+
 class MetricsRegistry:
     """Get-or-create home for every metric, keyed by name + labels."""
 
@@ -263,11 +292,14 @@ class MetricsRegistry:
         :meth:`delta`."""
         return {full: m.state() for full, m in self.metrics().items()}
 
-    def delta(self, baseline: Optional[Dict[str, Any]] = None
-              ) -> Dict[str, Any]:
+    def delta(self, baseline: Optional[Dict[str, Any]] = None,
+              buckets: bool = False) -> Dict[str, Any]:
         """Readable activity since ``baseline`` (a prior :meth:`snapshot`;
         ``None`` means since process start): counters differenced, gauges
-        at their current value, histograms as interval summaries."""
+        at their current value, histograms as interval summaries. With
+        ``buckets=True`` each histogram summary additionally carries its
+        raw ``zero``/``buckets`` state, so exports from several processes
+        can be re-merged exactly (:func:`merge_histogram_states`)."""
         baseline = baseline or {}
         out: Dict[str, Any] = {}
         for full, metric in sorted(self.metrics().items()):
@@ -281,7 +313,11 @@ class MetricsRegistry:
                 base = baseline.get(full)
                 if isinstance(base, dict):
                     state = delta_state(state, base)
-                out[full] = summarize_histogram(state)
+                summary = summarize_histogram(state)
+                if buckets:
+                    summary["zero"] = state["zero"]
+                    summary["buckets"] = dict(state["buckets"])
+                out[full] = summary
         return out
 
     def reset(self) -> None:

@@ -264,7 +264,10 @@ class Recorder:
         return self._events
 
     def _metrics(self) -> Dict[str, Any]:
-        metrics = self.registry.delta(self._baseline)
+        # buckets=True: the raw sparse buckets ride along in every JSONL
+        # metrics record so per-worker logs can be merged exactly by
+        # bucket addition (`repro top <dir of worker logs>`).
+        metrics = self.registry.delta(self._baseline, buckets=True)
         for name, fn in list(self._sources.items()):
             try:
                 values = fn()

@@ -11,10 +11,11 @@ snapshot without ever holding the full table in memory. See
 from .ann import AnnIndex
 from .batcher import Overloaded, RequestBatcher, RequestTimeout, ServeRequest
 from .engine import ServingEngine
+from .lifecycle import GracefulDrain
 from .loader import serve_link_prediction, serve_node_classification
 from .stats import ServeStats, latency_summary, make_query_stream
 
 __all__ = ["AnnIndex", "ServingEngine", "RequestBatcher", "ServeRequest",
-           "ServeStats", "Overloaded", "RequestTimeout",
+           "ServeStats", "Overloaded", "RequestTimeout", "GracefulDrain",
            "latency_summary", "make_query_stream", "serve_link_prediction",
            "serve_node_classification"]

@@ -33,6 +33,7 @@ from .engine import ServingEngine
 EMBED = "embed"
 SCORE = "score"
 TOPK = "topk"
+ENCODE = "encode"
 
 
 class Overloaded(RuntimeError):
@@ -219,18 +220,38 @@ class RequestBatcher:
         return self.submit(SCORE, np.asarray(pairs, dtype=np.int64)).wait()
 
     def topk_targets(self, src: int, k: int, rel: int = 0,
-                     exact: bool = False):
+                     exact: bool = False, exclude=()):
         """Blocking top-k query through the micro-batching queue.
 
-        Concurrent top-k requests with the same ``(k, exact)`` are
-        coalesced into one :meth:`ServingEngine.topk_targets_batch` call,
-        so n waiting queries share a single (pruned or exact) partition
-        sweep instead of paying n sweeps. Returns ``(ids, scores)`` for
-        this source, best first.
+        Concurrent top-k requests with the same ``(k, exact, exclude)``
+        are coalesced into one :meth:`ServingEngine.topk_targets_batch`
+        call, so n waiting queries share a single (pruned or exact)
+        partition sweep instead of paying n sweeps. ``exclude`` is the
+        engine's shared candidate blacklist (excluded ids are removed,
+        never returned); requests with different blacklists simply land
+        in different groups. Returns ``(ids, scores)`` for this source,
+        best first.
         """
-        payload = np.array([int(src), int(rel), int(k), int(bool(exact))],
-                           dtype=np.int64)
+        excl = np.asarray(sorted(set(int(x) for x in exclude)),
+                          dtype=np.int64)
+        payload = np.concatenate([
+            np.array([int(src), int(rel), int(k), int(bool(exact))],
+                     dtype=np.int64), excl])
         return self.submit(TOPK, payload).wait()
+
+    def encode_nodes(self, node_ids, seed=None) -> np.ndarray:
+        """Blocking encode-on-read through the micro-batching queue.
+
+        Requests with the same ``seed`` coalesce into one
+        :meth:`ServingEngine.encode_nodes` call (the seeded path is a
+        pure function of (snapshot, query, seed), so merging queries
+        preserves every caller's result rows). The two payload header
+        slots carry ``[has_seed, seed]`` ahead of the ids.
+        """
+        ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        header = np.array([0 if seed is None else 1,
+                           0 if seed is None else int(seed)], dtype=np.int64)
+        return self.submit(ENCODE, np.concatenate([header, ids])).wait()
 
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p99/mean/max of per-request end-to-end latency, from the
@@ -306,13 +327,27 @@ class RequestBatcher:
         groups: Dict[tuple, List[ServeRequest]] = {}
         for request in batch:
             if request.kind == TOPK:
-                # Top-k requests coalesce per (k, exact): one multi-source
-                # partition sweep answers the whole group, row i per
-                # request i. (A 3-entry payload predates the exact flag
-                # and means the default ANN path.)
+                # Top-k requests coalesce per (k, exact, exclude): one
+                # multi-source partition sweep answers the whole group,
+                # row i per request i. (A 3-entry payload predates the
+                # exact flag and means the default ANN path; entries past
+                # the fourth are the shared candidate blacklist.)
                 exact = (len(request.payload) > 3
                          and bool(request.payload[3]))
-                key = (TOPK, (int(request.payload[2]), exact))
+                exclude = tuple(int(x) for x in request.payload[4:])
+                key = (TOPK, (int(request.payload[2]), exact, exclude))
+            elif request.kind == ENCODE:
+                # Encode requests coalesce per seed (the [has_seed, seed]
+                # payload header); one engine call encodes the merged ids.
+                # Only decoder-only engines merge: with a sampler, the
+                # neighborhood draw is a function of the whole target set,
+                # so merging would change every caller's result.
+                seed = (int(request.payload[1]) if request.payload[0]
+                        else None)
+                if getattr(self.engine, "sampler", None) is not None:
+                    key = (ENCODE, (seed, id(request)))
+                else:
+                    key = (ENCODE, seed)
             else:
                 width = (request.payload.shape[1]
                          if request.payload.ndim == 2 else 0)
@@ -330,11 +365,23 @@ class RequestBatcher:
                 elif kind == TOPK:
                     srcs = np.array([p[0] for p in payloads], dtype=np.int64)
                     rels = np.array([p[1] for p in payloads], dtype=np.int64)
-                    group_k, group_exact = extra
+                    group_k, group_exact = extra[0], extra[1]
+                    group_exclude = extra[2] if len(extra) > 2 else ()
                     ids, scores = self.engine.topk_targets_batch(
-                        srcs, group_k, rel=rels, exact=group_exact)
+                        srcs, group_k, rel=rels, exclude=group_exclude,
+                        exact=group_exact)
                     for row, request in enumerate(requests):
                         request.finish(result=(ids[row], scores[row]))
+                    result = None
+                elif kind == ENCODE:
+                    seed = extra[0] if isinstance(extra, tuple) else extra
+                    merged = np.concatenate([p[2:] for p in payloads])
+                    result = self.engine.encode_nodes(merged, seed=seed)
+                    offset = 0
+                    for request in requests:
+                        n = len(request.payload) - 2
+                        request.finish(result=result[offset : offset + n])
+                        offset += n
                     result = None
                 else:
                     raise ValueError(f"unknown request kind {kind!r}")

@@ -598,6 +598,13 @@ class ServingEngine:
         return int(encoder.dims[-1]) if encoder is not None else self.store.dim
 
     def _encode_rows(self, ids: np.ndarray, seed: Optional[int]) -> np.ndarray:
+        if self.sampler is None and getattr(self.model, "encoder",
+                                            None) is None:
+            # Decoder-only snapshots have no message passing: the node
+            # representation IS the stored table row (model.encode is the
+            # identity on h0), so encode-on-read degrades to the paged
+            # gather and every snapshot serves all four query families.
+            return self._gather_rows(ids)
         sampler = self._require_sampler()
         deterministic = seed is not None
         if deterministic:

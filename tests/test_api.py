@@ -129,10 +129,10 @@ def test_incremental_needs_disk_trainer():
 # Registry
 # ---------------------------------------------------------------------------
 
-def test_registry_lists_all_eight_kinds():
+def test_registry_lists_all_nine_kinds():
     assert set(api.job_kinds()) == {"lp-mem", "lp-disk", "lp-pipelined",
                                     "nc-mem", "nc-disk", "lp-stream",
-                                    "serve", "stream"}
+                                    "serve", "serve-fleet", "stream"}
 
 
 def test_registry_owns_trainer_kind_strings():

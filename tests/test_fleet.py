@@ -1,0 +1,450 @@
+"""Serving-fleet tests: protocol, routing, HTTP parity, crash, drain.
+
+The load-bearing guarantees:
+
+* **HTTP parity** — every endpoint's response, parsed back from JSON, is
+  bit-identical to the same query against an in-process engine over the
+  same snapshot (float32 -> repr -> parse -> float32 is lossless).
+* **Affinity** — a request's lead node id lands on the worker owning its
+  partition under the range policy.
+* **Degradation** — a crashed worker turns its range into structured
+  503s and flips ``/healthz`` to degraded; the other ranges keep serving.
+* **Drain** — stopping the fleet answers every accepted request; nothing
+  hangs or dies with a half-written response.
+"""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api.jobs import build_serving_engine
+from repro.fleet import (AffinityRouter, Fleet, ProtocolError, WorkerClient,
+                         WorkerUnavailable, recv_frame, send_frame)
+from repro.fleet.affinity import range_assignment
+from repro.graph import load_fb15k237
+from repro.serve import GracefulDrain
+from repro.train import DiskConfig, DiskLinkPredictionTrainer, \
+    LinkPredictionConfig
+
+LP_CFG = LinkPredictionConfig(embedding_dim=8, encoder="none",
+                              decoder="distmult", batch_size=256,
+                              num_negatives=16, num_epochs=1,
+                              eval_negatives=16, eval_max_edges=50, seed=0)
+
+
+@pytest.fixture(scope="module")
+def lp_snapshot(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fleet-lp")
+    data = load_fb15k237(scale=0.03, seed=0)
+    disk = DiskConfig(workdir=tmp / "work", num_partitions=8, num_logical=4,
+                      buffer_capacity=4)
+    trainer = DiskLinkPredictionTrainer(data, LP_CFG, disk,
+                                        checkpoint_dir=tmp / "ckpt")
+    trainer.train()
+    trainer.save_snapshot(1, 0, 1)
+    return trainer.snapshots.latest()
+
+
+def fleet_spec(snapshot, workdir, **fleet_fields):
+    payload = {"kind": "serve-fleet",
+               "serve": {"snapshot": str(snapshot)},
+               "storage": {"workdir": str(workdir), "buffer": 4},
+               "fleet": {"workers": 2, "max_wait_ms": 1.0, **fleet_fields}}
+    return api.JobSpec.from_dict(payload).resolve()
+
+
+@pytest.fixture(scope="module")
+def fleet(lp_snapshot, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fleet-run")
+    spec = fleet_spec(lp_snapshot, tmp / "fleet")
+    f = Fleet(spec.to_dict(), tmp / "fleet")
+    f.start()
+    yield f
+    f.stop()
+
+
+@pytest.fixture(scope="module")
+def oracle(lp_snapshot, tmp_path_factory):
+    """An in-process engine over the same snapshot: the parity reference."""
+    tmp = tmp_path_factory.mktemp("fleet-oracle")
+    spec = fleet_spec(lp_snapshot, tmp / "w")
+    _, _, engine = build_serving_engine(spec, tmp / "oracle")
+    return engine
+
+
+def post(url, path, body):
+    req = urllib.request.Request(url + path, data=json.dumps(body).encode(),
+                                 headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(url, path):
+    try:
+        with urllib.request.urlopen(url + path, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+def test_frame_roundtrip():
+    a, b = socket.socketpair()
+    try:
+        payload = {"op": "embed", "ids": [1, 2, 3],
+                   "f": [0.1, -2.5e-8, 1.0 / 3.0]}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+        a.close()
+        assert recv_frame(b) is None          # clean EOF at a boundary
+    finally:
+        b.close()
+
+
+def test_frame_rejects_oversized_and_malformed():
+    a, b = socket.socketpair()
+    try:
+        import struct
+        a.sendall(struct.pack("!I", (64 << 20) + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_frame(b)
+        a2, b2 = socket.socketpair()
+        try:
+            data = b"[1, 2, 3]"               # valid JSON, not an object
+            a2.sendall(struct.pack("!I", len(data)) + data)
+            with pytest.raises(ProtocolError, match="object"):
+                recv_frame(b2)
+        finally:
+            a2.close(), b2.close()
+        a3, b3 = socket.socketpair()
+        try:
+            a3.sendall(struct.pack("!I", 10) + b"12345")
+            a3.close()                        # EOF mid-frame
+            with pytest.raises(WorkerUnavailable):
+                recv_frame(b3)
+        finally:
+            b3.close()
+    finally:
+        a.close(), b.close()
+
+
+def test_frame_float_fidelity():
+    rng = np.random.default_rng(7)
+    values = rng.standard_normal(256).astype(np.float32)
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"rows": values.tolist()})
+        back = np.asarray(recv_frame(b)["rows"], dtype=np.float32)
+        assert np.array_equal(back, values)
+        assert back.tobytes() == values.tobytes()
+    finally:
+        a.close(), b.close()
+
+
+# ---------------------------------------------------------------------------
+# Affinity routing
+# ---------------------------------------------------------------------------
+
+def test_range_assignment_contiguous_and_covering():
+    for parts, workers in [(8, 2), (7, 3), (16, 5), (3, 8)]:
+        assignment = range_assignment(parts, workers)
+        assert len(assignment) == parts
+        assert assignment == sorted(assignment)          # contiguous
+        assert set(assignment) <= set(range(workers))
+    assert range_assignment(8, 1) == [0] * 8
+
+
+def test_router_routes_to_partition_owner():
+    boundaries = [0, 100, 200, 300, 400]
+    router = AffinityRouter(boundaries, num_workers=2)
+    assert router.assignment() == [0, 0, 1, 1]
+    assert router.partition_of(0) == 0
+    assert router.partition_of(99) == 0
+    assert router.partition_of(100) == 1
+    assert router.partition_of(399) == 3
+    assert router.partition_of(10 ** 9) == 3             # clamped
+    assert router.route(50) == 0
+    assert router.route(250) == 1
+
+
+def test_router_rebalance_hook():
+    router = AffinityRouter([0, 10, 20, 30, 40], num_workers=2)
+    router.set_assignment([1, 1, 0, 0])
+    assert router.route(5) == 1
+    assert router.ranges() == {0: [2, 3], 1: [0, 1]}
+    with pytest.raises(ValueError, match="cover"):
+        router.set_assignment([0, 1])
+    with pytest.raises(ValueError, match="unknown workers"):
+        router.set_assignment([0, 1, 2, 0])
+    with pytest.raises(ValueError, match="policy"):
+        AffinityRouter([0, 10], 1, policy="hash")
+
+
+def test_random_policy_spreads_round_robin():
+    router = AffinityRouter([0, 10, 20], num_workers=2, policy="random")
+    hits = [router.route(0) for _ in range(10)]          # same id every time
+    assert set(hits) == {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# GracefulDrain
+# ---------------------------------------------------------------------------
+
+def test_graceful_drain_signal_sets_flag_and_runs_callbacks():
+    calls = []
+    with GracefulDrain(lambda: calls.append(1), exit_after=False) as drain:
+        assert not drain.triggered
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert drain.wait(5.0)
+        assert calls == [1]
+        drain.request_drain()                            # idempotent
+        assert calls == [1]
+    # handlers restored: a later SIGTERM must not re-trigger this drain
+    assert signal.getsignal(signal.SIGTERM) != drain._handle
+
+
+# ---------------------------------------------------------------------------
+# Fleet end-to-end over HTTP
+# ---------------------------------------------------------------------------
+
+def test_embeddings_bit_identical(fleet, oracle):
+    n = int(oracle.store.num_nodes)
+    ids = [0, 1, n // 2, n - 1, 0]                       # duplicates kept
+    status, body = post(fleet.url, "/v1/embeddings", {"ids": ids})
+    assert status == 200
+    served = np.asarray(body["embeddings"], dtype=np.float32)
+    expected = oracle.get_embeddings(np.asarray(ids))
+    assert served.tobytes() == expected.tobytes()
+
+
+def test_score_bit_identical(fleet, oracle):
+    n = int(oracle.store.num_nodes)
+    pairs = [[0, 5], [1, n - 1], [n - 1, 3]]
+    status, body = post(fleet.url, "/v1/score", {"pairs": pairs})
+    assert status == 200
+    served = np.asarray(body["scores"], dtype=np.float32)
+    expected = oracle.score_edges(
+        np.asarray([[s, 0, d] for s, d in pairs], dtype=np.int64))
+    assert served.tobytes() == expected.tobytes()
+
+
+def test_topk_bit_identical(fleet, oracle):
+    status, body = post(fleet.url, "/v1/topk",
+                        {"source": 3, "k": 5, "exclude": [3], "exact": True})
+    assert status == 200
+    ids, scores = oracle.topk_targets(3, 5, rel=0, exclude=[3], exact=True)
+    assert body["ids"] == ids.tolist()
+    served = np.asarray(body["scores"], dtype=np.float32)
+    assert served.tobytes() == scores.tobytes()
+
+
+def test_encode_bit_identical(fleet, oracle):
+    status, body = post(fleet.url, "/v1/encode", {"ids": [2, 9]})
+    assert status == 200
+    served = np.asarray(body["embeddings"], dtype=np.float32)
+    expected = oracle.encode_nodes(np.asarray([2, 9]))
+    assert served.tobytes() == expected.tobytes()
+
+
+def test_affinity_routing_lands_on_owner(fleet, oracle):
+    boundaries = fleet.worker_info[0]["boundaries"]
+    for node in (0, boundaries[-1] - 1, boundaries[len(boundaries) // 2]):
+        status, body = post(fleet.url, "/v1/embeddings", {"ids": [int(node)]})
+        assert status == 200
+        owner = fleet.router.route(int(node))
+        assert body["worker"] == owner
+
+
+def test_malformed_requests_get_error_dtos(fleet):
+    cases = [
+        ("/v1/embeddings", {"ids": "nope"}, 400, "bad_request"),
+        ("/v1/embeddings", {"ids": []}, 400, "bad_request"),
+        ("/v1/embeddings", {"ids": [10 ** 9]}, 400, "bad_request"),
+        ("/v1/score", {"pairs": [[1]]}, 400, "bad_request"),
+        ("/v1/score", {"pairs": []}, 400, "bad_request"),
+        ("/v1/topk", {"source": "zero", "k": 5}, 400, "bad_request"),
+        ("/v1/topk", {"source": 0, "k": 0}, 400, "bad_request"),
+        ("/v1/encode", {"ids": [1], "seed": "x"}, 400, "bad_request"),
+        ("/v1/nope", {"ids": [1]}, 404, "not_found"),
+    ]
+    for path, body, want_status, want_code in cases:
+        status, payload = post(fleet.url, path, body)
+        assert status == want_status, (path, body, payload)
+        assert payload["error"]["code"] == want_code
+        assert payload["error"]["message"]
+    # non-JSON body
+    req = urllib.request.Request(fleet.url + "/v1/embeddings",
+                                 data=b"not json")
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(req, timeout=30)
+    assert exc_info.value.code == 400
+    # GET on a POST endpoint
+    status, payload = get(fleet.url, "/v1/embeddings")
+    assert status == 405 and payload["error"]["code"] == "bad_request"
+
+
+def test_healthz_and_statz(fleet):
+    status, body = get(fleet.url, "/healthz")
+    assert status == 200 and body["status"] == "ok"
+    assert [w["worker"] for w in body["workers"]] == [0, 1]
+    status, body = get(fleet.url, "/statz")
+    assert status == 200
+    assert body["router"]["policy"] == "range"
+    assert len(body["workers"]) == 2
+    assert any(key.startswith("http./v1/") for key in body["gateway"])
+
+
+def test_worker_protocol_direct(fleet):
+    """The frame protocol works without the gateway in the middle."""
+    info = fleet.worker_info[0]
+    with WorkerClient(fleet.host, info["port"]) as client:
+        reply = client.request("health")
+        assert reply["ok"] and reply["worker"] == 0
+        reply = client.request("embed", ids=[0])
+        assert reply["ok"] and len(reply["embeddings"]) == 1
+        reply = client.request("bogus")
+        assert not reply["ok"] and reply["error"]["code"] == "bad_request"
+
+
+# Keep last among the module-fleet tests: it kills worker 1 for good.
+def test_worker_crash_degrades_its_range(fleet):
+    victim = 1
+    pid = fleet.worker_info[victim]["pid"]
+    os.kill(pid, signal.SIGKILL)
+    fleet._procs[victim].join(timeout=10.0)
+    assert not fleet._procs[victim].is_alive()
+    boundaries = fleet.worker_info[0]["boundaries"]
+    dead_node = int(boundaries[-1]) - 1                  # owned by worker 1
+    live_node = 0                                        # owned by worker 0
+    status, body = post(fleet.url, "/v1/embeddings", {"ids": [dead_node]})
+    assert status == 503
+    assert body["error"]["code"] == "unavailable"
+    status, body = get(fleet.url, "/healthz")
+    assert status == 503 and body["status"] == "degraded"
+    down = [w for w in body["workers"] if not w["alive"]]
+    assert [w["worker"] for w in down] == [victim]
+    # the surviving range keeps serving
+    status, body = post(fleet.url, "/v1/embeddings", {"ids": [live_node]})
+    assert status == 200 and body["worker"] == 0
+    # ... and fails fast on the dead range thereafter
+    status, body = post(fleet.url, "/v1/embeddings", {"ids": [dead_node]})
+    assert status == 503
+
+
+# ---------------------------------------------------------------------------
+# Drain: every accepted request is answered
+# ---------------------------------------------------------------------------
+
+def test_drain_answers_every_accepted_request(lp_snapshot, tmp_path):
+    spec = fleet_spec(lp_snapshot, tmp_path / "fleet")
+    fleet = Fleet(spec.to_dict(), tmp_path / "fleet")
+    fleet.start()
+    outcomes = []
+    lock = threading.Lock()
+
+    def client(seed):
+        for i in range(10):
+            try:
+                status, body = post(fleet.url, "/v1/embeddings",
+                                    {"ids": [(seed * 17 + i) % 100]})
+                with lock:
+                    outcomes.append(("http", status))
+            except (urllib.error.URLError, ConnectionError, OSError):
+                # refused after the listener closed: rejected, not lost
+                with lock:
+                    outcomes.append(("refused", None))
+
+    threads = [threading.Thread(target=client, args=(s,)) for s in range(4)]
+    try:
+        for t in threads:
+            t.start()
+        while True:
+            with lock:
+                if len(outcomes) >= 8:
+                    break
+            time.sleep(0.01)
+        codes = fleet.stop()
+    finally:
+        for t in threads:
+            t.join(timeout=30.0)
+        fleet.stop()
+    assert all(not t.is_alive() for t in threads)
+    assert len(outcomes) == 40                 # nothing hung or vanished
+    answered = [s for kind, s in outcomes if kind == "http"]
+    assert answered and all(s in (200, 503) for s in answered)
+    assert any(s == 200 for s in answered)
+    assert all(code == 0 for code in codes)    # workers drained cleanly
+
+
+def test_fleet_job_runs_with_duration(lp_snapshot, tmp_path):
+    """serve-fleet through the unified job API: build, serve, drain."""
+    spec = fleet_spec(lp_snapshot, tmp_path / "fleet", duration=1.0)
+    result = api.run(spec)
+    assert result["workers"] == 2
+    assert result["exitcodes"] == [0, 0]
+    logs = sorted((tmp_path / "fleet").glob("worker-*/telemetry.jsonl"))
+    assert logs == []                          # telemetry off by default
+
+
+def test_spec_validation():
+    with pytest.raises(api.JobError, match="snapshot"):
+        api.JobSpec.from_dict({"kind": "serve-fleet"}).resolve()
+    with pytest.raises(api.JobError, match="workers"):
+        fleet_spec("x", "y", workers=0)
+    with pytest.raises(api.JobError, match="affinity"):
+        fleet_spec("x", "y", affinity="hash")
+    with pytest.raises(api.JobError, match="port"):
+        fleet_spec("x", "y", port=70000)
+
+
+# ---------------------------------------------------------------------------
+# `repro top` multi-log merge
+# ---------------------------------------------------------------------------
+
+def _hist(count, total, lo, hi, buckets):
+    return {"count": count, "sum": total, "mean": total / count,
+            "min": lo, "max": hi, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "zero": 0, "buckets": buckets}
+
+
+def test_top_merges_worker_logs(tmp_path, capsys):
+    from repro.cli import main
+    for i, (count, reqs) in enumerate([(3, 10), (5, 32)]):
+        d = tmp_path / f"worker-{i}"
+        d.mkdir(parents=True)
+        records = [
+            {"ts": 100.0 + i, "type": "event", "event": "request",
+             "payload": {}},
+            {"ts": 110.0 + i, "type": "metrics", "label": "final",
+             "metrics": {"serve.requests": reqs,
+                         "serve.embed.latency_ms": _hist(
+                             count, count * 2.0, 1.0, 3.0, {"3": count})}},
+        ]
+        (d / "telemetry.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in records))
+    assert main(["top", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "merged (2 logs)" in out
+    assert "request x2" in out                 # events summed
+    merged = out.split("merged (2 logs)")[1]
+    row = next(line for line in merged.splitlines()
+               if "serve.embed.latency_ms" in line)
+    assert row.split()[1] == "8"               # histogram counts merged
+    counter = next(line for line in merged.splitlines()
+                   if "serve.requests" in line)
+    assert counter.split()[1] == "42"          # counters summed

@@ -326,9 +326,15 @@ def test_lp_encoder_serving(lp_data, tmp_path):
         engine.topk_targets(0, 5)
 
 
-def test_encode_requires_edge_source(lp_engine):
-    with pytest.raises(RuntimeError, match="edge source"):
-        lp_engine.encode_nodes(np.array([1]))
+def test_decoder_only_encode_is_the_table_gather(lp_engine):
+    # Decoder-only snapshots have no message passing: the node
+    # representation IS the stored row, so encode-on-read degrades to the
+    # paged gather and every snapshot serves all four query families
+    # (the serving-fleet endpoint contract). Classification still needs a
+    # trained head.
+    ids = np.array([1, 3, 2, 3])
+    np.testing.assert_array_equal(lp_engine.encode_nodes(ids),
+                                  lp_engine.get_embeddings(ids))
     with pytest.raises(RuntimeError, match="classification"):
         lp_engine.classify(np.array([1]))
 
